@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the Section-5 mathematics: the closed forms that the
+//! EMCT/LW/UD heuristics evaluate in their inner loops, their numeric
+//! re-derivations, and the `ChainStats` cache that makes per-slot scheduling
+//! cheap.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vg_bench::sample_chain;
+use vg_markov::availability::ChainStats;
+
+fn bench_expectation(c: &mut Criterion) {
+    let chain = sample_chain(7);
+    let stats = ChainStats::new(chain.clone());
+    let mut g = c.benchmark_group("section5");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+
+    g.bench_function("p_plus_closed_form", |b| {
+        b.iter(|| black_box(chain.p_plus()));
+    });
+    g.bench_function("p_plus_series", |b| {
+        b.iter(|| black_box(chain.p_plus_numeric()));
+    });
+    g.bench_function("e_w_closed_form_w100", |b| {
+        b.iter(|| black_box(chain.e_w(black_box(100))));
+    });
+    g.bench_function("e_w_series_w100", |b| {
+        b.iter(|| black_box(chain.e_w_numeric(black_box(100))));
+    });
+    g.bench_function("p_ud_exact_k50", |b| {
+        b.iter(|| black_box(chain.p_ud_exact(black_box(50))));
+    });
+    g.bench_function("p_ud_approx_k50_uncached", |b| {
+        b.iter(|| black_box(chain.p_ud_approx(black_box(50))));
+    });
+    g.bench_function("p_ud_approx_k50_cached", |b| {
+        b.iter(|| black_box(stats.p_ud_approx(black_box(50))));
+    });
+    g.bench_function("stationary_solve", |b| {
+        b.iter(|| black_box(chain.stationary()));
+    });
+    g.bench_function("chain_stats_build", |b| {
+        b.iter_batched(
+            || chain.clone(),
+            |c| black_box(ChainStats::new(c)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expectation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Mirrors **Figure 1** (the Theorem-1 gadget): cost of the executable
+//! reduction pipeline — DPLL solve, 3-SAT → Off-Line reduction, schedule
+//! materialization + validation — plus the exact branch-and-bound on the
+//! Section-4 counter-example and a tiny reduced instance.
+//! `cargo run -p vg-exp --release --bin figure1` prints the real figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vg_offline::reduction::{figure1_formula, reduce, schedule_from_assignment};
+use vg_offline::sat::{dpll, Cnf};
+use vg_offline::{bnb, OfflineInstance};
+use vg_des::rng::SeedPath;
+use vg_platform::Trace;
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure1");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    let cnf = figure1_formula();
+    g.bench_function("dpll_figure1_formula", |b| {
+        b.iter(|| black_box(dpll(black_box(&cnf))));
+    });
+    g.bench_function("reduce_figure1_formula", |b| {
+        b.iter(|| black_box(reduce(black_box(&cnf))));
+    });
+    let assignment = dpll(&cnf).expect("satisfiable");
+    let inst = reduce(&cnf);
+    g.bench_function("materialize_and_validate", |b| {
+        b.iter(|| {
+            let s = schedule_from_assignment(&cnf, &assignment).expect("sat");
+            black_box(s.validate(&inst).expect("feasible"))
+        });
+    });
+
+    g.bench_function("dpll_random_3sat_8v_32c", |b| {
+        let mut rng = SeedPath::root(5).rng();
+        let formulas: Vec<Cnf> = (0..16).map(|_| Cnf::random_3sat(8, 32, &mut rng)).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % formulas.len();
+            black_box(dpll(&formulas[i]))
+        });
+    });
+
+    let counterexample = OfflineInstance::uniform(
+        2,
+        2,
+        2,
+        2,
+        Some(1),
+        9,
+        vec![
+            Trace::parse("uuuuuurrr").expect("trace"),
+            Trace::parse("ruuuuuuuu").expect("trace"),
+        ],
+    );
+    g.bench_function("bnb_section4_counterexample", |b| {
+        b.iter(|| black_box(bnb::min_makespan(&counterexample, 10_000_000)));
+    });
+
+    let tiny = reduce(&Cnf::random_3sat(3, 3, &mut SeedPath::root(6).rng()));
+    g.bench_function("bnb_reduced_3sat_n3_m3", |b| {
+        b.iter(|| black_box(bnb::feasible_within(&tiny, tiny.horizon, 50_000_000)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Per-decision cost of every heuristic family: one `place()` call on a
+//! 20-processor view with 20 tasks to place — the inner loop of the whole
+//! evaluation campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vg_bench::sample_chain;
+use vg_core::view::SchedViewBuilder;
+use vg_core::{HeuristicKind, SchedView};
+use vg_des::rng::SeedPath;
+use vg_markov::ProcState;
+
+fn view_20(seed: u64) -> SchedView {
+    let mut b = SchedViewBuilder::new(10, 2, 5);
+    for q in 0..20u64 {
+        b = b.proc(
+            if q % 5 == 4 { ProcState::Reclaimed } else { ProcState::Up },
+            2 + q % 8,
+            q % 3 != 0,
+            q % 7,
+            sample_chain(seed + q),
+        );
+    }
+    b.build()
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let view = view_20(100);
+    let mut g = c.benchmark_group("place_20tasks_20procs");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+    for kind in [
+        HeuristicKind::Random,
+        HeuristicKind::Random2w,
+        HeuristicKind::Mct,
+        HeuristicKind::MctStar,
+        HeuristicKind::Emct,
+        HeuristicKind::EmctStar,
+        HeuristicKind::Lw,
+        HeuristicKind::UdStar,
+    ] {
+        g.bench_function(kind.name(), |b| {
+            let mut sched = kind.build(SeedPath::root(1).rng());
+            b.iter(|| black_box(sched.place(black_box(&view), 20)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

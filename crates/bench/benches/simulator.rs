@@ -1,0 +1,50 @@
+//! Simulator throughput: complete runs on paper-sized platforms. The
+//! per-run wall time here, multiplied by 296,400, is what a paper-scale
+//! campaign costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vg_bench::{paper_app, paper_platform};
+use vg_core::HeuristicKind;
+use vg_des::rng::SeedPath;
+use vg_sim::{SimOptions, Simulation};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_run");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    for (label, p, n, wmin, iters) in [
+        ("small_p6_n5_w1", 6usize, 5usize, 1u64, 3u64),
+        ("paper_p20_n20_w1", 20, 20, 1, 10),
+        ("volatile_p20_n20_w5", 20, 20, 5, 10),
+    ] {
+        let platform = paper_platform(p, 5, wmin, 11);
+        let app = paper_app(n, iters, wmin, 1);
+        for kind in [HeuristicKind::Mct, HeuristicKind::EmctStar] {
+            g.bench_with_input(
+                BenchmarkId::new(label, kind.name()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let report = Simulation::run_seeded(
+                            &platform,
+                            &app,
+                            kind.build(SeedPath::root(1).rng()),
+                            SeedPath::root(2),
+                            SimOptions::default(),
+                        )
+                        .expect("valid");
+                        black_box(report.makespan_or_cap())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

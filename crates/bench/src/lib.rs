@@ -1,0 +1,59 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Every bench target mirrors one evaluation artifact of the paper (a table
+//! or figure) or ablates one design choice; the fixtures here keep the
+//! platforms identical across targets so numbers are comparable.
+
+use vg_des::rng::SeedPath;
+use vg_markov::availability::AvailabilityChain;
+use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig, StartPolicy};
+
+/// A paper-style Markov platform: `p` processors, diagonals in
+/// `[0.90, 0.99]`, speeds in `[wmin, 10·wmin]`.
+#[must_use]
+pub fn paper_platform(p: usize, ncom: usize, wmin: u64, seed: u64) -> PlatformConfig {
+    let mut rng = SeedPath::root(seed).rng();
+    PlatformConfig {
+        processors: (0..p)
+            .map(|_| {
+                let chain = AvailabilityChain::sample_paper(&mut rng, 0.90, 0.99);
+                let w = rng.u64_range_inclusive(wmin, 10 * wmin);
+                ProcessorConfig::markov(w, chain, StartPolicy::Up)
+            })
+            .collect(),
+        ncom,
+    }
+}
+
+/// Matching application: `n` tasks, `iterations` iterations, paper ratios.
+#[must_use]
+pub fn paper_app(n: usize, iterations: u64, wmin: u64, comm_scale: u64) -> AppConfig {
+    AppConfig {
+        tasks_per_iteration: n,
+        iterations,
+        t_prog: 5 * wmin * comm_scale,
+        t_data: wmin * comm_scale,
+    }
+}
+
+/// A deterministic sampled chain for micro-benches.
+#[must_use]
+pub fn sample_chain(seed: u64) -> AvailabilityChain {
+    let mut rng = SeedPath::root(seed).rng();
+    AvailabilityChain::sample_paper(&mut rng, 0.90, 0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        let p = paper_platform(6, 2, 3, 1);
+        assert!(p.validate().is_ok());
+        let a = paper_app(10, 2, 3, 1);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.t_prog, 15);
+        let _ = sample_chain(1);
+    }
+}

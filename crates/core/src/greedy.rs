@@ -1,0 +1,338 @@
+//! The greedy heuristic families of Section 6.3: MCT, EMCT, LW, UD and
+//! their contention-aware `*` variants.
+//!
+//! All four share the same skeleton — assign the `m − m′` remaining tasks
+//! one at a time, each to the processor optimizing a per-candidate score —
+//! and differ only in the score:
+//!
+//! | family | score (selection) | uses |
+//! |---|---|---|
+//! | MCT  | min `CT(P_q, n_q+1)` | Eq. (1)/(2) |
+//! | EMCT | min `E(CT(P_q, n_q+1))` | Theorem 2 expectation of the CT workload |
+//! | LW   | max `(P₊)^{CT(P_q, n_q+1)}` | Lemma 1 |
+//! | UD   | max `P_UD(E(CT(P_q, n_q+1)))` | Section 6.3.3 approximation |
+//!
+//! The `*` variants replace `T_data` by `⌈n_active/ncom⌉·T_data` inside `CT`
+//! (Equation (2)).
+
+use crate::ct::{completion_time, effective_t_data};
+use crate::traits::Scheduler;
+use crate::view::SchedView;
+use vg_platform::ProcessorId;
+
+/// Which selection score a [`GreedyScheduler`] optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreedyObjective {
+    /// Minimum completion time (optimal off-line when `ncom = ∞`,
+    /// Proposition 2).
+    Mct,
+    /// Expected minimum completion time: `E(CT)` via Theorem 2.
+    Emct,
+    /// Likely to Work: maximize `(P₊)^{CT}`.
+    Lw,
+    /// Unlikely Down: maximize `P_UD(E(CT))`.
+    Ud,
+}
+
+/// A greedy heuristic instance.
+#[derive(Debug, Clone)]
+pub struct GreedyScheduler {
+    objective: GreedyObjective,
+    /// Apply the Equation-(2) contention correction (the `*` variants).
+    contention: bool,
+    name: &'static str,
+}
+
+impl GreedyScheduler {
+    /// Creates a greedy scheduler. `name` should come from the catalog.
+    #[must_use]
+    pub fn new(objective: GreedyObjective, contention: bool, name: &'static str) -> Self {
+        Self {
+            objective,
+            contention,
+            name,
+        }
+    }
+
+    /// The objective.
+    #[must_use]
+    pub fn objective(&self) -> GreedyObjective {
+        self.objective
+    }
+
+    /// Whether the Equation-(2) correction is active.
+    #[must_use]
+    pub fn contention_aware(&self) -> bool {
+        self.contention
+    }
+
+    /// Score of assigning one more task to processor `idx`; *smaller is
+    /// better* (maximizing objectives are negated).
+    fn score(&self, view: &SchedView, idx: usize, n_q: usize, n_active: usize) -> f64 {
+        let p = &view.procs[idx];
+        // [D13]: the candidate counts itself when newly enrolled.
+        let n_active_incl = n_active + usize::from(n_q == 0);
+        let eff = effective_t_data(view.t_data, self.contention, n_active_incl, view.ncom);
+        let ct = completion_time(p, n_q + 1, eff);
+        match self.objective {
+            GreedyObjective::Mct => ct as f64,
+            GreedyObjective::Emct => p.chain.e_w(ct),
+            GreedyObjective::Lw => {
+                // Maximize (P₊)^CT  ⇔  minimize −(P₊)^CT.
+                -(p.chain.p_plus().powf(ct as f64))
+            }
+            GreedyObjective::Ud => {
+                // k = E(CT) rounded to whole slots (≥ 1), then the paper's
+                // closed-form P_UD approximation.
+                let k = p.chain.e_w(ct).round().max(1.0) as u64;
+                -p.chain.p_ud_approx(k)
+            }
+        }
+    }
+}
+
+impl Scheduler for GreedyScheduler {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn place(&mut self, view: &SchedView, count: usize) -> Vec<ProcessorId> {
+        let ups = view.up_indices();
+        if ups.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        // Per-round bookkeeping: tasks assigned to each processor (n_q) and
+        // the number of enrolled processors (n_active, for Equation (2)).
+        let mut n_q = vec![0usize; view.p()];
+        let mut n_active = 0usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut best_idx = ups[0];
+            let mut best_score = f64::INFINITY;
+            for &i in &ups {
+                let s = self.score(view, i, n_q[i], n_active);
+                // Strict `<` keeps the lowest processor id on ties ([D9]).
+                if s < best_score {
+                    best_score = s;
+                    best_idx = i;
+                }
+            }
+            if n_q[best_idx] == 0 {
+                n_active += 1;
+            }
+            n_q[best_idx] += 1;
+            out.push(view.procs[best_idx].id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::SchedViewBuilder;
+    use vg_markov::availability::AvailabilityChain;
+    use vg_markov::ProcState;
+
+    fn reliable() -> AvailabilityChain {
+        // Rarely leaves UP, recovers fast.
+        AvailabilityChain::new([
+            [0.99, 0.005, 0.005],
+            [0.50, 0.45, 0.05],
+            [0.10, 0.10, 0.80],
+        ])
+        .unwrap()
+    }
+
+    fn flaky() -> AvailabilityChain {
+        // Often reclaimed, often down.
+        AvailabilityChain::new([
+            [0.55, 0.30, 0.15],
+            [0.20, 0.60, 0.20],
+            [0.05, 0.05, 0.90],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mct_picks_smallest_completion_time() {
+        // Proc 0: w=5, delay=0 -> CT = 0+1+5 = 6
+        // Proc 1: w=2, delay=10 -> CT = 10+1+2 = 13
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 5, true, 0, reliable())
+            .proc(ProcState::Up, 2, true, 10, reliable())
+            .build();
+        let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
+        assert_eq!(s.place(&view, 1), vec![ProcessorId(0)]);
+    }
+
+    #[test]
+    fn mct_spreads_load_via_nq() {
+        // Two identical processors: second task must go to the other one
+        // because n_q pipelining raises the first's CT.
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 3, true, 0, reliable())
+            .proc(ProcState::Up, 3, true, 0, reliable())
+            .build();
+        let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
+        let picks = s.place(&view, 2);
+        assert_eq!(picks, vec![ProcessorId(0), ProcessorId(1)]);
+    }
+
+    #[test]
+    fn mct_queues_on_fast_processor_when_worth_it() {
+        // Fast proc w=1 vs slow w=10: even the 4th task on the fast one
+        // beats the first on the slow one (CT 1+1+3·1+... vs 1+10).
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 1, true, 0, reliable())
+            .proc(ProcState::Up, 10, true, 0, reliable())
+            .build();
+        let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
+        let picks = s.place(&view, 4);
+        assert_eq!(
+            picks,
+            vec![ProcessorId(0); 4],
+            "all four tasks pipeline on the fast processor"
+        );
+    }
+
+    #[test]
+    fn emct_prefers_reliability_for_long_tasks() {
+        // Same speed & delay; EMCT must weigh the RECLAIMED risk and pick
+        // the reliable processor, while MCT is indifferent (ties to id 0).
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 20, true, 0, flaky())
+            .proc(ProcState::Up, 20, true, 0, reliable())
+            .build();
+        let mut emct = GreedyScheduler::new(GreedyObjective::Emct, false, "EMCT");
+        assert_eq!(emct.place(&view, 1), vec![ProcessorId(1)]);
+        let mut mct = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
+        assert_eq!(mct.place(&view, 1), vec![ProcessorId(0)], "tie → lowest id");
+    }
+
+    #[test]
+    fn emct_trades_speed_for_reliability_when_tasks_are_long() {
+        // Flaky-but-fast (w=18) vs reliable-but-slower (w=20): for E(W) the
+        // reclaimed expansion of the flaky chain dominates its raw speed.
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 18, true, 0, flaky())
+            .proc(ProcState::Up, 20, true, 0, reliable())
+            .build();
+        let flaky_ew = view.procs[0].chain.e_w(19);
+        let reliable_ew = view.procs[1].chain.e_w(21);
+        assert!(reliable_ew < flaky_ew, "premise: {reliable_ew} vs {flaky_ew}");
+        let mut emct = GreedyScheduler::new(GreedyObjective::Emct, false, "EMCT");
+        assert_eq!(emct.place(&view, 1), vec![ProcessorId(1)]);
+        // MCT, blind to volatility, grabs the faster one.
+        let mut mct = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
+        assert_eq!(mct.place(&view, 1), vec![ProcessorId(0)]);
+    }
+
+    #[test]
+    fn lw_maximizes_survival() {
+        // LW picks the processor with the highest (P₊)^CT — here the
+        // reliable one despite a longer CT.
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 2, true, 0, flaky())
+            .proc(ProcState::Up, 4, true, 0, reliable())
+            .build();
+        let p0 = view.procs[0].chain.p_plus().powf(3.0);
+        let p1 = view.procs[1].chain.p_plus().powf(5.0);
+        assert!(p1 > p0, "premise: {p1} vs {p0}");
+        let mut lw = GreedyScheduler::new(GreedyObjective::Lw, false, "LW");
+        assert_eq!(lw.place(&view, 1), vec![ProcessorId(1)]);
+    }
+
+    #[test]
+    fn ud_maximizes_not_down_probability() {
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 2, true, 0, flaky())
+            .proc(ProcState::Up, 4, true, 0, reliable())
+            .build();
+        let mut ud = GreedyScheduler::new(GreedyObjective::Ud, false, "UD");
+        assert_eq!(ud.place(&view, 1), vec![ProcessorId(1)]);
+    }
+
+    #[test]
+    fn star_variant_penalizes_enrolling_everyone() {
+        // 4 identical processors, ncom = 1, large T_data: MCT* should
+        // saturate fewer processors than MCT because each newly enrolled
+        // processor inflates the effective T_data.
+        let mk = |star| {
+            let view = SchedViewBuilder::new(5, 6, 1)
+                .proc(ProcState::Up, 2, true, 0, reliable())
+                .proc(ProcState::Up, 2, true, 0, reliable())
+                .proc(ProcState::Up, 2, true, 0, reliable())
+                .proc(ProcState::Up, 2, true, 0, reliable())
+                .build();
+            let mut s = GreedyScheduler::new(GreedyObjective::Mct, star, "MCTx");
+            let picks = s.place(&view, 4);
+            let mut used: Vec<_> = picks.iter().map(|p| p.idx()).collect();
+            used.sort_unstable();
+            used.dedup();
+            used.len()
+        };
+        let plain = mk(false);
+        let starred = mk(true);
+        assert_eq!(plain, 4, "MCT spreads to all");
+        assert!(starred < plain, "MCT* enrolled {starred} (MCT {plain})");
+    }
+
+    #[test]
+    fn star_equals_plain_when_uncontended() {
+        // With ncom ≥ enrolled processors the correction factor is 1 and
+        // MCT* must equal MCT decisions.
+        let build = || {
+            SchedViewBuilder::new(5, 2, 8)
+                .proc(ProcState::Up, 3, true, 0, reliable())
+                .proc(ProcState::Up, 5, true, 2, flaky())
+                .proc(ProcState::Up, 2, false, 7, reliable())
+                .build()
+        };
+        let mut plain = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
+        let mut star = GreedyScheduler::new(GreedyObjective::Mct, true, "MCT*");
+        assert_eq!(plain.place(&build(), 5), star.place(&build(), 5));
+    }
+
+    #[test]
+    fn returns_empty_without_up_processors() {
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Reclaimed, 1, true, 0, reliable())
+            .proc(ProcState::Down, 1, true, 0, reliable())
+            .build();
+        for obj in [
+            GreedyObjective::Mct,
+            GreedyObjective::Emct,
+            GreedyObjective::Lw,
+            GreedyObjective::Ud,
+        ] {
+            let mut s = GreedyScheduler::new(obj, false, "x");
+            assert!(s.place(&view, 2).is_empty(), "{obj:?}");
+        }
+    }
+
+    #[test]
+    fn delay_shifts_choice() {
+        // Identical processors except delay: must pick the idle one.
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 3, true, 9, reliable())
+            .proc(ProcState::Up, 3, true, 0, reliable())
+            .build();
+        for obj in [GreedyObjective::Mct, GreedyObjective::Emct] {
+            let mut s = GreedyScheduler::new(obj, false, "x");
+            assert_eq!(s.place(&view, 1), vec![ProcessorId(1)], "{obj:?}");
+        }
+    }
+
+    #[test]
+    fn missing_program_is_reflected_through_delay() {
+        // The simulator folds T_prog into delay; a processor lacking the
+        // program carries delay = T_prog and loses the tie.
+        let view = SchedViewBuilder::new(6, 1, 2)
+            .proc(ProcState::Up, 3, false, 6, reliable())
+            .proc(ProcState::Up, 3, true, 0, reliable())
+            .build();
+        let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
+        assert_eq!(s.place(&view, 1), vec![ProcessorId(1)]);
+    }
+}

@@ -1,0 +1,257 @@
+//! The random heuristic family (Section 6.2).
+//!
+//! `Random` picks uniformly among `UP` processors. `Random1..4` weight the
+//! draw by a reliability statistic of each processor's Markov chain:
+//!
+//! 1. **Long time UP** — weight `P_{u,u}` (stays UP);
+//! 2. **Likely to work more** — weight `P₊` (Lemma 1: UP again before crash);
+//! 3. **Often UP** — weight `π_u` (steady-state UP occupancy);
+//! 4. **Rarely DOWN** — weight `1 − π_d`.
+//!
+//! Each weighted variant has a `…w` twin whose weight is divided by `w_q`,
+//! folding processing speed into the draw (a processor twice as fast is
+//! twice as likely to be picked, all else equal).
+
+use crate::traits::Scheduler;
+use crate::view::SchedView;
+use vg_des::rng::StreamRng;
+use vg_platform::ProcessorId;
+
+/// Which reliability statistic weights the draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomWeight {
+    /// Uniform over UP processors (`Random`).
+    Uniform,
+    /// `P_{u,u}` (`Random1`).
+    LongTimeUp,
+    /// `P₊` (`Random2`).
+    LikelyToWorkMore,
+    /// `π_u` (`Random3`).
+    OftenUp,
+    /// `1 − π_d` (`Random4`).
+    RarelyDown,
+}
+
+/// A member of the random family.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    weight: RandomWeight,
+    /// Divide weights by `w_q` (the `…w` variants).
+    per_speed: bool,
+    rng: StreamRng,
+    name: &'static str,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler; `name` should come from the catalog so that
+    /// reports match the paper's tables.
+    #[must_use]
+    pub fn new(weight: RandomWeight, per_speed: bool, rng: StreamRng, name: &'static str) -> Self {
+        assert!(
+            !(per_speed && weight == RandomWeight::Uniform),
+            "the paper defines speed-weighted variants only for Random1..4"
+        );
+        Self {
+            weight,
+            per_speed,
+            rng,
+            name,
+        }
+    }
+
+    fn weight_of(&self, view: &SchedView, idx: usize) -> f64 {
+        let p = &view.procs[idx];
+        let base = match self.weight {
+            RandomWeight::Uniform => 1.0,
+            RandomWeight::LongTimeUp => p.chain.p_uu(),
+            RandomWeight::LikelyToWorkMore => p.chain.p_plus(),
+            RandomWeight::OftenUp => p.chain.pi()[0],
+            RandomWeight::RarelyDown => 1.0 - p.chain.pi()[2],
+        };
+        if self.per_speed {
+            base / p.w as f64
+        } else {
+            base
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn place(&mut self, view: &SchedView, count: usize) -> Vec<ProcessorId> {
+        let ups = view.up_indices();
+        if ups.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = ups.iter().map(|&i| self.weight_of(view, i)).collect();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pick = match self.rng.weighted_index(&weights) {
+                Some(k) => k,
+                // All weights zero (degenerate chains): fall back to uniform.
+                None => self.rng.index(ups.len()),
+            };
+            out.push(view.procs[ups[pick]].id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::SchedViewBuilder;
+    use vg_des::rng::SeedPath;
+    use vg_markov::availability::AvailabilityChain;
+    use vg_markov::ProcState;
+
+    fn reliable() -> AvailabilityChain {
+        AvailabilityChain::new([
+            [0.98, 0.01, 0.01],
+            [0.30, 0.65, 0.05],
+            [0.10, 0.10, 0.80],
+        ])
+        .unwrap()
+    }
+
+    fn flaky() -> AvailabilityChain {
+        AvailabilityChain::new([
+            [0.60, 0.20, 0.20],
+            [0.30, 0.50, 0.20],
+            [0.10, 0.10, 0.80],
+        ])
+        .unwrap()
+    }
+
+    fn two_proc_view() -> SchedView {
+        SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 1, false, 0, reliable())
+            .proc(ProcState::Up, 1, false, 0, flaky())
+            .build()
+    }
+
+    fn count_picks(s: &mut RandomScheduler, view: &SchedView, n: usize) -> [usize; 2] {
+        let picks = s.place(view, n);
+        let mut counts = [0usize; 2];
+        for p in picks {
+            counts[p.idx()] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_random_is_roughly_even() {
+        let mut s = RandomScheduler::new(
+            RandomWeight::Uniform,
+            false,
+            SeedPath::root(1).rng(),
+            "Random",
+        );
+        let view = two_proc_view();
+        let counts = count_picks(&mut s, &view, 10_000);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_variants_prefer_reliable() {
+        for weight in [
+            RandomWeight::LongTimeUp,
+            RandomWeight::LikelyToWorkMore,
+            RandomWeight::OftenUp,
+            RandomWeight::RarelyDown,
+        ] {
+            let mut s =
+                RandomScheduler::new(weight, false, SeedPath::root(2).rng(), "RandomX");
+            let view = two_proc_view();
+            let counts = count_picks(&mut s, &view, 10_000);
+            assert!(
+                counts[0] > counts[1],
+                "{weight:?}: reliable {} vs flaky {}",
+                counts[0],
+                counts[1]
+            );
+        }
+    }
+
+    #[test]
+    fn speed_weighting_prefers_fast() {
+        // Same chain, different speeds: the w-variant must skew to the
+        // fast (low w) processor ~10:1.
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 1, false, 0, reliable())
+            .proc(ProcState::Up, 10, false, 0, reliable())
+            .build();
+        let mut s = RandomScheduler::new(
+            RandomWeight::LongTimeUp,
+            true,
+            SeedPath::root(3).rng(),
+            "Random1w",
+        );
+        let counts = count_picks(&mut s, &view, 11_000);
+        let ratio = counts[0] as f64 / counts[1].max(1) as f64;
+        assert!((8.0..12.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn only_up_processors_are_chosen() {
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Down, 1, false, 0, reliable())
+            .proc(ProcState::Up, 1, false, 0, flaky())
+            .proc(ProcState::Reclaimed, 1, false, 0, reliable())
+            .build();
+        let mut s = RandomScheduler::new(
+            RandomWeight::Uniform,
+            false,
+            SeedPath::root(4).rng(),
+            "Random",
+        );
+        for id in s.place(&view, 100) {
+            assert_eq!(id.idx(), 1);
+        }
+    }
+
+    #[test]
+    fn no_up_processors_places_nothing() {
+        let view = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Down, 1, false, 0, reliable())
+            .build();
+        let mut s = RandomScheduler::new(
+            RandomWeight::Uniform,
+            false,
+            SeedPath::root(5).rng(),
+            "Random",
+        );
+        assert!(s.place(&view, 3).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let view = two_proc_view();
+        let run = |seed| {
+            let mut s = RandomScheduler::new(
+                RandomWeight::OftenUp,
+                false,
+                SeedPath::root(seed).rng(),
+                "Random3",
+            );
+            s.place(&view, 50)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed-weighted variants")]
+    fn uniform_with_speed_weighting_rejected() {
+        let _ = RandomScheduler::new(
+            RandomWeight::Uniform,
+            true,
+            SeedPath::root(1).rng(),
+            "bogus",
+        );
+    }
+}

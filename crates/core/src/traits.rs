@@ -1,0 +1,29 @@
+//! The scheduler interface.
+
+use crate::view::SchedView;
+use vg_platform::ProcessorId;
+
+/// An on-line scheduling heuristic (Section 6).
+///
+/// Once per slot the simulator presents the current [`SchedView`] and the
+/// number of task instances that need placement (the `m − m′` unstarted
+/// tasks of the running iteration, or a batch of replicas). The heuristic
+/// returns, in placement order, the processor chosen for each instance;
+/// placement order doubles as bandwidth priority among *new* transfers.
+///
+/// Contracts:
+///
+/// * only `UP` processors may be returned (the paper's heuristics all
+///   require the target to be `UP`);
+/// * the result may be shorter than `count` — e.g. when no processor is
+///   `UP` — and the unplaced instances simply retry at the next slot;
+/// * implementations must be deterministic functions of `(view, count)` and
+///   their own internal RNG stream, never of wall-clock or global state, so
+///   that experiment runs are exactly reproducible.
+pub trait Scheduler: Send {
+    /// Human-readable name; matches the paper's tables (`"EMCT*"`, …).
+    fn name(&self) -> &str;
+
+    /// Chooses a processor for each of `count` task instances.
+    fn place(&mut self, view: &SchedView, count: usize) -> Vec<ProcessorId>;
+}

@@ -1,0 +1,143 @@
+//! What a scheduler is allowed to see.
+//!
+//! The master observes processor states through heartbeats (Section 3.2) and
+//! knows the static platform description plus, under the Markov assumption,
+//! each processor's transition matrix. Everything a heuristic may consult is
+//! collected into a [`SchedView`] built fresh by the simulator at every slot;
+//! heuristics cannot reach into the engine, which keeps the
+//! information-hygiene of the on-line problem honest (no peeking at future
+//! states).
+
+use vg_des::SlotSpan;
+use vg_markov::availability::{AvailabilityChain, ChainStats, ProcState};
+use vg_platform::ProcessorId;
+
+/// Per-processor snapshot at the current slot.
+#[derive(Debug, Clone)]
+pub struct ProcSnapshot {
+    /// Which processor this is.
+    pub id: ProcessorId,
+    /// Observed state for the current slot.
+    pub state: ProcState,
+    /// `w_q`: UP-slots needed per task.
+    pub w: SlotSpan,
+    /// Whether the processor currently holds a complete copy of the program.
+    pub has_program: bool,
+    /// `Delay(q)` (Section 6.3.1): estimated slots until the processor has
+    /// finished its current activities — remaining program transfer, pinned
+    /// data transfers and pinned computations — assuming it stays `UP` and
+    /// suffers no contention (\[D8\] in DESIGN.md).
+    pub delay: SlotSpan,
+    /// Precomputed statistics of the availability chain the scheduler
+    /// *believes* describes this processor (the truth in the paper's
+    /// experiments; an estimate in the model-misspecification studies).
+    pub chain: ChainStats,
+}
+
+/// Scheduler-visible state of the whole platform at one slot.
+#[derive(Debug, Clone)]
+pub struct SchedView {
+    /// One snapshot per processor, indexed by `ProcessorId::idx()`.
+    pub procs: Vec<ProcSnapshot>,
+    /// `T_prog`: slots to transfer the program.
+    pub t_prog: SlotSpan,
+    /// `T_data`: slots to transfer one task's input.
+    pub t_data: SlotSpan,
+    /// `ncom`: the master's channel capacity.
+    pub ncom: usize,
+}
+
+impl SchedView {
+    /// Indices of processors in the `UP` state, in id order.
+    #[must_use]
+    pub fn up_indices(&self) -> Vec<usize> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.state.is_up())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// Builder for hand-crafted views in tests and examples.
+#[derive(Debug, Clone)]
+pub struct SchedViewBuilder {
+    view: SchedView,
+}
+
+impl SchedViewBuilder {
+    /// Starts a view with the given application/network parameters.
+    #[must_use]
+    pub fn new(t_prog: SlotSpan, t_data: SlotSpan, ncom: usize) -> Self {
+        Self {
+            view: SchedView {
+                procs: Vec::new(),
+                t_prog,
+                t_data,
+                ncom,
+            },
+        }
+    }
+
+    /// Adds a processor snapshot; ids are assigned in insertion order.
+    #[must_use]
+    pub fn proc(
+        mut self,
+        state: ProcState,
+        w: SlotSpan,
+        has_program: bool,
+        delay: SlotSpan,
+        chain: AvailabilityChain,
+    ) -> Self {
+        let id = ProcessorId(self.view.procs.len() as u32);
+        self.view.procs.push(ProcSnapshot {
+            id,
+            state,
+            w,
+            has_program,
+            delay,
+            chain: ChainStats::new(chain),
+        });
+        self
+    }
+
+    /// Finishes the view.
+    #[must_use]
+    pub fn build(self) -> SchedView {
+        self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> AvailabilityChain {
+        AvailabilityChain::new([
+            [0.95, 0.03, 0.02],
+            [0.30, 0.65, 0.05],
+            [0.10, 0.10, 0.80],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn up_indices_filters_and_orders() {
+        let v = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 1, false, 0, chain())
+            .proc(ProcState::Down, 1, false, 0, chain())
+            .proc(ProcState::Up, 2, true, 3, chain())
+            .proc(ProcState::Reclaimed, 2, true, 3, chain())
+            .build();
+        assert_eq!(v.up_indices(), vec![0, 2]);
+        assert_eq!(v.p(), 4);
+        assert_eq!(v.procs[2].id, ProcessorId(2));
+    }
+}

@@ -1,0 +1,246 @@
+//! Deterministic discrete-event calendar.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, sequence)` where the
+//! sequence number makes pop order *stable*: events scheduled earlier pop
+//! first among equals (FIFO). Determinism matters because downstream
+//! consumers drive RNG streams from event order.
+
+use crate::Slot;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Slot at which the event fires.
+    pub at: Slot,
+    /// Insertion sequence number (unique per queue).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour on (at, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue (min-heap on time, FIFO among ties).
+///
+/// ```
+/// use vg_des::calendar::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5, "b");
+/// q.schedule(3, "a");
+/// q.schedule(5, "c");
+/// assert_eq!(q.pop().map(|s| (s.at, s.event)), Some((3, "a")));
+/// assert_eq!(q.pop().map(|s| (s.at, s.event)), Some((5, "b")));
+/// assert_eq!(q.pop().map(|s| (s.at, s.event)), Some((5, "c")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Slot,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue with the clock at slot 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current clock value: the time of the last popped event (0 initially).
+    #[must_use]
+    pub fn now(&self) -> Slot {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute slot `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event), which
+    /// would indicate a causality bug in the caller.
+    pub fn schedule(&mut self, at: Slot, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` `delay` slots after the current clock.
+    pub fn schedule_in(&mut self, delay: Slot, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Time of the next event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Slot> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let next = self.heap.pop()?;
+        self.now = next.at;
+        Some(next)
+    }
+
+    /// Pops all events that fire at the same (earliest) slot, in FIFO order.
+    pub fn pop_simultaneous(&mut self) -> Vec<Scheduled<E>> {
+        let Some(t) = self.peek_time() else {
+            return Vec::new();
+        };
+        let mut batch = Vec::new();
+        while self.peek_time() == Some(t) {
+            batch.push(self.pop().expect("peeked"));
+        }
+        batch
+    }
+
+    /// Drops every pending event satisfying the predicate; returns how many
+    /// were removed. O(n) — intended for infrequent cancellation.
+    pub fn cancel_where(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<Scheduled<E>> = self
+            .heap
+            .drain()
+            .filter(|s| !pred(&s.event))
+            .collect();
+        self.heap = kept.into_iter().collect();
+        before - self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 'x');
+        q.schedule(2, 'y');
+        q.schedule(7, 'z');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!['y', 'z', 'x']);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(1, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(4, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.pop();
+        q.schedule(3, ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 'a');
+        q.pop();
+        q.schedule_in(2, 'b');
+        let e = q.pop().unwrap();
+        assert_eq!((e.at, e.event), (7, 'b'));
+    }
+
+    #[test]
+    fn pop_simultaneous_takes_whole_batch() {
+        let mut q = EventQueue::new();
+        q.schedule(3, 'a');
+        q.schedule(3, 'b');
+        q.schedule(4, 'c');
+        let batch: Vec<char> = q.pop_simultaneous().into_iter().map(|s| s.event).collect();
+        assert_eq!(batch, vec!['a', 'b']);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_simultaneous_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop_simultaneous().is_empty());
+    }
+
+    #[test]
+    fn cancel_where_removes_matching() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule(u64::from(i), i);
+        }
+        let removed = q.cancel_where(|&e| e % 2 == 0);
+        assert_eq!(removed, 5);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn cancel_preserves_fifo_order_among_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(1, 10u32);
+        q.schedule(1, 11);
+        q.schedule(1, 12);
+        q.cancel_where(|&e| e == 11);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![10, 12]);
+    }
+}

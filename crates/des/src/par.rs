@@ -1,0 +1,271 @@
+//! Scoped work-stealing-lite thread pool for experiment fan-out.
+//!
+//! The evaluation campaign of the paper runs hundreds of thousands of
+//! *independent* simulation instances (Section 7: 296,400). Each instance is
+//! single-threaded and deterministic; only the fan-out is parallel. This
+//! module provides an order-preserving [`par_map`] built on
+//! [`std::thread::scope`] and a shared atomic work index — no unsafe code, no
+//! global pool, no dependency on rayon.
+//!
+//! Work items are pulled one at a time from a shared counter, which balances
+//! load well when item costs vary by orders of magnitude (long makespans on
+//! unlucky availability draws).
+
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads to use for a parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum ParallelismConfig {
+    /// Use `std::thread::available_parallelism()` (min 1).
+    #[default]
+    Auto,
+    /// Use exactly this many threads.
+    Fixed(NonZeroUsize),
+    /// Run everything on the calling thread (useful for debugging and for
+    /// getting clean backtraces out of a failing instance).
+    Sequential,
+}
+
+
+impl ParallelismConfig {
+    /// Resolves to a concrete thread count (≥ 1).
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self {
+            Self::Auto => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            Self::Fixed(n) => n.get(),
+            Self::Sequential => 1,
+        }
+    }
+
+    /// Builds a fixed configuration, clamping 0 to sequential.
+    #[must_use]
+    pub fn fixed(n: usize) -> Self {
+        NonZeroUsize::new(n).map_or(Self::Sequential, Self::Fixed)
+    }
+}
+
+/// Applies `f` to every item of `items`, in parallel, returning outputs in
+/// input order.
+///
+/// `f` must be `Sync` (it is shared by reference across workers); items are
+/// taken by reference. Panics in workers are propagated to the caller after
+/// the scope joins (the first panic wins).
+///
+/// ```
+/// use vg_des::par::{par_map, ParallelismConfig};
+///
+/// let xs: Vec<u64> = (0..100).collect();
+/// let ys = par_map(&xs, ParallelismConfig::Auto, |&x| x * x);
+/// assert_eq!(ys[7], 49);
+/// assert_eq!(ys.len(), 100);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], cfg: ParallelismConfig, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = cfg.threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    // Each completed result is written to its own slot; the mutex only guards
+    // the brief write (contention is negligible next to item cost).
+    let results = Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed every claimed slot"))
+        .collect()
+}
+
+/// Like [`par_map`] but for side-effecting work; preserves nothing.
+pub fn par_for_each<T, F>(items: &[T], cfg: ParallelismConfig, f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    let threads = cfg.threads().min(items.len().max(1));
+    if threads <= 1 {
+        items.iter().for_each(&f);
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                f(&items[i]);
+            });
+        }
+    });
+}
+
+/// Fold results of a parallel map without materializing the mapped vector:
+/// each thread folds locally with `fold`, locals are combined with `combine`.
+///
+/// `init` must produce an identity for `combine`. The combination order is
+/// unspecified, so `combine` should be associative and commutative (e.g.
+/// statistics merge, sum, max).
+pub fn par_fold<T, A, F, G, I>(items: &[T], cfg: ParallelismConfig, init: I, fold: F, combine: G) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    G: Fn(A, A) -> A,
+{
+    let threads = cfg.threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().fold(init(), &fold);
+    }
+    let next = AtomicUsize::new(0);
+    let locals: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut acc = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    acc = fold(acc, &items[i]);
+                }
+                locals.lock().push(acc);
+            });
+        }
+    });
+    locals
+        .into_inner()
+        .into_iter()
+        .fold(init(), combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let ys = par_map(&xs, ParallelismConfig::fixed(4), |&x| x + 1);
+        assert_eq!(ys, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let xs: Vec<u64> = (0..257).collect();
+        let seq = par_map(&xs, ParallelismConfig::Sequential, |&x| x * 3);
+        let par = par_map(&xs, ParallelismConfig::fixed(8), |&x| x * 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let xs: Vec<u32> = vec![];
+        let ys = par_map(&xs, ParallelismConfig::Auto, |&x| x);
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_item() {
+        let ys = par_map(&[41], ParallelismConfig::fixed(16), |&x| x + 1);
+        assert_eq!(ys, vec![42]);
+    }
+
+    #[test]
+    fn par_map_uneven_costs_balance() {
+        // Items with wildly varying cost still all complete.
+        let xs: Vec<u64> = (0..64).collect();
+        let ys = par_map(&xs, ParallelismConfig::fixed(4), |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(ys, xs);
+    }
+
+    #[test]
+    fn par_for_each_visits_everything() {
+        use std::sync::atomic::AtomicU64;
+        let sum = AtomicU64::new(0);
+        let xs: Vec<u64> = (1..=100).collect();
+        par_for_each(&xs, ParallelismConfig::fixed(3), |&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn par_fold_merges_statistics() {
+        let xs: Vec<f64> = (0..10_000).map(f64::from).collect();
+        let par = par_fold(
+            &xs,
+            ParallelismConfig::fixed(7),
+            OnlineStats::new,
+            |mut acc, &x| {
+                acc.push(x);
+                acc
+            },
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        );
+        let mut seq = OnlineStats::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        assert_eq!(par.count(), seq.count());
+        assert!((par.mean() - seq.mean()).abs() < 1e-9);
+        assert!((par.variance() - seq.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallelism_config_resolution() {
+        assert_eq!(ParallelismConfig::Sequential.threads(), 1);
+        assert_eq!(ParallelismConfig::fixed(5).threads(), 5);
+        assert_eq!(ParallelismConfig::fixed(0).threads(), 1);
+        assert!(ParallelismConfig::Auto.threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<u32> = (0..16).collect();
+            par_map(&xs, ParallelismConfig::fixed(2), |&x| {
+                assert!(x != 7, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

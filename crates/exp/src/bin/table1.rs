@@ -1,0 +1,68 @@
+//! Regenerates **Table 1**: the experimental parameter grid, plus one fully
+//! sampled scenario so the derived quantities are visible.
+//!
+//! ```text
+//! cargo run -p vg-exp --release --bin table1
+//! ```
+
+use vg_des::rng::SeedPath;
+use vg_exp::report::text_table;
+use vg_exp::scenario::{make_scenario, ScenarioParams};
+
+fn main() {
+    println!("Table 1: parameter values for the Markov experiments\n");
+    let rows = vec![
+        vec!["p".to_string(), "20".to_string()],
+        vec!["n".to_string(), "5, 10, 20, 40".to_string()],
+        vec!["ncom".to_string(), "5, 10, 20".to_string()],
+        vec!["wmin".to_string(), "1..=10".to_string()],
+        vec!["P(x,x)".to_string(), "U[0.90, 0.99]".to_string()],
+        vec!["P(x,y)".to_string(), "(1 - P(x,x)) / 2".to_string()],
+        vec!["w_q".to_string(), "U[wmin, 10*wmin]".to_string()],
+        vec!["T_data".to_string(), "wmin".to_string()],
+        vec!["T_prog".to_string(), "5*wmin".to_string()],
+        vec!["iterations".to_string(), "10".to_string()],
+    ];
+    println!("{}", text_table(&["parameter", "values"], &rows));
+
+    let grid = ScenarioParams::table1_grid();
+    println!("grid cells: {} (4 x 3 x 10)\n", grid.len());
+
+    let params = ScenarioParams::paper(10, 5, 2);
+    let s = make_scenario(params, SeedPath::root(42).child_str("scenario"));
+    println!(
+        "sample scenario (n={}, ncom={}, wmin={}): T_prog={}, T_data={}",
+        params.n_tasks,
+        params.ncom,
+        params.wmin,
+        s.app.t_prog,
+        s.app.t_data
+    );
+    let rows: Vec<Vec<String>> = s
+        .platform
+        .processors
+        .iter()
+        .enumerate()
+        .map(|(q, pc)| {
+            let c = pc.believed_chain();
+            let pi = c.stationary();
+            vec![
+                format!("P{q}"),
+                format!("{}", pc.spec.w),
+                format!("{:.3}", c.p_uu()),
+                format!("{:.3}", c.p_rr()),
+                format!("{:.3}", c.raw()[2][2]),
+                format!("{:.3}", pi[0]),
+                format!("{:.4}", c.p_plus()),
+                format!("{:.2}", c.e_w(pc.spec.w)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["proc", "w", "P(u,u)", "P(r,r)", "P(d,d)", "pi_u", "P+", "E(w)"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,344 @@
+//! Campaign runner: degradation-from-best over scenario grids.
+//!
+//! The paper's quality metric (Section 7): for each problem instance
+//! (scenario × trial), run every heuristic against *identical* availability
+//! (common random numbers), take the best makespan, and charge each
+//! heuristic its percentage excess over that best — the *degradation from
+//! best* (dfb). A heuristic "wins" an instance when it attains (or ties) the
+//! best makespan. Averaging dfb over instances and counting wins yields
+//! Table 2; slicing by `wmin` yields Figure 2; the contention-prone cells
+//! yield Table 3.
+
+use vg_core::HeuristicKind;
+use vg_des::par::{par_map, ParallelismConfig};
+use vg_des::rng::SeedPath;
+use vg_des::stats::OnlineStats;
+use vg_des::Slot;
+use vg_sim::{SimOptions, Simulation};
+
+use crate::scenario::{make_scenario, Scenario, ScenarioParams};
+
+/// Campaign-wide settings.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Heuristics to compare.
+    pub heuristics: Vec<HeuristicKind>,
+    /// Random scenarios per grid cell (the paper uses 247).
+    pub scenarios_per_cell: usize,
+    /// Trials (trace re-seeds) per scenario (the paper uses 10).
+    pub trials: u64,
+    /// Master seed; everything derives from it.
+    pub master_seed: u64,
+    /// Fan-out across cores.
+    pub parallelism: ParallelismConfig,
+    /// Engine options (slot cap, replication).
+    pub sim: SimOptions,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            heuristics: HeuristicKind::ALL.to_vec(),
+            scenarios_per_cell: 8,
+            trials: 2,
+            master_seed: 42,
+            parallelism: ParallelismConfig::Auto,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// One unit of work: a scenario × trial, run under every heuristic.
+#[derive(Debug, Clone, Copy)]
+struct WorkUnit {
+    cell: usize,
+    scenario: usize,
+    trial: u64,
+}
+
+/// Makespans of all heuristics on one instance (same order as config).
+#[derive(Debug, Clone)]
+pub struct InstanceOutcome {
+    /// Which grid cell the instance belongs to.
+    pub cell: usize,
+    /// Makespan (or slot cap) per heuristic.
+    pub makespans: Vec<Slot>,
+}
+
+/// Aggregated per-heuristic results.
+#[derive(Debug, Clone)]
+pub struct HeuristicSummary {
+    /// The heuristic.
+    pub kind: HeuristicKind,
+    /// dfb percentage statistics over all instances.
+    pub dfb: OnlineStats,
+    /// Number of instances where this heuristic was (or tied) the best.
+    pub wins: u64,
+}
+
+/// Full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The grid that was run.
+    pub cells: Vec<ScenarioParams>,
+    /// Heuristic order used throughout.
+    pub heuristics: Vec<HeuristicKind>,
+    /// Per-instance outcomes (cell index + makespans).
+    pub outcomes: Vec<InstanceOutcome>,
+    /// Total instances run.
+    pub instances: usize,
+}
+
+impl CampaignResult {
+    /// Per-heuristic dfb/wins over all instances (Table 2).
+    #[must_use]
+    pub fn summarize(&self) -> Vec<HeuristicSummary> {
+        self.summarize_filtered(|_| true)
+    }
+
+    /// Per-heuristic dfb/wins over instances whose cell passes `keep` —
+    /// e.g. `|c| c.wmin == 3` for one Figure-2 point.
+    #[must_use]
+    pub fn summarize_filtered(&self, keep: impl Fn(&ScenarioParams) -> bool) -> Vec<HeuristicSummary> {
+        let mut stats: Vec<(OnlineStats, u64)> =
+            vec![(OnlineStats::new(), 0); self.heuristics.len()];
+        for outcome in &self.outcomes {
+            if !keep(&self.cells[outcome.cell]) {
+                continue;
+            }
+            let best = *outcome
+                .makespans
+                .iter()
+                .min()
+                .expect("at least one heuristic");
+            debug_assert!(best > 0);
+            for (h, &mk) in outcome.makespans.iter().enumerate() {
+                let dfb = 100.0 * (mk - best) as f64 / best as f64;
+                stats[h].0.push(dfb);
+                if mk == best {
+                    stats[h].1 += 1;
+                }
+            }
+        }
+        let mut out: Vec<HeuristicSummary> = self
+            .heuristics
+            .iter()
+            .zip(stats)
+            .map(|(&kind, (dfb, wins))| HeuristicSummary { kind, dfb, wins })
+            .collect();
+        out.sort_by(|a, b| {
+            a.dfb
+                .mean()
+                .partial_cmp(&b.dfb.mean())
+                .expect("dfb is finite")
+        });
+        out
+    }
+
+    /// Figure-2 series: mean dfb per `wmin` value for each heuristic, in the
+    /// heuristic order of `kinds`. Returns `(wmins, series)` where
+    /// `series[k][i]` is heuristic `k`'s mean dfb at `wmins[i]`.
+    #[must_use]
+    pub fn by_wmin(&self, kinds: &[HeuristicKind]) -> (Vec<u64>, Vec<Vec<f64>>) {
+        let mut wmins: Vec<u64> = self.cells.iter().map(|c| c.wmin).collect();
+        wmins.sort_unstable();
+        wmins.dedup();
+        let mut series = vec![Vec::with_capacity(wmins.len()); kinds.len()];
+        for &wmin in &wmins {
+            let summaries = self.summarize_filtered(|c| c.wmin == wmin);
+            for (k, &kind) in kinds.iter().enumerate() {
+                let s = summaries
+                    .iter()
+                    .find(|s| s.kind == kind)
+                    .expect("kind was part of the campaign");
+                series[k].push(s.dfb.mean());
+            }
+        }
+        (wmins, series)
+    }
+}
+
+/// Runs one instance: every heuristic on byte-identical availability.
+///
+/// Returns makespans in heuristic order (slot cap when incomplete).
+#[must_use]
+pub fn run_instance(
+    scenario: &Scenario,
+    heuristics: &[HeuristicKind],
+    master_seed: u64,
+    cell: usize,
+    scenario_idx: usize,
+    trial: u64,
+    sim: SimOptions,
+) -> Vec<Slot> {
+    let root = SeedPath::root(master_seed);
+    // Trace seeds depend only on (cell, scenario, trial, processor): every
+    // heuristic sees identical availability.
+    let trace_path = root
+        .child_str("trace")
+        .child(cell as u64)
+        .child(scenario_idx as u64)
+        .child(trial);
+    heuristics
+        .iter()
+        .enumerate()
+        .map(|(h, kind)| {
+            let sched_rng = root
+                .child_str("sched")
+                .child(cell as u64)
+                .child(scenario_idx as u64)
+                .child(trial)
+                .child(h as u64)
+                .rng();
+            let report = Simulation::run_seeded(
+                &scenario.platform,
+                &scenario.app,
+                kind.build(sched_rng),
+                trace_path,
+                sim,
+            )
+            .expect("scenario configs validate");
+            report.makespan_or_cap()
+        })
+        .collect()
+}
+
+/// Runs a campaign over `cells`.
+#[must_use]
+pub fn run_campaign(cells: &[ScenarioParams], cfg: &CampaignConfig) -> CampaignResult {
+    let mut units = Vec::with_capacity(cells.len() * cfg.scenarios_per_cell * cfg.trials as usize);
+    for cell in 0..cells.len() {
+        for scenario in 0..cfg.scenarios_per_cell {
+            for trial in 0..cfg.trials {
+                units.push(WorkUnit {
+                    cell,
+                    scenario,
+                    trial,
+                });
+            }
+        }
+    }
+    let root = SeedPath::root(cfg.master_seed);
+    let outcomes: Vec<InstanceOutcome> = par_map(&units, cfg.parallelism, |unit| {
+        let scenario_seed = root
+            .child_str("scenario")
+            .child(unit.cell as u64)
+            .child(unit.scenario as u64);
+        let scenario = make_scenario(cells[unit.cell], scenario_seed);
+        let makespans = run_instance(
+            &scenario,
+            &cfg.heuristics,
+            cfg.master_seed,
+            unit.cell,
+            unit.scenario,
+            unit.trial,
+            cfg.sim,
+        );
+        InstanceOutcome {
+            cell: unit.cell,
+            makespans,
+        }
+    });
+    CampaignResult {
+        cells: cells.to_vec(),
+        heuristics: cfg.heuristics.clone(),
+        outcomes,
+        instances: units.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(heuristics: Vec<HeuristicKind>) -> CampaignConfig {
+        CampaignConfig {
+            heuristics,
+            scenarios_per_cell: 2,
+            trials: 1,
+            master_seed: 7,
+            parallelism: ParallelismConfig::Sequential,
+            sim: SimOptions {
+                max_slots: 200_000,
+                ..SimOptions::default()
+            },
+        }
+    }
+
+    fn tiny_cells() -> Vec<ScenarioParams> {
+        vec![
+            ScenarioParams {
+                p: 6,
+                ..ScenarioParams::paper(5, 5, 1)
+            },
+            ScenarioParams {
+                p: 6,
+                ..ScenarioParams::paper(5, 5, 3)
+            },
+        ]
+    }
+
+    #[test]
+    fn campaign_runs_and_aggregates() {
+        let cfg = tiny_config(vec![HeuristicKind::Mct, HeuristicKind::Emct, HeuristicKind::Random]);
+        let result = run_campaign(&tiny_cells(), &cfg);
+        assert_eq!(result.instances, 4);
+        assert_eq!(result.outcomes.len(), 4);
+        let summaries = result.summarize();
+        assert_eq!(summaries.len(), 3);
+        // Every instance has at least one winner; ties allowed.
+        let total_wins: u64 = summaries.iter().map(|s| s.wins).sum();
+        assert!(total_wins >= 4);
+        // The best heuristic has dfb mean 0 only if it always wins; all
+        // dfbs are non-negative.
+        for s in &summaries {
+            assert!(s.dfb.mean() >= 0.0, "{}: {}", s.kind, s.dfb.mean());
+            assert_eq!(s.dfb.count(), 4);
+        }
+        // Sorted ascending by mean dfb.
+        for pair in summaries.windows(2) {
+            assert!(pair[0].dfb.mean() <= pair[1].dfb.mean());
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = tiny_config(vec![HeuristicKind::Mct, HeuristicKind::Lw]);
+        let a = run_campaign(&tiny_cells(), &cfg);
+        let b = run_campaign(&tiny_cells(), &cfg);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.makespans, y.makespans);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut cfg = tiny_config(vec![HeuristicKind::Mct, HeuristicKind::Ud]);
+        let seq = run_campaign(&tiny_cells(), &cfg);
+        cfg.parallelism = ParallelismConfig::fixed(4);
+        let par = run_campaign(&tiny_cells(), &cfg);
+        for (x, y) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(x.makespans, y.makespans);
+        }
+    }
+
+    #[test]
+    fn by_wmin_produces_one_point_per_value() {
+        let cfg = tiny_config(vec![HeuristicKind::Mct, HeuristicKind::Emct]);
+        let result = run_campaign(&tiny_cells(), &cfg);
+        let (wmins, series) = result.by_wmin(&[HeuristicKind::Mct, HeuristicKind::Emct]);
+        assert_eq!(wmins, vec![1, 3]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].len(), 2);
+    }
+
+    #[test]
+    fn filtered_summary_restricts_instances() {
+        let cfg = tiny_config(vec![HeuristicKind::Mct]);
+        let result = run_campaign(&tiny_cells(), &cfg);
+        let all = result.summarize();
+        let only_w1 = result.summarize_filtered(|c| c.wmin == 1);
+        assert_eq!(all[0].dfb.count(), 4);
+        assert_eq!(only_w1[0].dfb.count(), 2);
+    }
+}

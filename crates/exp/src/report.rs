@@ -1,0 +1,197 @@
+//! Terminal-friendly report rendering: aligned tables, CSV, ASCII plots.
+
+use crate::campaign::HeuristicSummary;
+
+/// Renders an aligned text table. `headers.len()` must match every row.
+#[must_use]
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i] - cell.chars().count();
+            // Right-align numbers-ish cells, left-align the first column.
+            if i == 0 {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    };
+    render_row(
+        &headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &mut out);
+    }
+    out
+}
+
+/// Renders the Table-2-style summary (heuristic, average dfb ± 95% CI half
+/// width, wins).
+#[must_use]
+pub fn summary_table(summaries: &[HeuristicSummary]) -> String {
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.kind.name().to_string(),
+                format!("{:.2}", s.dfb.mean()),
+                format!("±{:.2}", s.dfb.confidence_interval(0.95).half_width()),
+                format!("{}", s.wins),
+            ]
+        })
+        .collect();
+    text_table(&["Algorithm", "Average dfb", "95% CI", "#wins"], &rows)
+}
+
+/// CSV rendering with a header row.
+#[must_use]
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Plots series as ASCII (x = category index, y = value). Each series gets a
+/// distinct glyph; collisions show the later glyph.
+#[must_use]
+pub fn ascii_plot(
+    x_labels: &[String],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(height >= 2 && width >= 8);
+    const GLYPHS: [char; 8] = ['o', '*', '+', 'x', '#', '@', '%', '&'];
+    let y_max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
+    let y_min = 0.0;
+    let n = x_labels.len().max(2);
+    let mut grid = vec![vec![' '; width]; height];
+    for (s, (_, ys)) in series.iter().enumerate() {
+        let glyph = GLYPHS[s % GLYPHS.len()];
+        for (i, &y) in ys.iter().enumerate() {
+            let gx = i * (width - 1) / (n - 1);
+            let frac = ((y - y_min) / (y_max - y_min)).clamp(0.0, 1.0);
+            let gy = height - 1 - (frac * (height - 1) as f64).round() as usize;
+            grid[gy][gx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_val:>8.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    // X labels, spread across the width.
+    let mut label_line = vec![' '; width + 10];
+    for (i, lab) in x_labels.iter().enumerate() {
+        let gx = 10 + i * (width - 1) / (n - 1);
+        for (k, ch) in lab.chars().enumerate() {
+            if gx + k < label_line.len() {
+                label_line[gx + k] = ch;
+            }
+        }
+    }
+    out.extend(label_line.iter());
+    out.push('\n');
+    // Legend.
+    for (s, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[s % GLYPHS.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_core::HeuristicKind;
+    use vg_des::stats::OnlineStats;
+
+    #[test]
+    fn text_table_aligns() {
+        let t = text_table(
+            &["Name", "Value"],
+            &[
+                vec!["short".into(), "1".into()],
+                vec!["a-much-longer-name".into(), "123".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[3].contains("123"));
+        // All rows same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = text_table(&["A", "B"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn summary_table_contains_names() {
+        let mut dfb = OnlineStats::new();
+        dfb.push(4.5);
+        let s = summary_table(&[HeuristicSummary {
+            kind: HeuristicKind::EmctStar,
+            dfb,
+            wins: 12,
+        }]);
+        assert!(s.contains("EMCT*"));
+        assert!(s.contains("4.50"));
+        assert!(s.contains("12"));
+        assert!(s.contains("95% CI"));
+        assert!(s.contains('±'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let out = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn ascii_plot_renders_points_and_legend() {
+        let plot = ascii_plot(
+            &["1".into(), "2".into(), "3".into()],
+            &[("mct", vec![1.0, 2.0, 3.0]), ("emct", vec![3.0, 2.0, 1.0])],
+            40,
+            10,
+        );
+        assert!(plot.contains('o'));
+        assert!(plot.contains('*'));
+        assert!(plot.contains("mct"));
+        assert!(plot.contains("emct"));
+    }
+}

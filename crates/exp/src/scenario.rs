@@ -1,0 +1,190 @@
+//! Experimental-scenario generation (Section 7, Table 1).
+//!
+//! A scenario fixes the platform and application of one experiment cell:
+//! `p = 20` processors whose Markov chains draw their self-loop
+//! probabilities uniformly from `[0.90, 0.99]` (exits split evenly), task
+//! costs `w_q ~ U[wmin, 10·wmin]`, `T_data = wmin`, `T_prog = 5·wmin`, and
+//! 10 iterations of `n` tasks. The grid sweeps `n ∈ {5,10,20,40}`,
+//! `ncom ∈ {5,10,20}`, `wmin ∈ 1..=10`. Table 3's contention-prone variants
+//! scale both communication times by 5 or 10.
+
+use serde::{Deserialize, Serialize};
+use vg_des::rng::SeedPath;
+use vg_des::SlotSpan;
+use vg_markov::availability::AvailabilityChain;
+use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig, StartPolicy};
+
+/// Parameters of one experiment cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Processors (`p`; the paper fixes 20).
+    pub p: usize,
+    /// Tasks per iteration (`n` in Table 1).
+    pub n_tasks: usize,
+    /// Master channel bound.
+    pub ncom: usize,
+    /// Base time unit: fastest-possible task cost.
+    pub wmin: SlotSpan,
+    /// Multiplier on both communication times (1 = base grid; 5 and 10 are
+    /// the Table-3 contention-prone settings).
+    pub comm_scale: SlotSpan,
+    /// Iterations to complete (the paper fixes 10).
+    pub iterations: u64,
+    /// Lower bound of the self-loop probability draw.
+    pub diag_lo: f64,
+    /// Upper bound of the self-loop probability draw.
+    pub diag_hi: f64,
+}
+
+impl ScenarioParams {
+    /// Paper defaults for a given `(n, ncom, wmin)` cell.
+    #[must_use]
+    pub fn paper(n_tasks: usize, ncom: usize, wmin: SlotSpan) -> Self {
+        Self {
+            p: 20,
+            n_tasks,
+            ncom,
+            wmin,
+            comm_scale: 1,
+            iterations: 10,
+            diag_lo: 0.90,
+            diag_hi: 0.99,
+        }
+    }
+
+    /// `T_data = comm_scale · wmin`.
+    #[must_use]
+    pub fn t_data(&self) -> SlotSpan {
+        self.comm_scale * self.wmin
+    }
+
+    /// `T_prog = 5 · comm_scale · wmin`.
+    #[must_use]
+    pub fn t_prog(&self) -> SlotSpan {
+        5 * self.comm_scale * self.wmin
+    }
+
+    /// The full Table-1 grid: `n × ncom × wmin` = 4·3·10 = 120 cells.
+    #[must_use]
+    pub fn table1_grid() -> Vec<ScenarioParams> {
+        let mut grid = Vec::with_capacity(120);
+        for &n in &[5usize, 10, 20, 40] {
+            for &ncom in &[5usize, 10, 20] {
+                for wmin in 1..=10 {
+                    grid.push(Self::paper(n, ncom, wmin));
+                }
+            }
+        }
+        grid
+    }
+
+    /// The Table-3 contention-prone cell: `n = 20`, `ncom = 5`, `wmin = 1`
+    /// with communications scaled by `scale` (the paper uses 5 and 10).
+    #[must_use]
+    pub fn contention_prone(scale: SlotSpan) -> Self {
+        Self {
+            comm_scale: scale,
+            ..Self::paper(20, 5, 1)
+        }
+    }
+}
+
+/// A fully instantiated scenario (sampled platform + application).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generating parameters.
+    pub params: ScenarioParams,
+    /// The sampled platform: chains and speeds.
+    pub platform: PlatformConfig,
+    /// The application derived from the parameters.
+    pub app: AppConfig,
+}
+
+/// Samples a scenario. All randomness derives from `seed`, so a scenario is
+/// reproducible from `(params, seed)` alone.
+#[must_use]
+pub fn make_scenario(params: ScenarioParams, seed: SeedPath) -> Scenario {
+    let mut rng = seed.rng();
+    let processors = (0..params.p)
+        .map(|_| {
+            let chain = AvailabilityChain::sample_paper(&mut rng, params.diag_lo, params.diag_hi);
+            let w = rng.u64_range_inclusive(params.wmin, 10 * params.wmin);
+            ProcessorConfig::markov(w, chain, StartPolicy::Up)
+        })
+        .collect();
+    Scenario {
+        params,
+        platform: PlatformConfig {
+            processors,
+            ncom: params.ncom,
+        },
+        app: AppConfig {
+            tasks_per_iteration: params.n_tasks,
+            iterations: params.iterations,
+            t_prog: params.t_prog(),
+            t_data: params.t_data(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_120_cells() {
+        let grid = ScenarioParams::table1_grid();
+        assert_eq!(grid.len(), 120);
+        assert!(grid.iter().all(|c| c.p == 20 && c.iterations == 10));
+        // Spot-check corners.
+        assert_eq!((grid[0].n_tasks, grid[0].ncom, grid[0].wmin), (5, 5, 1));
+        let last = grid.last().unwrap();
+        assert_eq!((last.n_tasks, last.ncom, last.wmin), (40, 20, 10));
+    }
+
+    #[test]
+    fn communication_times_follow_the_paper() {
+        let base = ScenarioParams::paper(20, 5, 3);
+        assert_eq!(base.t_data(), 3);
+        assert_eq!(base.t_prog(), 15);
+        let prone = ScenarioParams::contention_prone(5);
+        assert_eq!(prone.t_data(), 5);
+        assert_eq!(prone.t_prog(), 25);
+        assert_eq!((prone.n_tasks, prone.ncom, prone.wmin), (20, 5, 1));
+    }
+
+    #[test]
+    fn scenario_is_reproducible() {
+        let params = ScenarioParams::paper(10, 5, 2);
+        let a = make_scenario(params, SeedPath::root(7).child(1));
+        let b = make_scenario(params, SeedPath::root(7).child(1));
+        assert_eq!(a.platform, b.platform);
+        assert_eq!(a.app, b.app);
+        let c = make_scenario(params, SeedPath::root(7).child(2));
+        assert_ne!(a.platform, c.platform);
+    }
+
+    #[test]
+    fn sampled_speeds_in_range() {
+        let params = ScenarioParams::paper(5, 5, 4);
+        let s = make_scenario(params, SeedPath::root(3));
+        assert_eq!(s.platform.p(), 20);
+        for pc in &s.platform.processors {
+            assert!((4..=40).contains(&pc.spec.w), "w = {}", pc.spec.w);
+        }
+        assert!(s.platform.validate().is_ok());
+        assert!(s.app.validate().is_ok());
+    }
+
+    #[test]
+    fn sampled_chains_have_paper_diagonals() {
+        let params = ScenarioParams::paper(5, 5, 1);
+        let s = make_scenario(params, SeedPath::root(9));
+        for pc in &s.platform.processors {
+            let chain = pc.believed_chain();
+            for i in 0..3 {
+                assert!((0.90..=0.99).contains(&chain.raw()[i][i]));
+            }
+        }
+    }
+}

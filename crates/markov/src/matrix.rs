@@ -1,0 +1,357 @@
+//! Small dense square matrices over `f64`.
+//!
+//! Sized for Markov chains with a handful of states (the paper's chains have
+//! three). Provides multiplication, powers, Gaussian elimination with partial
+//! pivoting, and inversion — enough to compute stationary distributions,
+//! hitting times and absorbing-chain quantities exactly, which in turn lets
+//! the test-suite verify the paper's closed-form formulas against independent
+//! linear-algebra derivations.
+
+/// Errors produced by matrix routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Dimensions do not match the operation.
+    DimensionMismatch,
+    /// The system is singular (or numerically so).
+    Singular,
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DimensionMismatch => write!(f, "matrix dimension mismatch"),
+            Self::Singular => write!(f, "singular matrix"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense `n × n` matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Zero matrix of size `n`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix size must be positive");
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from rows; every row must have length `rows.len()`.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        assert!(n > 0, "matrix size must be positive");
+        let mut m = Self::zeros(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            for (j, &x) in row.iter().enumerate() {
+                m[(i, j)] = x;
+            }
+        }
+        m
+    }
+
+    /// Matrix size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on size mismatch.
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.n, rhs.n, "size mismatch");
+        let n = self.n;
+        let mut out = Self::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "size mismatch");
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Row-vector–matrix product `v · self` (distribution step for a
+    /// row-stochastic transition matrix).
+    #[must_use]
+    pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "size mismatch");
+        (0..self.n)
+            .map(|j| (0..self.n).map(|i| v[i] * self[(i, j)]).sum())
+            .collect()
+    }
+
+    /// Matrix power by repeated squaring. `pow(0)` is the identity.
+    #[must_use]
+    pub fn pow(&self, mut e: u64) -> Self {
+        let mut result = Self::identity(self.n);
+        let mut base = self.clone();
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul(&base);
+            }
+            base = base.mul(&base);
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Entry-wise maximum absolute difference.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.n, other.n, "size mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Solves `self · x = b` by Gaussian elimination with partial pivoting.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if b.len() != self.n {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let n = self.n;
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Pivot: largest magnitude in this column at or below the diagonal.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[r1 * n + col]
+                        .abs()
+                        .partial_cmp(&a[r2 * n + col].abs())
+                        .expect("NaN in matrix")
+                })
+                .expect("non-empty range");
+            let pivot = a[pivot_row * n + col];
+            if pivot.abs() < 1e-12 {
+                return Err(MatrixError::Singular);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for j in (col + 1)..n {
+                sum -= a[col * n + j] * x[j];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via column-by-column solves.
+    pub fn inverse(&self) -> Result<Self, MatrixError> {
+        let n = self.n;
+        let mut inv = Self::zeros(n);
+        for col in 0..n {
+            let mut e = vec![0.0; n];
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Sum of each row (1.0 everywhere for a row-stochastic matrix).
+    #[must_use]
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self[(i, j)]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SquareMatrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SquareMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = SquareMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = SquareMatrix::identity(2);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn multiplication_known_product() {
+        let a = SquareMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = SquareMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = SquareMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![
+            7.0, 8.0, 9.0,
+        ]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let m = SquareMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]);
+        let mut expect = SquareMatrix::identity(2);
+        for _ in 0..7 {
+            expect = expect.mul(&m);
+        }
+        assert!(m.pow(7).max_abs_diff(&expect) < 1e-12);
+        assert_eq!(m.pow(0), SquareMatrix::identity(2));
+        assert!(m.pow(1).max_abs_diff(&m) < 1e-15);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + 2y = 5 ; 3x + 4y = 11 -> x=1, y=2
+        let m = SquareMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = m.solve(&[5.0, 11.0]).unwrap();
+        assert!(close(x[0], 1.0));
+        assert!(close(x[1], 2.0));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let m = SquareMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = m.solve(&[3.0, 4.0]).unwrap();
+        assert!(close(x[0], 4.0));
+        assert!(close(x[1], 3.0));
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let m = SquareMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(m.solve(&[1.0, 2.0]), Err(MatrixError::Singular));
+    }
+
+    #[test]
+    fn solve_dimension_mismatch_errors() {
+        let m = SquareMatrix::identity(2);
+        assert_eq!(m.solve(&[1.0]), Err(MatrixError::DimensionMismatch));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = SquareMatrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let inv = m.inverse().unwrap();
+        assert!(m.mul(&inv).max_abs_diff(&SquareMatrix::identity(2)) < 1e-10);
+        assert!(inv.mul(&m).max_abs_diff(&SquareMatrix::identity(2)) < 1e-10);
+    }
+
+    #[test]
+    fn mul_vec_and_vec_mul() {
+        let m = SquareMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.vec_mul(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn row_sums_of_stochastic_matrix() {
+        let m = SquareMatrix::from_rows(&[vec![0.5, 0.5], vec![0.1, 0.9]]);
+        for s in m.row_sums() {
+            assert!(close(s, 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has wrong length")]
+    fn from_rows_rejects_ragged() {
+        let _ = SquareMatrix::from_rows(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

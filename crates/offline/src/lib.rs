@@ -1,0 +1,31 @@
+//! # vg-offline — the off-line scheduling problem (Section 4)
+//!
+//! When availability traces are known in advance, minimizing the time to
+//! complete one iteration is NP-hard (Theorem 1, by reduction from 3-SAT)
+//! and inapproximable within 8/7 − ε (Proposition 1), yet polynomial when
+//! the master bandwidth is unbounded (Proposition 2: greedy MCT is optimal).
+//! This crate makes all three results executable:
+//!
+//! * [`instance`] — off-line instances and the `DOWN`-splitting transform;
+//! * [`schedule`] — explicit schedules plus a validator for every model rule;
+//! * [`mct`] — optimal greedy MCT for `ncom = ∞`, with a brute-force
+//!   cross-check of Proposition 2;
+//! * [`bnb`] — exact branch-and-bound for bounded `ncom` (small instances);
+//! * [`sat`] — CNF + DPLL solver substrate;
+//! * [`reduction`] — the executable Theorem-1 reduction, including the
+//!   paper's Figure-1 gadget.
+
+// Small fixed-dimension (3x3) matrix code indexes several arrays with one
+// loop variable; iterator-zip rewrites obscure the math, so the pedantic
+// range-loop lint is disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bnb;
+pub mod instance;
+pub mod mct;
+pub mod reduction;
+pub mod sat;
+pub mod schedule;
+
+pub use instance::OfflineInstance;
+pub use schedule::{Comm, Schedule, ScheduleError, SlotAction};

@@ -1,0 +1,67 @@
+//! Processor identities and static characteristics.
+
+use serde::{Deserialize, Serialize};
+use vg_des::SlotSpan;
+
+/// Index of a processor within a platform (`P_1 … P_p` in the paper; we use
+/// zero-based indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessorId(pub u32);
+
+impl ProcessorId {
+    /// Zero-based index as `usize` for slice access.
+    #[inline]
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Static description of one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessorSpec {
+    /// `w_q`: number of `UP` slots needed to compute one task (Section 3.2).
+    /// Smaller is faster. Must be ≥ 1.
+    pub w: SlotSpan,
+}
+
+impl ProcessorSpec {
+    /// Creates a spec, validating `w ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `w == 0`.
+    #[must_use]
+    pub fn new(w: SlotSpan) -> Self {
+        assert!(w >= 1, "a task cannot take zero compute slots");
+        Self { w }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let id = ProcessorId(3);
+        assert_eq!(id.to_string(), "P3");
+        assert_eq!(id.idx(), 3);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessorId(1) < ProcessorId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero compute slots")]
+    fn zero_speed_rejected() {
+        let _ = ProcessorSpec::new(0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Uniform interface over availability generators.
+//!
+//! The simulator pulls one state per processor per slot. A source can be a
+//! Markov chain (the paper's model), a semi-Markov process (the robustness
+//! extension), or a recorded trace being replayed (off-line instances,
+//! archive logs). All are deterministic functions of their construction
+//! arguments, which is what makes common-random-number comparisons between
+//! heuristics possible.
+
+use vg_markov::availability::{AvailabilityChain, AvailabilityStream, ProcState};
+use vg_markov::semi_markov::{SemiMarkovModel, SemiMarkovStream};
+use vg_des::rng::StreamRng;
+
+use crate::trace::Trace;
+
+/// A per-slot availability state generator for one processor.
+pub trait AvailabilitySource {
+    /// Returns the state for the next slot and advances.
+    fn next_state(&mut self) -> ProcState;
+}
+
+impl AvailabilitySource for AvailabilityStream {
+    fn next_state(&mut self) -> ProcState {
+        AvailabilityStream::next_state(self)
+    }
+}
+
+impl AvailabilitySource for SemiMarkovStream {
+    fn next_state(&mut self) -> ProcState {
+        SemiMarkovStream::next_state(self)
+    }
+}
+
+/// What a [`ReplaySource`] emits once the recorded trace is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TailBehavior {
+    /// Keep emitting the final state of the trace (default: a machine that
+    /// was UP stays UP).
+    HoldLast,
+    /// Restart from the beginning (periodic availability, e.g. daily cycles).
+    Cycle,
+    /// Emit `RECLAIMED` forever — the conservative choice for off-line
+    /// instances, where nothing may execute beyond the defined horizon.
+    ReclaimedForever,
+}
+
+/// Replays a fixed trace.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    trace: Trace,
+    pos: usize,
+    tail: TailBehavior,
+}
+
+impl ReplaySource {
+    /// Creates a replay source.
+    ///
+    /// # Panics
+    /// Panics if the trace is empty and `tail` is [`TailBehavior::HoldLast`]
+    /// or [`TailBehavior::Cycle`] (there is nothing to hold or cycle).
+    #[must_use]
+    pub fn new(trace: Trace, tail: TailBehavior) -> Self {
+        if matches!(tail, TailBehavior::HoldLast | TailBehavior::Cycle) {
+            assert!(!trace.is_empty(), "cannot hold/cycle an empty trace");
+        }
+        Self { trace, pos: 0, tail }
+    }
+
+    /// The underlying trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl AvailabilitySource for ReplaySource {
+    fn next_state(&mut self) -> ProcState {
+        if self.pos < self.trace.len() {
+            let s = self.trace.states()[self.pos];
+            self.pos += 1;
+            return s;
+        }
+        match self.tail {
+            TailBehavior::HoldLast => *self.trace.states().last().expect("checked non-empty"),
+            TailBehavior::Cycle => {
+                self.pos = 1;
+                self.trace.states()[0]
+            }
+            TailBehavior::ReclaimedForever => ProcState::Reclaimed,
+        }
+    }
+}
+
+/// Initial-state policy for stochastic sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StartPolicy {
+    /// Begin `UP` (the paper's simulator enrolls from a live pool).
+    Up,
+    /// Draw the initial state from the stationary distribution (a platform
+    /// observed at an arbitrary instant).
+    Stationary,
+}
+
+/// Builds a boxed source from a Markov chain.
+#[must_use]
+pub fn markov_source(
+    chain: AvailabilityChain,
+    start: StartPolicy,
+    rng: StreamRng,
+) -> Box<dyn AvailabilitySource> {
+    match start {
+        StartPolicy::Up => Box::new(AvailabilityStream::new(chain, ProcState::Up, rng)),
+        StartPolicy::Stationary => Box::new(AvailabilityStream::stationary_start(chain, rng)),
+    }
+}
+
+/// Builds a boxed source from a semi-Markov model (starts a fresh sojourn;
+/// `Stationary` draws the starting state from the occupancy distribution).
+#[must_use]
+pub fn semi_markov_source(
+    model: SemiMarkovModel,
+    start: StartPolicy,
+    mut rng: StreamRng,
+) -> Box<dyn AvailabilitySource> {
+    let state = match start {
+        StartPolicy::Up => ProcState::Up,
+        StartPolicy::Stationary => {
+            let occ = model.occupancy();
+            ProcState::from_index(rng.weighted_index(&occ).unwrap_or(0))
+        }
+    };
+    Box::new(SemiMarkovStream::new(model, state, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_des::rng::SeedPath;
+    use ProcState::{Down as D, Reclaimed as R, Up as U};
+
+    #[test]
+    fn replay_emits_trace_then_tail() {
+        let t = Trace::parse("urd").unwrap();
+        let mut hold = ReplaySource::new(t.clone(), TailBehavior::HoldLast);
+        let seq: Vec<_> = (0..5).map(|_| hold.next_state()).collect();
+        assert_eq!(seq, vec![U, R, D, D, D]);
+
+        let mut cycle = ReplaySource::new(t.clone(), TailBehavior::Cycle);
+        let seq: Vec<_> = (0..7).map(|_| cycle.next_state()).collect();
+        assert_eq!(seq, vec![U, R, D, U, R, D, U]);
+
+        let mut rec = ReplaySource::new(t, TailBehavior::ReclaimedForever);
+        let seq: Vec<_> = (0..5).map(|_| rec.next_state()).collect();
+        assert_eq!(seq, vec![U, R, D, R, R]);
+    }
+
+    #[test]
+    fn replay_empty_trace_reclaimed_tail() {
+        let mut s = ReplaySource::new(Trace::default(), TailBehavior::ReclaimedForever);
+        assert_eq!(s.next_state(), R);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold/cycle")]
+    fn replay_empty_trace_hold_panics() {
+        let _ = ReplaySource::new(Trace::default(), TailBehavior::HoldLast);
+    }
+
+    #[test]
+    fn markov_source_starts_up() {
+        let chain = AvailabilityChain::new([
+            [0.9, 0.05, 0.05],
+            [0.1, 0.85, 0.05],
+            [0.05, 0.05, 0.9],
+        ])
+        .unwrap();
+        let mut src = markov_source(chain, StartPolicy::Up, SeedPath::root(1).rng());
+        assert_eq!(src.next_state(), U);
+    }
+
+    #[test]
+    fn boxed_sources_are_deterministic() {
+        let chain = AvailabilityChain::new([
+            [0.9, 0.05, 0.05],
+            [0.1, 0.85, 0.05],
+            [0.05, 0.05, 0.9],
+        ])
+        .unwrap();
+        let run = || {
+            let mut src = markov_source(chain.clone(), StartPolicy::Up, SeedPath::root(9).rng());
+            (0..100).map(|_| src.next_state()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn semi_markov_source_runs() {
+        let model = SemiMarkovModel::desktop_template(20.0);
+        let mut src = semi_markov_source(model, StartPolicy::Stationary, SeedPath::root(2).rng());
+        for _ in 0..100 {
+            let _ = src.next_state();
+        }
+    }
+}

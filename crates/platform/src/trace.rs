@@ -1,0 +1,328 @@
+//! Availability traces: dense, run-length-encoded, and textual forms.
+//!
+//! A trace is the realized state vector `S_q` of Section 3.2: `S_q[t]` is the
+//! processor's state at slot `t`. Traces serve three purposes here:
+//!
+//! 1. **Off-line instances** (Section 4) are *defined* by known traces;
+//! 2. recorded simulation runs can be replayed exactly;
+//! 3. field logs (e.g. converted from the Failure Trace Archive) can drive
+//!    the simulator through [`crate::source::ReplaySource`].
+//!
+//! The textual form is one character per slot — `u`, `r`, `d` — the same
+//! notation the paper uses, so paper examples paste directly into tests:
+//! `Trace::parse("uuuuuurrr")`.
+
+use serde::{Deserialize, Serialize};
+use vg_des::Slot;
+use vg_markov::ProcState;
+
+/// A dense availability trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    states: Vec<ProcState>,
+}
+
+/// Error from [`Trace::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// The character that is not one of `u`, `r`, `d`.
+    pub ch: char,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid trace character {:?} at offset {}", self.ch, self.at)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl Trace {
+    /// Creates a trace from states.
+    #[must_use]
+    pub fn new(states: Vec<ProcState>) -> Self {
+        Self { states }
+    }
+
+    /// Parses the compact `u`/`r`/`d` text form. Whitespace is ignored so
+    /// traces can be wrapped in source code.
+    pub fn parse(text: &str) -> Result<Self, TraceParseError> {
+        let mut states = Vec::with_capacity(text.len());
+        for (at, ch) in text.char_indices() {
+            if ch.is_whitespace() {
+                continue;
+            }
+            match ProcState::from_code(ch) {
+                Some(s) => states.push(s),
+                None => return Err(TraceParseError { at, ch }),
+            }
+        }
+        Ok(Self { states })
+    }
+
+    /// Renders the compact text form.
+    #[must_use]
+    pub fn to_compact_string(&self) -> String {
+        self.states.iter().map(|s| s.code()).collect()
+    }
+
+    /// Number of slots covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the trace covers no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// State at `slot`, if covered.
+    #[must_use]
+    pub fn get(&self, slot: Slot) -> Option<ProcState> {
+        self.states.get(slot as usize).copied()
+    }
+
+    /// All states.
+    #[must_use]
+    pub fn states(&self) -> &[ProcState] {
+        &self.states
+    }
+
+    /// Number of `UP` slots in the trace.
+    #[must_use]
+    pub fn up_slots(&self) -> usize {
+        self.states.iter().filter(|s| s.is_up()).count()
+    }
+
+    /// Fraction of slots in each state `(up, reclaimed, down)`.
+    #[must_use]
+    pub fn occupancy(&self) -> [f64; 3] {
+        let mut counts = [0usize; 3];
+        for s in &self.states {
+            counts[s.index()] += 1;
+        }
+        let total = self.states.len().max(1) as f64;
+        [
+            counts[0] as f64 / total,
+            counts[1] as f64 / total,
+            counts[2] as f64 / total,
+        ]
+    }
+
+    /// Run-length encoding.
+    #[must_use]
+    pub fn to_rle(&self) -> RleTrace {
+        let mut runs: Vec<(ProcState, u64)> = Vec::new();
+        for &s in &self.states {
+            match runs.last_mut() {
+                Some((state, count)) if *state == s => *count += 1,
+                _ => runs.push((s, 1)),
+            }
+        }
+        RleTrace { runs }
+    }
+}
+
+impl FromIterator<ProcState> for Trace {
+    fn from_iter<I: IntoIterator<Item = ProcState>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+/// Run-length-encoded availability trace.
+///
+/// Desktop-grid availability has long sojourns (hours of `UP`), so RLE traces
+/// are often orders of magnitude smaller than dense ones — this is the
+/// on-disk and over-the-wire format.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RleTrace {
+    runs: Vec<(ProcState, u64)>,
+}
+
+impl RleTrace {
+    /// Creates from explicit runs; adjacent equal states are merged and
+    /// zero-length runs dropped, so the representation is canonical.
+    #[must_use]
+    pub fn new(raw_runs: Vec<(ProcState, u64)>) -> Self {
+        let mut runs: Vec<(ProcState, u64)> = Vec::with_capacity(raw_runs.len());
+        for (s, n) in raw_runs {
+            if n == 0 {
+                continue;
+            }
+            match runs.last_mut() {
+                Some((state, count)) if *state == s => *count += n,
+                _ => runs.push((s, n)),
+            }
+        }
+        Self { runs }
+    }
+
+    /// The canonical runs.
+    #[must_use]
+    pub fn runs(&self) -> &[(ProcState, u64)] {
+        &self.runs
+    }
+
+    /// Total slots covered.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|(_, n)| n).sum()
+    }
+
+    /// True when no slots are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Expands into a dense trace.
+    #[must_use]
+    pub fn to_dense(&self) -> Trace {
+        let mut states = Vec::with_capacity(self.len() as usize);
+        for &(s, n) in &self.runs {
+            states.extend(std::iter::repeat_n(s, n as usize));
+        }
+        Trace::new(states)
+    }
+
+    /// Textual form `u12 r3 d40 …` (state code + run length).
+    #[must_use]
+    pub fn to_compact_string(&self) -> String {
+        self.runs
+            .iter()
+            .map(|(s, n)| format!("{}{}", s.code(), n))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Parses the `u12 r3 …` form.
+    pub fn parse(text: &str) -> Result<Self, TraceParseError> {
+        let mut runs = Vec::new();
+        let mut offset = 0usize;
+        for token in text.split_whitespace() {
+            let mut chars = token.chars();
+            let code = chars.next().expect("split_whitespace yields non-empty");
+            let state = ProcState::from_code(code)
+                .ok_or(TraceParseError { at: offset, ch: code })?;
+            let count: u64 = chars.as_str().parse().map_err(|_| TraceParseError {
+                at: offset,
+                ch: chars.as_str().chars().next().unwrap_or(' '),
+            })?;
+            runs.push((state, count));
+            offset += token.len() + 1;
+        }
+        Ok(Self::new(runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ProcState::{Down as D, Reclaimed as R, Up as U};
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let t = Trace::parse("uur rd\nd").unwrap();
+        assert_eq!(t.states(), &[U, U, R, R, D, D]);
+        assert_eq!(t.to_compact_string(), "uurrdd");
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let err = Trace::parse("uux").unwrap_err();
+        assert_eq!(err.ch, 'x');
+        assert_eq!(err.at, 2);
+    }
+
+    #[test]
+    fn counters_and_occupancy() {
+        let t = Trace::parse("uuurd").unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.up_slots(), 3);
+        let occ = t.occupancy();
+        assert!((occ[0] - 0.6).abs() < 1e-12);
+        assert!((occ[1] - 0.2).abs() < 1e-12);
+        assert!((occ[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.occupancy(), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn get_by_slot() {
+        let t = Trace::parse("urd").unwrap();
+        assert_eq!(t.get(0), Some(U));
+        assert_eq!(t.get(2), Some(D));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn rle_roundtrip_dense() {
+        let t = Trace::parse("uuurrduuu").unwrap();
+        let rle = t.to_rle();
+        assert_eq!(rle.runs(), &[(U, 3), (R, 2), (D, 1), (U, 3)]);
+        assert_eq!(rle.to_dense(), t);
+        assert_eq!(rle.len(), 9);
+    }
+
+    #[test]
+    fn rle_canonicalizes() {
+        let rle = RleTrace::new(vec![(U, 2), (U, 3), (R, 0), (D, 1)]);
+        assert_eq!(rle.runs(), &[(U, 5), (D, 1)]);
+    }
+
+    #[test]
+    fn rle_text_roundtrip() {
+        let rle = RleTrace::new(vec![(U, 12), (R, 3), (D, 40)]);
+        let text = rle.to_compact_string();
+        assert_eq!(text, "u12 r3 d40");
+        assert_eq!(RleTrace::parse(&text).unwrap(), rle);
+    }
+
+    #[test]
+    fn rle_parse_rejects_garbage() {
+        assert!(RleTrace::parse("x3").is_err());
+        assert!(RleTrace::parse("u").is_err());
+        assert!(RleTrace::parse("uabc").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dense_rle_roundtrip(codes in proptest::collection::vec(0usize..3, 0..200)) {
+            let t: Trace = codes.iter().map(|&i| ProcState::from_index(i)).collect();
+            prop_assert_eq!(t.to_rle().to_dense(), t);
+        }
+
+        #[test]
+        fn prop_text_roundtrip(codes in proptest::collection::vec(0usize..3, 0..200)) {
+            let t: Trace = codes.iter().map(|&i| ProcState::from_index(i)).collect();
+            let parsed = Trace::parse(&t.to_compact_string()).unwrap();
+            prop_assert_eq!(parsed, t);
+        }
+
+        #[test]
+        fn prop_rle_text_roundtrip(runs in proptest::collection::vec((0usize..3, 1u64..100), 0..50)) {
+            let rle = RleTrace::new(
+                runs.iter().map(|&(i, n)| (ProcState::from_index(i), n)).collect(),
+            );
+            let parsed = RleTrace::parse(&rle.to_compact_string()).unwrap();
+            prop_assert_eq!(parsed, rle);
+        }
+
+        #[test]
+        fn prop_rle_len_matches_dense(codes in proptest::collection::vec(0usize..3, 0..200)) {
+            let t: Trace = codes.iter().map(|&i| ProcState::from_index(i)).collect();
+            prop_assert_eq!(t.to_rle().len() as usize, t.len());
+        }
+    }
+}

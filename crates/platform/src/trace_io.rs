@@ -1,0 +1,272 @@
+//! Persistence for platform trace sets.
+//!
+//! A *trace set* bundles per-processor speeds with recorded availability
+//! traces — everything needed to replay a platform deterministically (e.g.
+//! logs converted from the Failure Trace Archive, or a simulated campaign's
+//! availability archived for later inspection). The format is line-oriented
+//! text, RLE-compressed, diff-friendly and versioned:
+//!
+//! ```text
+//! # volatile-grid traces v1
+//! slots 86400
+//! proc 0 w 4
+//! u3600 r120 u7200 d600 …
+//! proc 1 w 12
+//! u86400
+//! ```
+//!
+//! Comments (`#`) and blank lines are ignored outside of run lines.
+
+use crate::processor::ProcessorSpec;
+use crate::trace::{RleTrace, Trace};
+use vg_des::SlotSpan;
+
+/// A persisted platform recording: speeds plus availability traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSet {
+    /// Nominal trace length in slots (traces may individually be shorter;
+    /// replay pads per [`crate::source::TailBehavior`]).
+    pub slots: u64,
+    /// Per-processor `(spec, trace)` in processor order.
+    pub entries: Vec<(ProcessorSpec, Trace)>,
+}
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSetParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceSetParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceSetParseError {}
+
+const HEADER: &str = "# volatile-grid traces v1";
+
+impl TraceSet {
+    /// Builds a trace set; `slots` defaults to the longest trace.
+    #[must_use]
+    pub fn new(entries: Vec<(ProcessorSpec, Trace)>) -> Self {
+        let slots = entries.iter().map(|(_, t)| t.len() as u64).max().unwrap_or(0);
+        Self { slots, entries }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Serializes to the versioned text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("slots {}\n", self.slots));
+        for (q, (spec, trace)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("proc {q} w {}\n", spec.w));
+            out.push_str(&trace.to_rle().to_compact_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format.
+    pub fn from_text(text: &str) -> Result<Self, TraceSetParseError> {
+        let err = |line: usize, message: String| TraceSetParseError { line, message };
+        let mut lines = text.lines().enumerate().peekable();
+
+        // Header.
+        let (n, first) = lines
+            .next()
+            .ok_or_else(|| err(1, "empty input".into()))?;
+        if first.trim() != HEADER {
+            return Err(err(n + 1, format!("expected header {HEADER:?}")));
+        }
+
+        let mut slots: Option<u64> = None;
+        let mut entries: Vec<(ProcessorSpec, Trace)> = Vec::new();
+        while let Some((n, raw)) = lines.next() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some("slots") => {
+                    let v: u64 = tokens
+                        .next()
+                        .ok_or_else(|| err(n + 1, "slots needs a value".into()))?
+                        .parse()
+                        .map_err(|_| err(n + 1, "slots expects an integer".into()))?;
+                    slots = Some(v);
+                }
+                Some("proc") => {
+                    let idx: usize = tokens
+                        .next()
+                        .ok_or_else(|| err(n + 1, "proc needs an index".into()))?
+                        .parse()
+                        .map_err(|_| err(n + 1, "proc index must be an integer".into()))?;
+                    if idx != entries.len() {
+                        return Err(err(
+                            n + 1,
+                            format!("proc {idx} out of order (expected {})", entries.len()),
+                        ));
+                    }
+                    let w: SlotSpan = match (tokens.next(), tokens.next()) {
+                        (Some("w"), Some(v)) => v
+                            .parse()
+                            .map_err(|_| err(n + 1, "w expects an integer".into()))?,
+                        _ => return Err(err(n + 1, "expected `w <speed>`".into())),
+                    };
+                    if w == 0 {
+                        return Err(err(n + 1, "w must be ≥ 1".into()));
+                    }
+                    // Next non-comment line is the RLE trace.
+                    let (rn, run_line) = loop {
+                        match lines.next() {
+                            Some((rn, l)) => {
+                                let t = l.trim();
+                                if t.is_empty() || t.starts_with('#') {
+                                    continue;
+                                }
+                                break (rn, t.to_string());
+                            }
+                            None => {
+                                return Err(err(n + 1, format!("proc {idx} has no trace line")))
+                            }
+                        }
+                    };
+                    let rle = RleTrace::parse(&run_line)
+                        .map_err(|e| err(rn + 1, format!("bad trace: {e}")))?;
+                    entries.push((ProcessorSpec::new(w), rle.to_dense()));
+                }
+                Some(other) => {
+                    return Err(err(n + 1, format!("unknown directive {other:?}")));
+                }
+                None => unreachable!("trimmed non-empty line has a token"),
+            }
+        }
+        let slots = slots.ok_or_else(|| err(1, "missing `slots` directive".into()))?;
+        Ok(Self { slots, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vg_markov::ProcState;
+
+    fn t(s: &str) -> Trace {
+        Trace::parse(s).unwrap()
+    }
+
+    fn sample() -> TraceSet {
+        TraceSet::new(vec![
+            (ProcessorSpec::new(4), t("uuurrduu")),
+            (ProcessorSpec::new(12), t("uuuuuuuu")),
+        ])
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let ts = sample();
+        let text = ts.to_text();
+        let back = TraceSet::from_text(&text).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let text = sample().to_text();
+        assert!(text.starts_with(HEADER));
+        assert!(text.contains("slots 8"));
+        assert!(text.contains("proc 0 w 4"));
+        assert!(text.contains("u3 r2 d1 u2"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = format!(
+            "{HEADER}\n# a comment\n\nslots 4\nproc 0 w 2\n# trace follows\nu2 r2\n"
+        );
+        let ts = TraceSet::from_text(&text).unwrap();
+        assert_eq!(ts.p(), 1);
+        assert_eq!(ts.entries[0].1, t("uurr"));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let e = TraceSet::from_text("slots 4\n").unwrap_err();
+        assert!(e.message.contains("header"), "{e}");
+    }
+
+    #[test]
+    fn missing_slots_rejected() {
+        let e = TraceSet::from_text(&format!("{HEADER}\nproc 0 w 1\nu4\n")).unwrap_err();
+        assert!(e.message.contains("slots"), "{e}");
+    }
+
+    #[test]
+    fn out_of_order_proc_rejected() {
+        let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nproc 1 w 1\nu4\n")).unwrap_err();
+        assert!(e.message.contains("out of order"), "{e}");
+    }
+
+    #[test]
+    fn bad_speed_rejected() {
+        let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nproc 0 w 0\nu4\n")).unwrap_err();
+        assert!(e.message.contains('w'), "{e}");
+    }
+
+    #[test]
+    fn missing_trace_line_rejected() {
+        let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nproc 0 w 1\n")).unwrap_err();
+        assert!(e.message.contains("no trace"), "{e}");
+    }
+
+    #[test]
+    fn garbage_directive_rejected() {
+        let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nbogus\n")).unwrap_err();
+        assert!(e.message.contains("unknown directive"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn slots_default_is_longest_trace() {
+        let ts = TraceSet::new(vec![
+            (ProcessorSpec::new(1), t("uu")),
+            (ProcessorSpec::new(1), t("uuuuu")),
+        ]);
+        assert_eq!(ts.slots, 5);
+        let empty = TraceSet::new(vec![]);
+        assert_eq!(empty.slots, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            specs in proptest::collection::vec((1u64..50, proptest::collection::vec(0usize..3, 1..100)), 0..6)
+        ) {
+            let entries: Vec<(ProcessorSpec, Trace)> = specs
+                .iter()
+                .map(|(w, codes)| {
+                    let trace: Trace = codes.iter().map(|&c| ProcState::from_index(c)).collect();
+                    (ProcessorSpec::new(*w), trace)
+                })
+                .collect();
+            let ts = TraceSet::new(entries);
+            let back = TraceSet::from_text(&ts.to_text()).unwrap();
+            prop_assert_eq!(back, ts);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # vg-sim — the volatile-platform master–worker simulator
+//!
+//! A slot-level discrete-event simulator for the execution model of
+//! Casanova, Dufossé, Robert & Vivien (IPDPS 2011), Section 3: iterative
+//! master–worker applications on `UP`/`RECLAIMED`/`DOWN` processors with a
+//! bounded multi-port master.
+//!
+//! * [`task`] — tasks, copies (original + ≤ 2 replicas), iteration state;
+//! * [`worker`] — the per-worker pipeline (program / data / compute with one
+//!   task of look-ahead);
+//! * [`engine`] — the seven-phase slot loop ([`engine::Simulation`]);
+//! * [`report`] — makespans and counters ([`report::SimReport`]).
+//!
+//! ```
+//! use vg_core::HeuristicKind;
+//! use vg_des::rng::SeedPath;
+//! use vg_markov::availability::AvailabilityChain;
+//! use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig, StartPolicy};
+//! use vg_sim::{SimOptions, Simulation};
+//!
+//! // Two statistically identical volatile processors.
+//! let mut rng = SeedPath::root(1).rng();
+//! let platform = PlatformConfig {
+//!     processors: (0..2)
+//!         .map(|_| ProcessorConfig::markov(
+//!             2,
+//!             AvailabilityChain::sample_paper(&mut rng, 0.90, 0.99),
+//!             StartPolicy::Up,
+//!         ))
+//!         .collect(),
+//!     ncom: 1,
+//! };
+//! let app = AppConfig { tasks_per_iteration: 4, iterations: 2, t_prog: 5, t_data: 1 };
+//!
+//! let report = Simulation::run_seeded(
+//!     &platform,
+//!     &app,
+//!     HeuristicKind::EmctStar.build(SeedPath::root(2).rng()),
+//!     SeedPath::root(3),
+//!     SimOptions::default(),
+//! ).unwrap();
+//! assert!(report.finished());
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod task;
+pub mod timeline;
+pub mod worker;
+
+pub use engine::{SimOptions, Simulation};
+pub use report::{Counters, SimReport};
+pub use task::{CopyId, TaskId};
+pub use timeline::{Activity, Timeline};

@@ -1,0 +1,128 @@
+//! Simulation outputs: makespan, per-iteration times, and counters.
+
+use crate::timeline::Timeline;
+use vg_des::Slot;
+
+/// Cumulative event counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    /// Distinct tasks completed (over all iterations).
+    pub tasks_completed: u64,
+    /// Task copies that delivered the winning result (equals
+    /// `tasks_completed`; kept separate for symmetry with the waste
+    /// counters).
+    pub copies_completed: u64,
+    /// Copies that would have completed in the same slot as the winner and
+    /// were canceled instead — purely wasted work.
+    pub duplicate_results: u64,
+    /// Pinned copies lost because their worker crashed.
+    pub copies_lost_to_down: u64,
+    /// Replica copies whose data transfer actually began.
+    pub replicas_started: u64,
+    /// Copies canceled because a sibling completed first.
+    pub replicas_canceled: u64,
+    /// Program transfers completed.
+    pub programs_delivered: u64,
+    /// Channel-slots spent on program transfers.
+    pub prog_channel_slots: u64,
+    /// Channel-slots spent on data transfers.
+    pub data_channel_slots: u64,
+    /// Worker-slots observed in each state (`u`, `r`, `d`).
+    pub state_slots: [u64; 3],
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Heuristic that produced this run (paper name).
+    pub scheduler: String,
+    /// Iterations completed before the run ended.
+    pub completed_iterations: u64,
+    /// Total slots to complete *all* requested iterations; `None` if the
+    /// slot cap was hit first. A value of `k` means the last task finished
+    /// during slot `k − 1` (slots are 0-based).
+    pub makespan: Option<Slot>,
+    /// Slots actually simulated.
+    pub slots_run: Slot,
+    /// Completion slot of each finished iteration (0-based slot index).
+    pub iteration_completed_at: Vec<Slot>,
+    /// Event counters.
+    pub counters: Counters,
+    /// Mean fraction of master channels in use per slot.
+    pub mean_bandwidth_utilization: f64,
+    /// Per-slot activity record, when
+    /// [`SimOptions::record_timeline`](crate::SimOptions::record_timeline)
+    /// was set.
+    pub timeline: Option<Timeline>,
+}
+
+impl SimReport {
+    /// Makespan if complete, otherwise the slot cap that was burned —
+    /// a pessimistic-but-total metric for aggregation.
+    #[must_use]
+    pub fn makespan_or_cap(&self) -> Slot {
+        self.makespan.unwrap_or(self.slots_run)
+    }
+
+    /// True when every requested iteration completed.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.makespan.is_some()
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.makespan {
+            Some(mk) => write!(
+                f,
+                "{}: {} iterations in {} slots ({} tasks, {:.1}% bw)",
+                self.scheduler,
+                self.completed_iterations,
+                mk,
+                self.counters.tasks_completed,
+                self.mean_bandwidth_utilization * 100.0
+            ),
+            None => write!(
+                f,
+                "{}: INCOMPLETE {}/{} iterations after {} slots",
+                self.scheduler,
+                self.completed_iterations,
+                self.iteration_completed_at.len(),
+                self.slots_run
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespan: Option<Slot>) -> SimReport {
+        SimReport {
+            scheduler: "MCT".into(),
+            completed_iterations: 2,
+            makespan,
+            slots_run: 100,
+            iteration_completed_at: vec![40, 99],
+            counters: Counters::default(),
+            mean_bandwidth_utilization: 0.5,
+            timeline: None,
+        }
+    }
+
+    #[test]
+    fn makespan_or_cap() {
+        assert_eq!(report(Some(100)).makespan_or_cap(), 100);
+        assert_eq!(report(None).makespan_or_cap(), 100);
+        assert!(report(Some(100)).finished());
+        assert!(!report(None).finished());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(report(Some(100)).to_string().contains("2 iterations in 100 slots"));
+        assert!(report(None).to_string().contains("INCOMPLETE"));
+    }
+}

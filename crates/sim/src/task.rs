@@ -1,0 +1,326 @@
+//! Task, copy and iteration bookkeeping.
+//!
+//! Each application iteration consists of `m` independent tasks (Section
+//! 3.1). A *task* may be materialized as up to three *copies*: the original
+//! plus at most two replicas (Section 6.1). The first copy to finish
+//! completes the task; all sibling copies are then canceled.
+
+use vg_des::Slot;
+
+/// Index of a task within the current iteration (`0..m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// As a `usize` index.
+    #[inline]
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One concrete copy of a task. `replica == 0` is the original; replicas get
+/// fresh increasing numbers so two concurrent replicas of a task are
+/// distinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CopyId {
+    /// Which task this is a copy of.
+    pub task: TaskId,
+    /// 0 for the original, ≥ 1 for replicas.
+    pub replica: u8,
+}
+
+impl CopyId {
+    /// The original copy of `task`.
+    #[must_use]
+    pub fn original(task: TaskId) -> Self {
+        Self { task, replica: 0 }
+    }
+
+    /// True for the original copy.
+    #[must_use]
+    pub fn is_original(self) -> bool {
+        self.replica == 0
+    }
+}
+
+impl std::fmt::Display for CopyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_original() {
+            write!(f, "{}", self.task)
+        } else {
+            write!(f, "{}·r{}", self.task, self.replica)
+        }
+    }
+}
+
+/// Where a task's original copy currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OriginalState {
+    /// Waiting in the master's pool (schedulable).
+    Pool,
+    /// Its data transfer or computation has begun on a worker (pinned there).
+    Pinned {
+        /// The worker (by index).
+        worker: usize,
+    },
+    /// The task has completed (possibly via a replica).
+    Done,
+}
+
+/// Live state of one application iteration.
+#[derive(Debug, Clone)]
+pub struct IterationState {
+    m: usize,
+    index: u64,
+    completed: Vec<bool>,
+    n_completed: usize,
+    original: Vec<OriginalState>,
+    replicas_alive: Vec<u8>,
+    next_replica: Vec<u8>,
+    /// Slot at which the iteration completed, once it has.
+    completed_at: Option<Slot>,
+}
+
+impl IterationState {
+    /// Fresh iteration `index` with `m` pool tasks.
+    #[must_use]
+    pub fn new(index: u64, m: usize) -> Self {
+        assert!(m >= 1);
+        Self {
+            m,
+            index,
+            completed: vec![false; m],
+            n_completed: 0,
+            original: vec![OriginalState::Pool; m],
+            replicas_alive: vec![0; m],
+            next_replica: vec![0; m],
+            completed_at: None,
+        }
+    }
+
+    /// Iteration number (0-based).
+    #[must_use]
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Tasks per iteration, `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Completed-task count.
+    #[must_use]
+    pub fn n_completed(&self) -> usize {
+        self.n_completed
+    }
+
+    /// True once all `m` tasks are done.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.n_completed == self.m
+    }
+
+    /// Slot at which the iteration completed.
+    #[must_use]
+    pub fn completed_at(&self) -> Option<Slot> {
+        self.completed_at
+    }
+
+    /// Records the completion slot (once).
+    pub fn set_completed_at(&mut self, slot: Slot) {
+        debug_assert!(self.is_complete());
+        if self.completed_at.is_none() {
+            self.completed_at = Some(slot);
+        }
+    }
+
+    /// Whether `task` is completed.
+    #[must_use]
+    pub fn is_task_completed(&self, task: TaskId) -> bool {
+        self.completed[task.idx()]
+    }
+
+    /// Original-copy state of `task`.
+    #[must_use]
+    pub fn original_state(&self, task: TaskId) -> OriginalState {
+        self.original[task.idx()]
+    }
+
+    /// Live replica count of `task` (excludes the original).
+    #[must_use]
+    pub fn replicas_alive(&self, task: TaskId) -> u8 {
+        self.replicas_alive[task.idx()]
+    }
+
+    /// Unfinished tasks whose original sits in the pool, in id order — the
+    /// `m − m′` schedulable tasks of Section 6.1.
+    #[must_use]
+    pub fn pool_tasks(&self) -> Vec<TaskId> {
+        (0..self.m)
+            .filter(|&i| !self.completed[i] && self.original[i] == OriginalState::Pool)
+            .map(|i| TaskId(i as u32))
+            .collect()
+    }
+
+    /// Unfinished tasks eligible for one more replica (fewer than
+    /// `max_extra` live replicas), ordered by (live copies, id) so the least
+    /// replicated task replicates first.
+    #[must_use]
+    pub fn replica_candidates(&self, max_extra: u8) -> Vec<TaskId> {
+        let mut cands: Vec<TaskId> = (0..self.m)
+            .filter(|&i| !self.completed[i] && self.replicas_alive[i] < max_extra)
+            .map(|i| TaskId(i as u32))
+            .collect();
+        cands.sort_by_key(|t| (self.replicas_alive[t.idx()], t.0));
+        cands
+    }
+
+    /// Mints a new replica copy of `task` and counts it alive.
+    #[must_use]
+    pub fn mint_replica(&mut self, task: TaskId) -> CopyId {
+        let i = task.idx();
+        debug_assert!(!self.completed[i]);
+        self.next_replica[i] = self.next_replica[i].wrapping_add(1).max(1);
+        self.replicas_alive[i] += 1;
+        CopyId {
+            task,
+            replica: self.next_replica[i],
+        }
+    }
+
+    /// Discards a live replica copy (evaporated bind, crash, cancel).
+    pub fn drop_replica(&mut self, task: TaskId) {
+        let i = task.idx();
+        debug_assert!(self.replicas_alive[i] > 0, "no replica to drop for {task}");
+        self.replicas_alive[i] -= 1;
+    }
+
+    /// Marks the original of `task` pinned on `worker`.
+    pub fn pin_original(&mut self, task: TaskId, worker: usize) {
+        debug_assert_eq!(self.original[task.idx()], OriginalState::Pool);
+        self.original[task.idx()] = OriginalState::Pinned { worker };
+    }
+
+    /// Returns the original of `task` to the pool (crash of its worker).
+    pub fn release_original(&mut self, task: TaskId) {
+        debug_assert!(matches!(
+            self.original[task.idx()],
+            OriginalState::Pinned { .. }
+        ));
+        self.original[task.idx()] = OriginalState::Pool;
+    }
+
+    /// Marks `task` completed; returns `false` if it already was (a sibling
+    /// copy finished in the same slot).
+    pub fn mark_completed(&mut self, task: TaskId) -> bool {
+        let i = task.idx();
+        if self.completed[i] {
+            return false;
+        }
+        self.completed[i] = true;
+        self.n_completed += 1;
+        self.original[i] = OriginalState::Done;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_iteration_pools_everything() {
+        let it = IterationState::new(3, 4);
+        assert_eq!(it.index(), 3);
+        assert_eq!(it.m(), 4);
+        assert_eq!(it.pool_tasks().len(), 4);
+        assert!(!it.is_complete());
+        assert_eq!(it.n_completed(), 0);
+    }
+
+    #[test]
+    fn pinning_removes_from_pool() {
+        let mut it = IterationState::new(0, 3);
+        it.pin_original(TaskId(1), 7);
+        assert_eq!(it.pool_tasks(), vec![TaskId(0), TaskId(2)]);
+        assert_eq!(it.original_state(TaskId(1)), OriginalState::Pinned { worker: 7 });
+        it.release_original(TaskId(1));
+        assert_eq!(it.pool_tasks().len(), 3);
+    }
+
+    #[test]
+    fn completion_counts_once() {
+        let mut it = IterationState::new(0, 2);
+        assert!(it.mark_completed(TaskId(0)));
+        assert!(!it.mark_completed(TaskId(0)));
+        assert_eq!(it.n_completed(), 1);
+        assert!(it.mark_completed(TaskId(1)));
+        assert!(it.is_complete());
+        it.set_completed_at(42);
+        assert_eq!(it.completed_at(), Some(42));
+    }
+
+    #[test]
+    fn completed_tasks_leave_pool() {
+        let mut it = IterationState::new(0, 2);
+        it.mark_completed(TaskId(0));
+        assert_eq!(it.pool_tasks(), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn replica_minting_and_limits() {
+        let mut it = IterationState::new(0, 2);
+        let r1 = it.mint_replica(TaskId(0));
+        assert_eq!(r1.replica, 1);
+        assert!(!r1.is_original());
+        assert_eq!(it.replicas_alive(TaskId(0)), 1);
+
+        // Candidates ordered by fewest live copies.
+        let cands = it.replica_candidates(2);
+        assert_eq!(cands, vec![TaskId(1), TaskId(0)]);
+
+        let _r2 = it.mint_replica(TaskId(0));
+        assert_eq!(it.replicas_alive(TaskId(0)), 2);
+        // Task 0 is now saturated.
+        assert_eq!(it.replica_candidates(2), vec![TaskId(1)]);
+
+        it.drop_replica(TaskId(0));
+        assert_eq!(it.replicas_alive(TaskId(0)), 1);
+        assert_eq!(it.replica_candidates(2), vec![TaskId(1), TaskId(0)]);
+    }
+
+    #[test]
+    fn replica_ids_stay_unique() {
+        let mut it = IterationState::new(0, 1);
+        let a = it.mint_replica(TaskId(0));
+        it.drop_replica(TaskId(0));
+        let b = it.mint_replica(TaskId(0));
+        assert_ne!(a, b, "respawned replica must get a fresh id");
+    }
+
+    #[test]
+    fn completed_tasks_are_not_replica_candidates() {
+        let mut it = IterationState::new(0, 2);
+        it.mark_completed(TaskId(0));
+        assert_eq!(it.replica_candidates(2), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn copy_display() {
+        assert_eq!(CopyId::original(TaskId(3)).to_string(), "T3");
+        assert_eq!(
+            CopyId { task: TaskId(3), replica: 2 }.to_string(),
+            "T3·r2"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! The Section-5 mathematics, hands on: for a sampled volatile processor,
+//! print `P₊` (Lemma 1), `E(W)` (Theorem 2) against its naive lower bound
+//! `W`, and the exact-vs-approximate `P_UD(k)` of Section 6.3.3 — then
+//! confirm Theorem 2 by Monte-Carlo rejection sampling.
+//!
+//! This is the math that separates EMCT/UD from plain MCT: as tasks grow
+//! relative to availability intervals, `E(W) − W` explodes and speed stops
+//! being the right selection criterion.
+//!
+//! ```text
+//! cargo run --release --example expectation_math
+//! ```
+
+use volatile_grid::prelude::*;
+
+fn main() {
+    let mut rng = SeedPath::root(11).rng();
+    let chain = AvailabilityChain::sample_paper(&mut rng, 0.90, 0.99);
+    let [pi_u, pi_r, pi_d] = chain.stationary();
+
+    println!("sampled availability chain (paper-style):");
+    for (label, row) in ["u", "r", "d"].iter().zip(chain.raw()) {
+        println!("  P({label},·) = [{:.4}, {:.4}, {:.4}]", row[0], row[1], row[2]);
+    }
+    println!("  stationary: pi_u = {pi_u:.4}, pi_r = {pi_r:.4}, pi_d = {pi_d:.4}");
+    println!("  Lemma 1:    P+  = {:.6}  (series check: {:.6})\n", chain.p_plus(), chain.p_plus_numeric());
+
+    println!("Theorem 2 — expected completion slots E(W) vs workload W:");
+    println!("  {:>6} {:>10} {:>10} {:>9}", "W", "E(W)", "E(W)-W", "P(no d)");
+    for w in [1u64, 2, 5, 10, 20, 50, 100, 200] {
+        println!(
+            "  {:>6} {:>10.2} {:>10.2} {:>9.4}",
+            w,
+            chain.e_w(w),
+            chain.e_w(w) - w as f64,
+            chain.success_prob(w)
+        );
+    }
+
+    println!("\nSection 6.3.3 — P_UD(k): exact (matrix power) vs paper approximation:");
+    println!("  {:>6} {:>10} {:>10} {:>9}", "k", "exact", "approx", "abs err");
+    for k in [2u64, 3, 5, 10, 20, 40, 80] {
+        let e = chain.p_ud_exact(k);
+        let a = chain.p_ud_approx(k);
+        println!("  {:>6} {:>10.5} {:>10.5} {:>9.5}", k, e, a, (e - a).abs());
+    }
+
+    // Monte-Carlo confirmation of Theorem 2 at W = 12.
+    let w = 12;
+    let mut mc_rng = SeedPath::root(77).rng();
+    let (estimate, accepted) = chain.e_w_monte_carlo(w, 300_000, &mut mc_rng);
+    println!(
+        "\nMonte-Carlo check at W = {w}: closed form {:.3}, simulation {:.3} ({} accepted trajectories)",
+        chain.e_w(w),
+        estimate,
+        accepted
+    );
+}

@@ -1,0 +1,105 @@
+//! Cross-solver properties of the off-line toolkit: the exact
+//! branch-and-bound, the provably-optimal MCT (Proposition 2), and the
+//! schedule validator must all agree where their domains overlap.
+
+use proptest::prelude::*;
+use volatile_grid::offline::{bnb, mct, OfflineInstance};
+use volatile_grid::prelude::*;
+
+/// Random small 2-state instances (sized for the exact solver).
+fn arb_instance() -> impl Strategy<Value = OfflineInstance> {
+    (
+        1usize..=3,                                            // m
+        0u64..=2,                                              // t_prog
+        0u64..=2,                                              // t_data
+        1u64..=2,                                              // w
+        1usize..=2,                                            // ncom
+        proptest::collection::vec(
+            proptest::collection::vec(0usize..2, 10..=14),     // traces (u/r)
+            1..=2,
+        ),
+    )
+        .prop_map(|(m, t_prog, t_data, w, ncom, raw)| {
+            let traces: Vec<Trace> = raw
+                .iter()
+                .map(|codes| {
+                    codes
+                        .iter()
+                        .map(|&c| if c == 0 { ProcState::Up } else { ProcState::Reclaimed })
+                        .collect()
+                })
+                .collect();
+            let horizon = traces.iter().map(|t| t.len()).min().unwrap_or(0) as u64;
+            OfflineInstance::uniform(m, t_prog, t_data, w, Some(ncom), horizon, traces)
+        })
+}
+
+const BUDGET: usize = 3_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bnb_never_beats_physics(inst in arb_instance()) {
+        if let Ok(Some(mk)) = bnb::min_makespan(&inst, BUDGET) {
+            // Absolute lower bound: the program, one data file and one
+            // compute burst must fit sequentially.
+            let lower = inst.t_prog + inst.t_data + inst.w[0];
+            prop_assert!(mk >= lower, "makespan {mk} < physical bound {lower}");
+            prop_assert!(mk <= inst.horizon);
+        }
+    }
+
+    #[test]
+    fn bnb_with_slack_channels_matches_optimal_mct(inst in arb_instance()) {
+        // With ncom = p the channel bound binds nothing on these instances;
+        // B&B must then agree with Proposition-2-optimal MCT.
+        let mut unbounded = inst.clone();
+        unbounded.ncom = None;
+        let mct_mk = mct::mct_infinite(&unbounded).map(|s| s.makespan);
+
+        let mut slack = inst.clone();
+        slack.ncom = Some(inst.p());
+        // Budget exhaustion (rare at these sizes) skips the comparison.
+        if let Ok(bnb_mk) = bnb::min_makespan(&slack, BUDGET) {
+            prop_assert_eq!(bnb_mk, mct_mk);
+        }
+    }
+
+    #[test]
+    fn narrower_channel_never_helps(inst in arb_instance()) {
+        // Monotonicity: ncom = 1 optimum ≥ ncom = p optimum.
+        let mut narrow = inst.clone();
+        narrow.ncom = Some(1);
+        let mut wide = inst.clone();
+        wide.ncom = Some(inst.p());
+        if let (Ok(Some(a)), Ok(Some(b))) = (
+            bnb::min_makespan(&narrow, BUDGET),
+            bnb::min_makespan(&wide, BUDGET),
+        ) {
+            prop_assert!(a >= b, "narrow {a} < wide {b}");
+        }
+    }
+
+    #[test]
+    fn mct_schedules_validate_and_match(inst in arb_instance()) {
+        let mut unbounded = inst.clone();
+        unbounded.ncom = None;
+        if let Some(sol) = mct::mct_infinite(&unbounded) {
+            let schedule = mct::materialize(&unbounded, &sol.assignment)
+                .expect("solution materializes");
+            let completion = schedule.validate(&unbounded);
+            prop_assert_eq!(completion, Ok(sol.makespan));
+        }
+    }
+
+    #[test]
+    fn longer_horizon_never_hurts(inst in arb_instance()) {
+        // Feasibility is monotone in the deadline.
+        let full = bnb::feasible_within(&inst, inst.horizon, BUDGET);
+        let half = bnb::feasible_within(&inst, inst.horizon / 2, BUDGET);
+        if let (Ok(f), Ok(h)) = (full, half) {
+            prop_assert!(!h || f, "feasible at half but not full horizon");
+        }
+    }
+}

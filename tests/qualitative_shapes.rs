@@ -1,0 +1,144 @@
+//! End-to-end checks of the paper's *qualitative* findings at test scale:
+//! the informed heuristics beat the random families, speed-weighting helps
+//! the random heuristics, and the volatile regime rewards failure-awareness.
+//! Seeds are fixed; the assertions use comfortable margins so they test the
+//! phenomenon, not the noise.
+
+use volatile_grid::exp::campaign::{run_campaign, CampaignConfig};
+use volatile_grid::exp::scenario::ScenarioParams;
+use volatile_grid::prelude::*;
+use volatile_grid::sched::HeuristicKind as HK;
+
+fn small_campaign(cells: &[ScenarioParams], heuristics: Vec<HK>) -> Vec<(HK, f64, u64)> {
+    let cfg = CampaignConfig {
+        heuristics,
+        scenarios_per_cell: 4,
+        trials: 2,
+        master_seed: 20260610,
+        parallelism: ParallelismConfig::Auto,
+        sim: SimOptions::default(),
+    };
+    let result = run_campaign(cells, &cfg);
+    result
+        .summarize()
+        .into_iter()
+        .map(|s| (s.kind, s.dfb.mean(), s.wins))
+        .collect()
+}
+
+fn dfb_of(results: &[(HK, f64, u64)], kind: HK) -> f64 {
+    results
+        .iter()
+        .find(|(k, _, _)| *k == kind)
+        .map(|(_, d, _)| *d)
+        .expect("kind present")
+}
+
+/// A small volatile cell (p reduced to keep test runtime sane).
+fn volatile_cell() -> ScenarioParams {
+    ScenarioParams {
+        p: 10,
+        iterations: 4,
+        ..ScenarioParams::paper(10, 5, 6)
+    }
+}
+
+#[test]
+fn informed_heuristics_beat_random_families() {
+    let results = small_campaign(
+        &[volatile_cell()],
+        vec![HK::Emct, HK::Mct, HK::Ud, HK::Random, HK::Random2],
+    );
+    let emct = dfb_of(&results, HK::Emct);
+    let mct = dfb_of(&results, HK::Mct);
+    let random = dfb_of(&results, HK::Random);
+    assert!(
+        emct < random && mct < random,
+        "EMCT {emct:.2} / MCT {mct:.2} should beat Random {random:.2}"
+    );
+    // The greedy heuristics collect essentially all wins.
+    let random_wins: u64 = results
+        .iter()
+        .filter(|(k, _, _)| matches!(k, HK::Random | HK::Random2))
+        .map(|(_, _, w)| *w)
+        .sum();
+    let greedy_wins: u64 = results
+        .iter()
+        .filter(|(k, _, _)| matches!(k, HK::Emct | HK::Mct | HK::Ud))
+        .map(|(_, _, w)| *w)
+        .sum();
+    assert!(
+        greedy_wins > random_wins,
+        "greedy {greedy_wins} vs random {random_wins}"
+    );
+}
+
+#[test]
+fn speed_weighting_helps_random_heuristics() {
+    // The paper: "Randomxw always outperforms Randomx". At test scale the
+    // per-pair gap can drown in noise, so sample a bit more and compare the
+    // pooled weighted-vs-unweighted means.
+    let cfg = CampaignConfig {
+        heuristics: vec![HK::Random1, HK::Random1w, HK::Random3, HK::Random3w],
+        scenarios_per_cell: 12,
+        trials: 2,
+        master_seed: 20260610,
+        parallelism: ParallelismConfig::Auto,
+        sim: SimOptions::default(),
+    };
+    let result = run_campaign(&[volatile_cell()], &cfg);
+    let results: Vec<(HK, f64, u64)> = result
+        .summarize()
+        .into_iter()
+        .map(|s| (s.kind, s.dfb.mean(), s.wins))
+        .collect();
+    let weighted = dfb_of(&results, HK::Random1w) + dfb_of(&results, HK::Random3w);
+    let unweighted = dfb_of(&results, HK::Random1) + dfb_of(&results, HK::Random3);
+    assert!(
+        weighted < unweighted,
+        "pooled weighted {weighted:.2} should beat unweighted {unweighted:.2}: {results:?}"
+    );
+}
+
+#[test]
+fn failure_awareness_pays_in_the_volatile_regime() {
+    // At large wmin (many state transitions per task), EMCT must beat MCT
+    // on average — the Figure-2 crossover. Aggregate over two volatile
+    // cells for stability.
+    let cells = [
+        ScenarioParams {
+            p: 10,
+            iterations: 4,
+            ..ScenarioParams::paper(10, 5, 8)
+        },
+        ScenarioParams {
+            p: 10,
+            iterations: 4,
+            ..ScenarioParams::paper(20, 5, 10)
+        },
+    ];
+    let results = small_campaign(&cells, vec![HK::Emct, HK::Mct]);
+    let emct = dfb_of(&results, HK::Emct);
+    let mct = dfb_of(&results, HK::Mct);
+    assert!(
+        emct < mct,
+        "volatile regime should favor EMCT: EMCT {emct:.2} vs MCT {mct:.2}"
+    );
+}
+
+#[test]
+fn all_17_heuristics_survive_a_full_cell() {
+    // Smoke: the complete roster finishes a (tiny) cell and produces a
+    // coherent summary.
+    let cell = ScenarioParams {
+        p: 8,
+        iterations: 3,
+        ..ScenarioParams::paper(5, 5, 2)
+    };
+    let results = small_campaign(&[cell], HK::ALL.to_vec());
+    assert_eq!(results.len(), 17);
+    for (kind, dfb, _) in &results {
+        assert!(dfb.is_finite(), "{kind}: dfb {dfb}");
+        assert!(*dfb >= 0.0);
+    }
+}
