@@ -1,19 +1,23 @@
-//! Per-decision cost of every heuristic family: one `place()` call on a
-//! 20-processor view with 20 tasks to place — the inner loop of the whole
-//! evaluation campaign.
+//! Per-decision cost of every heuristic family: `place_into` on views of
+//! several sizes — the inner loop of the whole evaluation campaign.
+//!
+//! The 20-processor group mirrors the paper's platforms; the scaling group
+//! (p ∈ {32, 256, 1024}) tracks the per-slot scheduling cost the slot-loop
+//! throughput bench (`slotloop`) aggregates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vg_bench::sample_chain;
-use vg_core::view::SchedViewBuilder;
-use vg_core::{HeuristicKind, SchedView};
+use vg_core::view::{OwnedSchedView, SchedViewBuilder};
+use vg_core::HeuristicKind;
 use vg_des::rng::SeedPath;
 use vg_markov::ProcState;
+use vg_platform::ProcessorId;
 
-fn view_20(seed: u64) -> SchedView {
-    let mut b = SchedViewBuilder::new(10, 2, 5);
-    for q in 0..20u64 {
+fn view_p(p: usize, seed: u64) -> OwnedSchedView {
+    let mut b = SchedViewBuilder::new(10, 2, (p / 4).max(2));
+    for q in 0..p as u64 {
         b = b.proc(
             if q % 5 == 4 { ProcState::Reclaimed } else { ProcState::Up },
             2 + q % 8,
@@ -26,7 +30,8 @@ fn view_20(seed: u64) -> SchedView {
 }
 
 fn bench_heuristics(c: &mut Criterion) {
-    let view = view_20(100);
+    let owned = view_p(20, 100);
+    let view = owned.view();
     let mut g = c.benchmark_group("place_20tasks_20procs");
     g.warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1))
@@ -43,11 +48,44 @@ fn bench_heuristics(c: &mut Criterion) {
     ] {
         g.bench_function(kind.name(), |b| {
             let mut sched = kind.build(SeedPath::root(1).rng());
-            b.iter(|| black_box(sched.place(black_box(&view), 20)));
+            let mut out: Vec<ProcessorId> = Vec::with_capacity(20);
+            b.iter(|| {
+                out.clear();
+                sched.place_into(black_box(&view), 20, &mut out);
+                black_box(out.len())
+            });
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_heuristics);
+fn bench_place_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("place_scaling");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+    for p in [32usize, 256, 1024] {
+        let owned = view_p(p, 7);
+        let view = owned.view();
+        let count = p / 4; // a paper-ratio batch of tasks to place
+        for kind in [HeuristicKind::Mct, HeuristicKind::EmctStar] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), p),
+                &count,
+                |b, &count| {
+                    let mut sched = kind.build(SeedPath::root(1).rng());
+                    let mut out: Vec<ProcessorId> = Vec::with_capacity(count);
+                    b.iter(|| {
+                        out.clear();
+                        sched.place_into(black_box(&view), count, &mut out);
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_place_scaling);
 criterion_main!(benches);

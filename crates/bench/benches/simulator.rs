@@ -1,6 +1,10 @@
 //! Simulator throughput: complete runs on paper-sized platforms. The
 //! per-run wall time here, multiplied by 296,400, is what a paper-scale
 //! campaign costs.
+//!
+//! Worker count and replication are parameterized separately so a
+//! regression in either path (the base slot loop vs the replica placement
+//! path) is visible on its own axis.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -24,17 +28,60 @@ fn bench_simulator(c: &mut Criterion) {
         let platform = paper_platform(p, 5, wmin, 11);
         let app = paper_app(n, iters, wmin, 1);
         for kind in [HeuristicKind::Mct, HeuristicKind::EmctStar] {
+            for replication in [false, true] {
+                let rep_label = if replication { "rep" } else { "norep" };
+                g.bench_with_input(
+                    BenchmarkId::new(label, format!("{}/{rep_label}", kind.name())),
+                    &kind,
+                    |b, &kind| {
+                        b.iter(|| {
+                            let report = Simulation::run_seeded(
+                                &platform,
+                                &app,
+                                kind.build(SeedPath::root(1).rng()),
+                                SeedPath::root(2),
+                                SimOptions {
+                                    replication,
+                                    ..SimOptions::default()
+                                },
+                            )
+                            .expect("valid");
+                            black_box(report.makespan_or_cap())
+                        });
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_simulator_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_run_scaling");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    for p in [32usize, 128] {
+        let platform = paper_platform(p, (p / 10).max(2), 2, 11);
+        let app = paper_app(2 * p, 2, 2, 1);
+        for replication in [false, true] {
+            let rep_label = if replication { "rep" } else { "norep" };
             g.bench_with_input(
-                BenchmarkId::new(label, kind.name()),
-                &kind,
-                |b, &kind| {
+                BenchmarkId::new(rep_label, p),
+                &replication,
+                |b, &replication| {
                     b.iter(|| {
                         let report = Simulation::run_seeded(
                             &platform,
                             &app,
-                            kind.build(SeedPath::root(1).rng()),
+                            HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
                             SeedPath::root(2),
-                            SimOptions::default(),
+                            SimOptions {
+                                max_slots: 100_000,
+                                replication,
+                                ..SimOptions::default()
+                            },
                         )
                         .expect("valid");
                         black_box(report.makespan_or_cap())
@@ -46,5 +93,5 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+criterion_group!(benches, bench_simulator, bench_simulator_scaling);
 criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Slot-loop throughput: slots simulated per second at several platform
+//! sizes, with replication on and off — the denominator of every campaign
+//! cost estimate, and the regression gate for hot-path work.
+//!
+//! Unlike the criterion benches this target emits machine-readable JSON
+//! (`BENCH_slotloop.json`, override with `BENCH_SLOTLOOP_OUT`) so CI can
+//! track a perf trajectory across PRs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use vg_bench::{paper_app, paper_platform};
+use vg_core::HeuristicKind;
+use vg_des::rng::SeedPath;
+use vg_sim::{SimOptions, Simulation};
+
+struct Cell {
+    p: usize,
+    replication: bool,
+    slots: u64,
+    seconds: f64,
+}
+
+impl Cell {
+    fn slots_per_sec(&self) -> f64 {
+        self.slots as f64 / self.seconds
+    }
+}
+
+fn run_cell(p: usize, replication: bool, max_slots: u64) -> Cell {
+    let ncom = (p / 10).max(2);
+    let platform = paper_platform(p, ncom, 2, 11);
+    // Enough work to keep the scheduler busy for the whole horizon: an
+    // iteration needs at least one slot, so `max_slots` iterations can
+    // never finish before the cap.
+    let app = paper_app(2 * p, max_slots, 2, 1);
+    let options = SimOptions {
+        max_slots,
+        replication,
+        max_extra_replicas: 2,
+        record_timeline: false,
+    };
+    // One warm-up run (allocator warm, branch predictors settled).
+    let warm = Simulation::run_seeded(
+        &platform,
+        &app,
+        HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
+        SeedPath::root(2),
+        SimOptions { max_slots: (max_slots / 10).max(10), ..options },
+    )
+    .expect("valid");
+    assert!(warm.slots_run > 0);
+
+    let start = Instant::now();
+    let report = Simulation::run_seeded(
+        &platform,
+        &app,
+        HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
+        SeedPath::root(2),
+        options,
+    )
+    .expect("valid");
+    let seconds = start.elapsed().as_secs_f64();
+    Cell { p, replication, slots: report.slots_run, seconds }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cells = Vec::new();
+    for p in [32usize, 256, 1024] {
+        // Constant total worker-slot budget so each cell costs about the same
+        // wall time regardless of platform size.
+        let budget: u64 = if quick { 200_000 } else { 4_000_000 };
+        let max_slots = (budget / p as u64).max(100);
+        for replication in [false, true] {
+            let cell = run_cell(p, replication, max_slots);
+            println!(
+                "slotloop p={:<5} replication={:<5} {:>12.0} slots/sec ({} slots in {:.3}s)",
+                cell.p,
+                cell.replication,
+                cell.slots_per_sec(),
+                cell.slots,
+                cell.seconds,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"p\": {}, \"replication\": {}, \"slots\": {}, \"seconds\": {:.6}, \"slots_per_sec\": {:.1}}}{}",
+            c.p,
+            c.replication,
+            c.slots,
+            c.seconds,
+            c.slots_per_sec(),
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    // Default under target/ so local runs don't dirty the tracked
+    // BENCH_slotloop.json trajectory anchor; CI overrides via the env var.
+    let out = std::env::var("BENCH_SLOTLOOP_OUT")
+        .unwrap_or_else(|_| "target/BENCH_slotloop.json".into());
+    std::fs::write(&out, &json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -8,6 +8,9 @@ use vg_des::rng::SeedPath;
 use vg_markov::availability::AvailabilityChain;
 use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig, StartPolicy};
 
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_counter;
+
 /// A paper-style Markov platform: `p` processors, diagonals in
 /// `[0.90, 0.99]`, speeds in `[wmin, 10·wmin]`.
 #[must_use]

@@ -1,0 +1,85 @@
+//! The zero-allocation claim of the slot loop, as a test.
+//!
+//! Run with: `cargo test -p vg-bench --features alloc-counter --release`
+//!
+//! The engine promises (see `vg_sim::engine` module docs) that once its
+//! scratch buffers have warmed up, a steady-state slot — including scheduler
+//! placement, the replica path, transfers, compute, task completions and
+//! sibling cancellation — performs **zero** heap allocations. This binary
+//! installs the counting global allocator, warms a mid-iteration simulation
+//! up, and asserts allocator silence over a long run of subsequent slots.
+//!
+//! This file holds exactly one test so the default multi-threaded test
+//! harness cannot run a neighbor concurrently and pollute the counters.
+#![cfg(feature = "alloc-counter")]
+
+use vg_bench::alloc_counter::{snapshot, CountingAllocator};
+use vg_bench::{paper_app, paper_platform};
+use vg_core::HeuristicKind;
+use vg_des::rng::SeedPath;
+use vg_platform::source::AvailabilitySource;
+use vg_sim::{SimOptions, Simulation};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn warmed_simulation(p: usize, replication: bool) -> Simulation {
+    let platform = paper_platform(p, (p / 10).max(2), 2, 11);
+    // Many iterations keep the workload alive for the whole measured
+    // window. Iteration barriers are themselves allocation-free
+    // (IterationState::reset reuses buffers; the completion log is
+    // preallocated), so the window may span them freely.
+    let app = paper_app(2 * p, 10_000, 2, 1);
+    let sources: Vec<Box<dyn AvailabilitySource>> = platform
+        .processors
+        .iter()
+        .enumerate()
+        .map(|(q, pc)| pc.avail.build_source(SeedPath::root(2).child(q as u64).rng()))
+        .collect();
+    let sim = Simulation::new(
+        &platform,
+        &app,
+        HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
+        sources,
+        SimOptions {
+            max_slots: 1_000_000,
+            replication,
+            max_extra_replicas: 2,
+            record_timeline: false,
+        },
+    )
+    .expect("valid configuration");
+    sim
+}
+
+#[test]
+fn steady_state_slot_loop_is_allocation_free() {
+    for replication in [false, true] {
+        let mut sim = warmed_simulation(64, replication);
+        // Warm-up: scratch buffers, worker bound-lists and scheduler
+        // internals reach their high-water capacities.
+        for _ in 0..2_000 {
+            sim.step();
+            if sim.is_done() {
+                panic!("warm-up exhausted the workload; enlarge the app");
+            }
+        }
+        let before = snapshot();
+        for _ in 0..5_000 {
+            sim.step();
+            if sim.is_done() {
+                break;
+            }
+        }
+        let delta = snapshot().delta(before);
+        assert!(
+            delta.is_quiet(),
+            "steady-state slots allocated (replication={replication}): \
+             {} allocs, {} reallocs, {} bytes over {} measured slots",
+            delta.allocs,
+            delta.reallocs,
+            delta.bytes,
+            5_000,
+        );
+    }
+}

@@ -55,7 +55,6 @@ pub fn completion_time(p: &ProcSnapshot, n_q_incl: usize, eff_t_data: SlotSpan) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vg_markov::availability::AvailabilityChain;
     use vg_markov::ProcState;
     use vg_platform::ProcessorId;
 
@@ -66,14 +65,6 @@ mod tests {
             w,
             has_program: true,
             delay,
-            chain: vg_markov::availability::ChainStats::new(
-                AvailabilityChain::new([
-                    [0.9, 0.05, 0.05],
-                    [0.1, 0.85, 0.05],
-                    [0.05, 0.05, 0.9],
-                ])
-                .unwrap(),
-            ),
         }
     }
 

@@ -14,11 +14,34 @@
 //!
 //! The `*` variants replace `T_data` by `⌈n_active/ncom⌉·T_data` inside `CT`
 //! (Equation (2)).
+//!
+//! ## Scratch reuse and score caching
+//!
+//! `place_into` keeps three buffers across calls (`ups`, `n_q`, `scores`),
+//! so steady-state placement allocates nothing. Scores are cached per UP
+//! processor and recomputed only when their inputs change: assigning a task
+//! to `P_j` invalidates `P_j`'s score alone, except for the `*` variants
+//! where enrolling a *new* processor bumps `n_active` and invalidates every
+//! score (Equation (2) couples them). The cache replays exactly the
+//! computation the naive rescan performed, so decisions — including the
+//! lowest-id tie-break \[D9\] — are bit-identical to the original
+//! implementation.
 
 use crate::ct::{completion_time, effective_t_data};
 use crate::traits::Scheduler;
 use crate::view::SchedView;
 use vg_platform::ProcessorId;
+
+/// Whether growing `n_active` from `n_active − 1` changed the Equation-(2)
+/// factor `⌈max(n_active_incl, 1)/ncom⌉` for either candidate class —
+/// enrolled processors see `n_active_incl = n_active`, not-yet-enrolled ones
+/// see `n_active + 1` (\[D13\]). When neither ceiling moved, every cached
+/// score is unchanged bit-for-bit and the cache refresh can be skipped.
+#[inline]
+fn ceiling_steps(n_active: usize, ncom: usize) -> bool {
+    let f = |x: usize| (x.max(1) as u64).div_ceil(ncom as u64);
+    f(n_active) != f(n_active - 1) || f(n_active + 1) != f(n_active)
+}
 
 /// Which selection score a [`GreedyScheduler`] optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +64,12 @@ pub struct GreedyScheduler {
     /// Apply the Equation-(2) contention correction (the `*` variants).
     contention: bool,
     name: &'static str,
+    /// Scratch: UP processor indices of the current call.
+    ups: Vec<usize>,
+    /// Scratch: tasks assigned to each processor this round.
+    n_q: Vec<usize>,
+    /// Scratch: cached score of each UP processor (parallel to `ups`).
+    scores: Vec<f64>,
 }
 
 impl GreedyScheduler {
@@ -51,6 +80,9 @@ impl GreedyScheduler {
             objective,
             contention,
             name,
+            ups: Vec::new(),
+            n_q: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -68,24 +100,25 @@ impl GreedyScheduler {
 
     /// Score of assigning one more task to processor `idx`; *smaller is
     /// better* (maximizing objectives are negated).
-    fn score(&self, view: &SchedView, idx: usize, n_q: usize, n_active: usize) -> f64 {
+    fn score(&self, view: &SchedView<'_>, idx: usize, n_q: usize, n_active: usize) -> f64 {
         let p = &view.procs[idx];
+        let chain = view.chain(idx);
         // [D13]: the candidate counts itself when newly enrolled.
         let n_active_incl = n_active + usize::from(n_q == 0);
         let eff = effective_t_data(view.t_data, self.contention, n_active_incl, view.ncom);
         let ct = completion_time(p, n_q + 1, eff);
         match self.objective {
             GreedyObjective::Mct => ct as f64,
-            GreedyObjective::Emct => p.chain.e_w(ct),
+            GreedyObjective::Emct => chain.e_w(ct),
             GreedyObjective::Lw => {
                 // Maximize (P₊)^CT  ⇔  minimize −(P₊)^CT.
-                -(p.chain.p_plus().powf(ct as f64))
+                -(chain.p_plus().powf(ct as f64))
             }
             GreedyObjective::Ud => {
                 // k = E(CT) rounded to whole slots (≥ 1), then the paper's
                 // closed-form P_UD approximation.
-                let k = p.chain.e_w(ct).round().max(1.0) as u64;
-                -p.chain.p_ud_approx(k)
+                let k = chain.e_w(ct).round().max(1.0) as u64;
+                -chain.p_ud_approx(k)
             }
         }
     }
@@ -96,34 +129,56 @@ impl Scheduler for GreedyScheduler {
         self.name
     }
 
-    fn place(&mut self, view: &SchedView, count: usize) -> Vec<ProcessorId> {
-        let ups = view.up_indices();
+    fn place_into(&mut self, view: &SchedView<'_>, count: usize, out: &mut Vec<ProcessorId>) {
+        let mut ups = std::mem::take(&mut self.ups);
+        view.up_indices_into(&mut ups);
         if ups.is_empty() || count == 0 {
-            return Vec::new();
+            self.ups = ups;
+            return;
         }
-        // Per-round bookkeeping: tasks assigned to each processor (n_q) and
-        // the number of enrolled processors (n_active, for Equation (2)).
-        let mut n_q = vec![0usize; view.p()];
+        // Per-round bookkeeping: tasks assigned to each processor (n_q), the
+        // number of enrolled processors (n_active, for Equation (2)), and
+        // the cached score of each UP candidate.
+        let mut n_q = std::mem::take(&mut self.n_q);
+        n_q.clear();
+        n_q.resize(view.p(), 0);
+        let mut scores = std::mem::take(&mut self.scores);
+        scores.clear();
+        scores.extend(ups.iter().map(|&i| self.score(view, i, 0, 0)));
         let mut n_active = 0usize;
-        let mut out = Vec::with_capacity(count);
         for _ in 0..count {
-            let mut best_idx = ups[0];
+            let mut best_pos = 0usize;
             let mut best_score = f64::INFINITY;
-            for &i in &ups {
-                let s = self.score(view, i, n_q[i], n_active);
-                // Strict `<` keeps the lowest processor id on ties ([D9]).
+            for (pos, &s) in scores.iter().enumerate() {
+                // Strict `<` keeps the lowest processor id on ties ([D9]);
+                // `ups` (and hence `scores`) is in ascending id order.
                 if s < best_score {
                     best_score = s;
-                    best_idx = i;
+                    best_pos = pos;
                 }
             }
-            if n_q[best_idx] == 0 {
+            let best_idx = ups[best_pos];
+            let newly_enrolled = n_q[best_idx] == 0;
+            if newly_enrolled {
                 n_active += 1;
             }
             n_q[best_idx] += 1;
             out.push(view.procs[best_idx].id);
+            if self.contention && newly_enrolled && ceiling_steps(n_active, view.ncom) {
+                // Equation (2): the new enrollee bumped a ⌈n_active/ncom⌉
+                // ceiling, inflating effective T_data — refresh the whole
+                // cache. (Between steps the factor — and hence every cached
+                // score — is bit-identical, so no refresh is needed.)
+                for (pos, &i) in ups.iter().enumerate() {
+                    scores[pos] = self.score(view, i, n_q[i], n_active);
+                }
+            } else {
+                scores[best_pos] = self.score(view, best_idx, n_q[best_idx], n_active);
+            }
         }
-        out
+        self.ups = ups;
+        self.n_q = n_q;
+        self.scores = scores;
     }
 }
 
@@ -163,7 +218,7 @@ mod tests {
             .proc(ProcState::Up, 2, true, 10, reliable())
             .build();
         let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
-        assert_eq!(s.place(&view, 1), vec![ProcessorId(0)]);
+        assert_eq!(s.place(&view.view(), 1), vec![ProcessorId(0)]);
     }
 
     #[test]
@@ -175,7 +230,7 @@ mod tests {
             .proc(ProcState::Up, 3, true, 0, reliable())
             .build();
         let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
-        let picks = s.place(&view, 2);
+        let picks = s.place(&view.view(), 2);
         assert_eq!(picks, vec![ProcessorId(0), ProcessorId(1)]);
     }
 
@@ -188,7 +243,7 @@ mod tests {
             .proc(ProcState::Up, 10, true, 0, reliable())
             .build();
         let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
-        let picks = s.place(&view, 4);
+        let picks = s.place(&view.view(), 4);
         assert_eq!(
             picks,
             vec![ProcessorId(0); 4],
@@ -205,9 +260,13 @@ mod tests {
             .proc(ProcState::Up, 20, true, 0, reliable())
             .build();
         let mut emct = GreedyScheduler::new(GreedyObjective::Emct, false, "EMCT");
-        assert_eq!(emct.place(&view, 1), vec![ProcessorId(1)]);
+        assert_eq!(emct.place(&view.view(), 1), vec![ProcessorId(1)]);
         let mut mct = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
-        assert_eq!(mct.place(&view, 1), vec![ProcessorId(0)], "tie → lowest id");
+        assert_eq!(
+            mct.place(&view.view(), 1),
+            vec![ProcessorId(0)],
+            "tie → lowest id"
+        );
     }
 
     #[test]
@@ -218,14 +277,14 @@ mod tests {
             .proc(ProcState::Up, 18, true, 0, flaky())
             .proc(ProcState::Up, 20, true, 0, reliable())
             .build();
-        let flaky_ew = view.procs[0].chain.e_w(19);
-        let reliable_ew = view.procs[1].chain.e_w(21);
+        let flaky_ew = view.view().chain(0).e_w(19);
+        let reliable_ew = view.view().chain(1).e_w(21);
         assert!(reliable_ew < flaky_ew, "premise: {reliable_ew} vs {flaky_ew}");
         let mut emct = GreedyScheduler::new(GreedyObjective::Emct, false, "EMCT");
-        assert_eq!(emct.place(&view, 1), vec![ProcessorId(1)]);
+        assert_eq!(emct.place(&view.view(), 1), vec![ProcessorId(1)]);
         // MCT, blind to volatility, grabs the faster one.
         let mut mct = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
-        assert_eq!(mct.place(&view, 1), vec![ProcessorId(0)]);
+        assert_eq!(mct.place(&view.view(), 1), vec![ProcessorId(0)]);
     }
 
     #[test]
@@ -236,11 +295,11 @@ mod tests {
             .proc(ProcState::Up, 2, true, 0, flaky())
             .proc(ProcState::Up, 4, true, 0, reliable())
             .build();
-        let p0 = view.procs[0].chain.p_plus().powf(3.0);
-        let p1 = view.procs[1].chain.p_plus().powf(5.0);
+        let p0 = view.view().chain(0).p_plus().powf(3.0);
+        let p1 = view.view().chain(1).p_plus().powf(5.0);
         assert!(p1 > p0, "premise: {p1} vs {p0}");
         let mut lw = GreedyScheduler::new(GreedyObjective::Lw, false, "LW");
-        assert_eq!(lw.place(&view, 1), vec![ProcessorId(1)]);
+        assert_eq!(lw.place(&view.view(), 1), vec![ProcessorId(1)]);
     }
 
     #[test]
@@ -250,7 +309,7 @@ mod tests {
             .proc(ProcState::Up, 4, true, 0, reliable())
             .build();
         let mut ud = GreedyScheduler::new(GreedyObjective::Ud, false, "UD");
-        assert_eq!(ud.place(&view, 1), vec![ProcessorId(1)]);
+        assert_eq!(ud.place(&view.view(), 1), vec![ProcessorId(1)]);
     }
 
     #[test]
@@ -266,7 +325,7 @@ mod tests {
                 .proc(ProcState::Up, 2, true, 0, reliable())
                 .build();
             let mut s = GreedyScheduler::new(GreedyObjective::Mct, star, "MCTx");
-            let picks = s.place(&view, 4);
+            let picks = s.place(&view.view(), 4);
             let mut used: Vec<_> = picks.iter().map(|p| p.idx()).collect();
             used.sort_unstable();
             used.dedup();
@@ -291,7 +350,10 @@ mod tests {
         };
         let mut plain = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
         let mut star = GreedyScheduler::new(GreedyObjective::Mct, true, "MCT*");
-        assert_eq!(plain.place(&build(), 5), star.place(&build(), 5));
+        assert_eq!(
+            plain.place(&build().view(), 5),
+            star.place(&build().view(), 5)
+        );
     }
 
     #[test]
@@ -307,7 +369,7 @@ mod tests {
             GreedyObjective::Ud,
         ] {
             let mut s = GreedyScheduler::new(obj, false, "x");
-            assert!(s.place(&view, 2).is_empty(), "{obj:?}");
+            assert!(s.place(&view.view(), 2).is_empty(), "{obj:?}");
         }
     }
 
@@ -320,7 +382,7 @@ mod tests {
             .build();
         for obj in [GreedyObjective::Mct, GreedyObjective::Emct] {
             let mut s = GreedyScheduler::new(obj, false, "x");
-            assert_eq!(s.place(&view, 1), vec![ProcessorId(1)], "{obj:?}");
+            assert_eq!(s.place(&view.view(), 1), vec![ProcessorId(1)], "{obj:?}");
         }
     }
 
@@ -333,6 +395,80 @@ mod tests {
             .proc(ProcState::Up, 3, true, 0, reliable())
             .build();
         let mut s = GreedyScheduler::new(GreedyObjective::Mct, false, "MCT");
-        assert_eq!(s.place(&view, 1), vec![ProcessorId(1)]);
+        assert_eq!(s.place(&view.view(), 1), vec![ProcessorId(1)]);
+    }
+
+    #[test]
+    fn place_into_reuses_buffers_and_matches_place() {
+        // The scratch-based entry point must agree with the shim and, once
+        // warm, leave the output buffer's allocation untouched.
+        let owned = SchedViewBuilder::new(5, 3, 2)
+            .proc(ProcState::Up, 3, true, 0, reliable())
+            .proc(ProcState::Up, 2, true, 1, flaky())
+            .proc(ProcState::Up, 7, true, 0, reliable())
+            .build();
+        for (obj, star) in [
+            (GreedyObjective::Mct, false),
+            (GreedyObjective::Mct, true),
+            (GreedyObjective::Emct, true),
+            (GreedyObjective::Ud, false),
+        ] {
+            let mut a = GreedyScheduler::new(obj, star, "a");
+            let mut b = GreedyScheduler::new(obj, star, "b");
+            let expected = a.place(&owned.view(), 6);
+            let mut out = Vec::with_capacity(6);
+            b.place_into(&owned.view(), 6, &mut out);
+            assert_eq!(out, expected, "{obj:?} star={star}");
+            let ptr = out.as_ptr();
+            out.clear();
+            b.place_into(&owned.view(), 6, &mut out);
+            assert_eq!(out, expected);
+            assert_eq!(ptr, out.as_ptr(), "output buffer must be reused");
+        }
+    }
+
+    #[test]
+    fn score_cache_matches_naive_rescan() {
+        // Replay the pre-cache algorithm and compare decision-for-decision
+        // on a view engineered to exercise ties, enrollment and pipelining.
+        let owned = SchedViewBuilder::new(4, 3, 2)
+            .proc(ProcState::Up, 2, true, 0, reliable())
+            .proc(ProcState::Up, 2, true, 0, reliable())
+            .proc(ProcState::Up, 5, false, 4, flaky())
+            .proc(ProcState::Up, 1, true, 2, reliable())
+            .build();
+        let view = owned.view();
+        for (obj, star) in [
+            (GreedyObjective::Mct, false),
+            (GreedyObjective::Mct, true),
+            (GreedyObjective::Emct, false),
+            (GreedyObjective::Emct, true),
+            (GreedyObjective::Lw, true),
+            (GreedyObjective::Ud, true),
+        ] {
+            let probe = GreedyScheduler::new(obj, star, "probe");
+            let mut naive = Vec::new();
+            let mut n_q = vec![0usize; view.p()];
+            let mut n_active = 0usize;
+            let ups = view.up_indices();
+            for _ in 0..10 {
+                let mut best_idx = ups[0];
+                let mut best_score = f64::INFINITY;
+                for &i in &ups {
+                    let s = probe.score(&view, i, n_q[i], n_active);
+                    if s < best_score {
+                        best_score = s;
+                        best_idx = i;
+                    }
+                }
+                if n_q[best_idx] == 0 {
+                    n_active += 1;
+                }
+                n_q[best_idx] += 1;
+                naive.push(view.procs[best_idx].id);
+            }
+            let mut cached = GreedyScheduler::new(obj, star, "cached");
+            assert_eq!(cached.place(&view, 10), naive, "{obj:?} star={star}");
+        }
     }
 }

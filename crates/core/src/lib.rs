@@ -26,14 +26,19 @@
 //! ]).unwrap();
 //!
 //! // Two UP processors; the second is twice as fast.
-//! let view = SchedViewBuilder::new(5, 1, 2)
+//! let owned = SchedViewBuilder::new(5, 1, 2)
 //!     .proc(ProcState::Up, 4, true, 0, chain.clone())
 //!     .proc(ProcState::Up, 2, true, 0, chain)
 //!     .build();
 //!
 //! let mut emct = HeuristicKind::Emct.build(SeedPath::root(0).rng());
-//! let placements = emct.place(&view, 1);
+//! let placements = emct.place(&owned.view(), 1);
 //! assert_eq!(placements[0].idx(), 1); // the fast processor wins
+//!
+//! // Hot paths reuse an output buffer instead (zero-allocation steady state):
+//! let mut out = Vec::with_capacity(4);
+//! emct.place_into(&owned.view(), 1, &mut out);
+//! assert_eq!(out, placements);
 //! ```
 
 pub mod catalog;
@@ -45,11 +50,11 @@ pub mod view;
 
 pub use catalog::HeuristicKind;
 pub use traits::Scheduler;
-pub use view::{ProcSnapshot, SchedView, SchedViewBuilder};
+pub use view::{OwnedSchedView, ProcSnapshot, SchedView, SchedViewBuilder};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::catalog::HeuristicKind;
     pub use crate::traits::Scheduler;
-    pub use crate::view::{ProcSnapshot, SchedView, SchedViewBuilder};
+    pub use crate::view::{OwnedSchedView, ProcSnapshot, SchedView, SchedViewBuilder};
 }

@@ -40,6 +40,10 @@ pub struct RandomScheduler {
     per_speed: bool,
     rng: StreamRng,
     name: &'static str,
+    /// Scratch: UP processor indices of the current call.
+    ups: Vec<usize>,
+    /// Scratch: draw weights (parallel to `ups`).
+    weights: Vec<f64>,
 }
 
 impl RandomScheduler {
@@ -56,17 +60,20 @@ impl RandomScheduler {
             per_speed,
             rng,
             name,
+            ups: Vec::new(),
+            weights: Vec::new(),
         }
     }
 
-    fn weight_of(&self, view: &SchedView, idx: usize) -> f64 {
+    fn weight_of(&self, view: &SchedView<'_>, idx: usize) -> f64 {
         let p = &view.procs[idx];
+        let chain = view.chain(idx);
         let base = match self.weight {
             RandomWeight::Uniform => 1.0,
-            RandomWeight::LongTimeUp => p.chain.p_uu(),
-            RandomWeight::LikelyToWorkMore => p.chain.p_plus(),
-            RandomWeight::OftenUp => p.chain.pi()[0],
-            RandomWeight::RarelyDown => 1.0 - p.chain.pi()[2],
+            RandomWeight::LongTimeUp => chain.p_uu(),
+            RandomWeight::LikelyToWorkMore => chain.p_plus(),
+            RandomWeight::OftenUp => chain.pi()[0],
+            RandomWeight::RarelyDown => 1.0 - chain.pi()[2],
         };
         if self.per_speed {
             base / p.w as f64
@@ -81,13 +88,16 @@ impl Scheduler for RandomScheduler {
         self.name
     }
 
-    fn place(&mut self, view: &SchedView, count: usize) -> Vec<ProcessorId> {
-        let ups = view.up_indices();
+    fn place_into(&mut self, view: &SchedView<'_>, count: usize, out: &mut Vec<ProcessorId>) {
+        let mut ups = std::mem::take(&mut self.ups);
+        view.up_indices_into(&mut ups);
         if ups.is_empty() || count == 0 {
-            return Vec::new();
+            self.ups = ups;
+            return;
         }
-        let weights: Vec<f64> = ups.iter().map(|&i| self.weight_of(view, i)).collect();
-        let mut out = Vec::with_capacity(count);
+        let mut weights = std::mem::take(&mut self.weights);
+        weights.clear();
+        weights.extend(ups.iter().map(|&i| self.weight_of(view, i)));
         for _ in 0..count {
             let pick = match self.rng.weighted_index(&weights) {
                 Some(k) => k,
@@ -96,7 +106,8 @@ impl Scheduler for RandomScheduler {
             };
             out.push(view.procs[ups[pick]].id);
         }
-        out
+        self.ups = ups;
+        self.weights = weights;
     }
 }
 
@@ -126,14 +137,14 @@ mod tests {
         .unwrap()
     }
 
-    fn two_proc_view() -> SchedView {
+    fn two_proc_view() -> crate::view::OwnedSchedView {
         SchedViewBuilder::new(5, 1, 2)
             .proc(ProcState::Up, 1, false, 0, reliable())
             .proc(ProcState::Up, 1, false, 0, flaky())
             .build()
     }
 
-    fn count_picks(s: &mut RandomScheduler, view: &SchedView, n: usize) -> [usize; 2] {
+    fn count_picks(s: &mut RandomScheduler, view: &SchedView<'_>, n: usize) -> [usize; 2] {
         let picks = s.place(view, n);
         let mut counts = [0usize; 2];
         for p in picks {
@@ -151,7 +162,7 @@ mod tests {
             "Random",
         );
         let view = two_proc_view();
-        let counts = count_picks(&mut s, &view, 10_000);
+        let counts = count_picks(&mut s, &view.view(), 10_000);
         let ratio = counts[0] as f64 / counts[1] as f64;
         assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
     }
@@ -167,7 +178,7 @@ mod tests {
             let mut s =
                 RandomScheduler::new(weight, false, SeedPath::root(2).rng(), "RandomX");
             let view = two_proc_view();
-            let counts = count_picks(&mut s, &view, 10_000);
+            let counts = count_picks(&mut s, &view.view(), 10_000);
             assert!(
                 counts[0] > counts[1],
                 "{weight:?}: reliable {} vs flaky {}",
@@ -191,7 +202,7 @@ mod tests {
             SeedPath::root(3).rng(),
             "Random1w",
         );
-        let counts = count_picks(&mut s, &view, 11_000);
+        let counts = count_picks(&mut s, &view.view(), 11_000);
         let ratio = counts[0] as f64 / counts[1].max(1) as f64;
         assert!((8.0..12.5).contains(&ratio), "ratio {ratio}");
     }
@@ -209,7 +220,7 @@ mod tests {
             SeedPath::root(4).rng(),
             "Random",
         );
-        for id in s.place(&view, 100) {
+        for id in s.place(&view.view(), 100) {
             assert_eq!(id.idx(), 1);
         }
     }
@@ -225,7 +236,7 @@ mod tests {
             SeedPath::root(5).rng(),
             "Random",
         );
-        assert!(s.place(&view, 3).is_empty());
+        assert!(s.place(&view.view(), 3).is_empty());
     }
 
     #[test]
@@ -238,7 +249,7 @@ mod tests {
                 SeedPath::root(seed).rng(),
                 "Random3",
             );
-            s.place(&view, 50)
+            s.place(&view.view(), 50)
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

@@ -8,7 +8,7 @@ use vg_platform::ProcessorId;
 /// Once per slot the simulator presents the current [`SchedView`] and the
 /// number of task instances that need placement (the `m − m′` unstarted
 /// tasks of the running iteration, or a batch of replicas). The heuristic
-/// returns, in placement order, the processor chosen for each instance;
+/// appends, in placement order, the processor chosen for each instance;
 /// placement order doubles as bandwidth priority among *new* transfers.
 ///
 /// Contracts:
@@ -19,11 +19,25 @@ use vg_platform::ProcessorId;
 ///   `UP` — and the unplaced instances simply retry at the next slot;
 /// * implementations must be deterministic functions of `(view, count)` and
 ///   their own internal RNG stream, never of wall-clock or global state, so
-///   that experiment runs are exactly reproducible.
+///   that experiment runs are exactly reproducible;
+/// * implementations should reuse internal scratch space across calls so
+///   that steady-state placement performs no heap allocation (the engine
+///   calls [`Self::place_into`] up to a million times per run).
 pub trait Scheduler: Send {
     /// Human-readable name; matches the paper's tables (`"EMCT*"`, …).
     fn name(&self) -> &str;
 
-    /// Chooses a processor for each of `count` task instances.
-    fn place(&mut self, view: &SchedView, count: usize) -> Vec<ProcessorId>;
+    /// Chooses a processor for each of `count` task instances, appending the
+    /// choices to `out` (which the engine has already cleared). The engine
+    /// owns `out` and reuses it across slots, so a warmed-up buffer makes
+    /// this call allocation-free.
+    fn place_into(&mut self, view: &SchedView<'_>, count: usize, out: &mut Vec<ProcessorId>);
+
+    /// Allocating shim over [`Self::place_into`] for callers that predate
+    /// the scratch-buffer API (tests, examples, one-shot tools).
+    fn place(&mut self, view: &SchedView<'_>, count: usize) -> Vec<ProcessorId> {
+        let mut out = Vec::with_capacity(count);
+        self.place_into(view, count, &mut out);
+        out
+    }
 }

@@ -3,17 +3,35 @@
 //! The master observes processor states through heartbeats (Section 3.2) and
 //! knows the static platform description plus, under the Markov assumption,
 //! each processor's transition matrix. Everything a heuristic may consult is
-//! collected into a [`SchedView`] built fresh by the simulator at every slot;
+//! collected into a [`SchedView`] presented by the simulator at every slot;
 //! heuristics cannot reach into the engine, which keeps the
 //! information-hygiene of the on-line problem honest (no peeking at future
 //! states).
+//!
+//! ## Zero-allocation design
+//!
+//! A view is split into two parts with very different lifetimes:
+//!
+//! * **Per-slot** data — state, delay, program possession — lives in small
+//!   `Copy` [`ProcSnapshot`]s that the engine rewrites in place into a
+//!   scratch buffer each slot;
+//! * **Per-run** data — the precomputed [`ChainStats`] of each processor's
+//!   believed availability chain — is built once at engine construction and
+//!   only ever *borrowed* by views.
+//!
+//! [`SchedView`] therefore borrows both slices (`&[ProcSnapshot]`,
+//! `&[ChainStats]`) and is itself `Copy`; constructing one per slot costs
+//! nothing. Tests and examples that want a self-contained view use
+//! [`OwnedSchedView`] (usually via [`SchedViewBuilder`]) and borrow it with
+//! [`OwnedSchedView::view`].
 
 use vg_des::SlotSpan;
 use vg_markov::availability::{AvailabilityChain, ChainStats, ProcState};
 use vg_platform::ProcessorId;
 
-/// Per-processor snapshot at the current slot.
-#[derive(Debug, Clone)]
+/// Per-processor snapshot at the current slot (per-slot data only; the
+/// processor's chain statistics live in the view's `chains` slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcSnapshot {
     /// Which processor this is.
     pub id: ProcessorId,
@@ -28,17 +46,21 @@ pub struct ProcSnapshot {
     /// data transfers and pinned computations — assuming it stays `UP` and
     /// suffers no contention (\[D8\] in DESIGN.md).
     pub delay: SlotSpan,
-    /// Precomputed statistics of the availability chain the scheduler
-    /// *believes* describes this processor (the truth in the paper's
-    /// experiments; an estimate in the model-misspecification studies).
-    pub chain: ChainStats,
 }
 
 /// Scheduler-visible state of the whole platform at one slot.
-#[derive(Debug, Clone)]
-pub struct SchedView {
+///
+/// Borrows the engine's scratch snapshot buffer and its per-run chain
+/// statistics; copying a `SchedView` copies two fat pointers.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedView<'a> {
     /// One snapshot per processor, indexed by `ProcessorId::idx()`.
-    pub procs: Vec<ProcSnapshot>,
+    pub procs: &'a [ProcSnapshot],
+    /// Precomputed statistics of the availability chain the scheduler
+    /// *believes* describes each processor (the truth in the paper's
+    /// experiments; an estimate in the model-misspecification studies).
+    /// Indexed by `ProcessorId::idx()`, same length as `procs`.
+    pub chains: &'a [ChainStats],
     /// `T_prog`: slots to transfer the program.
     pub t_prog: SlotSpan,
     /// `T_data`: slots to transfer one task's input.
@@ -47,16 +69,34 @@ pub struct SchedView {
     pub ncom: usize,
 }
 
-impl SchedView {
+impl<'a> SchedView<'a> {
+    /// Chain statistics of processor `idx`.
+    #[inline]
+    #[must_use]
+    pub fn chain(&self, idx: usize) -> &'a ChainStats {
+        &self.chains[idx]
+    }
+
     /// Indices of processors in the `UP` state, in id order.
+    ///
+    /// Allocates; heuristic hot paths use [`Self::up_indices_into`] with a
+    /// reused scratch buffer instead.
     #[must_use]
     pub fn up_indices(&self) -> Vec<usize> {
-        self.procs
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.state.is_up())
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.up_indices_into(&mut out);
+        out
+    }
+
+    /// Writes the indices of `UP` processors into `out` (cleared first), in
+    /// id order. No allocation once `out` has warmed to capacity.
+    pub fn up_indices_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.state.is_up() {
+                out.push(i);
+            }
+        }
     }
 
     /// Number of processors.
@@ -66,10 +106,42 @@ impl SchedView {
     }
 }
 
+/// A self-contained view owning its snapshots and chain statistics.
+///
+/// The engine never materializes one of these per slot; they exist for
+/// tests, examples and benches that need a view without an engine behind it.
+#[derive(Debug, Clone)]
+pub struct OwnedSchedView {
+    /// One snapshot per processor.
+    pub procs: Vec<ProcSnapshot>,
+    /// One precomputed chain per processor.
+    pub chains: Vec<ChainStats>,
+    /// `T_prog`.
+    pub t_prog: SlotSpan,
+    /// `T_data`.
+    pub t_data: SlotSpan,
+    /// `ncom`.
+    pub ncom: usize,
+}
+
+impl OwnedSchedView {
+    /// Borrows as the [`SchedView`] that schedulers consume.
+    #[must_use]
+    pub fn view(&self) -> SchedView<'_> {
+        SchedView {
+            procs: &self.procs,
+            chains: &self.chains,
+            t_prog: self.t_prog,
+            t_data: self.t_data,
+            ncom: self.ncom,
+        }
+    }
+}
+
 /// Builder for hand-crafted views in tests and examples.
 #[derive(Debug, Clone)]
 pub struct SchedViewBuilder {
-    view: SchedView,
+    view: OwnedSchedView,
 }
 
 impl SchedViewBuilder {
@@ -77,8 +149,9 @@ impl SchedViewBuilder {
     #[must_use]
     pub fn new(t_prog: SlotSpan, t_data: SlotSpan, ncom: usize) -> Self {
         Self {
-            view: SchedView {
+            view: OwnedSchedView {
                 procs: Vec::new(),
+                chains: Vec::new(),
                 t_prog,
                 t_data,
                 ncom,
@@ -103,14 +176,14 @@ impl SchedViewBuilder {
             w,
             has_program,
             delay,
-            chain: ChainStats::new(chain),
         });
+        self.view.chains.push(ChainStats::new(chain));
         self
     }
 
     /// Finishes the view.
     #[must_use]
-    pub fn build(self) -> SchedView {
+    pub fn build(self) -> OwnedSchedView {
         self.view
     }
 }
@@ -130,14 +203,41 @@ mod tests {
 
     #[test]
     fn up_indices_filters_and_orders() {
-        let v = SchedViewBuilder::new(5, 1, 2)
+        let owned = SchedViewBuilder::new(5, 1, 2)
             .proc(ProcState::Up, 1, false, 0, chain())
             .proc(ProcState::Down, 1, false, 0, chain())
             .proc(ProcState::Up, 2, true, 3, chain())
             .proc(ProcState::Reclaimed, 2, true, 3, chain())
             .build();
+        let v = owned.view();
         assert_eq!(v.up_indices(), vec![0, 2]);
         assert_eq!(v.p(), 4);
         assert_eq!(v.procs[2].id, ProcessorId(2));
+    }
+
+    #[test]
+    fn up_indices_into_reuses_buffer() {
+        let owned = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 1, false, 0, chain())
+            .proc(ProcState::Up, 1, false, 0, chain())
+            .build();
+        let v = owned.view();
+        let mut buf = Vec::with_capacity(8);
+        v.up_indices_into(&mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        let ptr = buf.as_ptr();
+        v.up_indices_into(&mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        assert_eq!(ptr, buf.as_ptr(), "buffer must be reused, not reallocated");
+    }
+
+    #[test]
+    fn chains_are_indexed_per_processor() {
+        let owned = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 1, false, 0, chain())
+            .build();
+        let v = owned.view();
+        assert_eq!(v.chain(0).p_uu(), chain().p_uu());
+        assert_eq!(v.chains.len(), v.procs.len());
     }
 }

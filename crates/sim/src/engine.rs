@@ -27,6 +27,38 @@
 //! produce bit-identical reports. The availability sources are pre-seeded by
 //! the caller, so different heuristics can face byte-identical availability
 //! (common random numbers, the paper's Section 7 methodology).
+//!
+//! ## Scratch and borrow lifecycle (the zero-allocation slot loop)
+//!
+//! Campaign-scale runs execute up to 10⁶ slots per instance, so the slot
+//! loop performs **no heap allocation in steady state**. Two mechanisms make
+//! that possible:
+//!
+//! * **Per-run borrows.** Everything a [`vg_core::SchedView`] exposes that
+//!   does not change slot-to-slot — one [`ChainStats`] per processor — is
+//!   precomputed once in [`Simulation::new`] and stored in `chains`. A view
+//!   is then just a pair of borrowed slices (`&scratch.procs`, `&chains`)
+//!   plus three scalars, rebuilt for free every slot.
+//! * **Per-slot scratch.** Every transient collection the phases need —
+//!   processor snapshots, the schedulable-task list, replica candidates,
+//!   placement output, the free-worker bitmask, the channel request queue,
+//!   per-worker request flags, the completion list, crash/cancel spill
+//!   buffers and the timeline activity row — lives in a persistent
+//!   [`SlotScratch`] owned by the engine. Buffers are `clear()`ed and
+//!   refilled in place; after the first few slots every buffer has reached
+//!   its high-water capacity and the loop stops touching the allocator.
+//!   Sorting uses `sort_unstable_by_key` on keys made unique by the worker
+//!   index, which is allocation-free and deterministic.
+//!
+//! Heuristics cooperate through [`Scheduler::place_into`], appending into
+//! the engine-owned placement buffer and keeping their own internal scratch
+//! (see `vg_core::greedy`). The iteration barrier reuses the
+//! [`IterationState`] buffers via `reset` rather than reallocating them.
+//! The only remaining steady-state allocations are inside a recorded
+//! [`Timeline`] (opt-in via [`SimOptions::record_timeline`], one push per
+//! worker-slot) — campaigns leave it off. The `alloc-counter` test harness
+//! in `vg-bench` (`cargo test -p vg-bench --features alloc-counter
+//! --release`) pins this property as a regression test.
 
 use vg_core::view::{ProcSnapshot, SchedView};
 use vg_core::Scheduler;
@@ -38,7 +70,7 @@ use vg_platform::{AppConfig, ConfigError, PlatformConfig, ProcessorId};
 
 use crate::report::{Counters, SimReport};
 use crate::task::{CopyId, IterationState, TaskId};
-use crate::timeline::{SlotMarks, Timeline};
+use crate::timeline::{Activity, SlotMarks, Timeline};
 use crate::worker::{ComputeState, TransferState, WorkerRuntime};
 
 /// Engine options.
@@ -76,12 +108,66 @@ enum Request {
     DataNew { widx: usize, copy: CopyId },
 }
 
+/// Persistent per-slot scratch space: every transient collection of the
+/// seven phases, reused across slots so the steady-state loop never touches
+/// the allocator (see the module docs).
+#[derive(Debug, Default)]
+struct SlotScratch {
+    /// Scheduler-visible snapshots, rebuilt in place each slot.
+    procs: Vec<ProcSnapshot>,
+    /// Schedulable original tasks (phase 3).
+    pool: Vec<TaskId>,
+    /// Replica candidates (phase 3).
+    cands: Vec<TaskId>,
+    /// Scheduler placement output (phase 3).
+    placements: Vec<ProcessorId>,
+    /// Free-worker bitmask for the replica path (phase 3): `free[q]` iff
+    /// worker `q` is UP and completely idle.
+    free: Vec<bool>,
+    /// In-flight transfer continuations, sorted by (began_at, widx).
+    continuations: Vec<(Slot, usize, Request)>,
+    /// The channel request queue in grant priority order (phase 4).
+    requests: Vec<Request>,
+    /// Per-worker "already requested the program this slot" flags.
+    prog_requested: Vec<bool>,
+    /// Per-worker "already requested data this slot" flags.
+    data_requested: Vec<bool>,
+    /// Copies that finished computing this slot (phase 5).
+    completions: Vec<(usize, CopyId)>,
+    /// Spill buffer for crash losses and sibling cancellations.
+    copies: Vec<CopyId>,
+    /// One activity row for timeline recording (phase 7).
+    activities: Vec<Activity>,
+}
+
+impl SlotScratch {
+    /// Pre-sizes every buffer to its steady-state high-water mark for `p`
+    /// workers and `m` tasks per iteration.
+    fn with_capacity(p: usize, m: usize) -> Self {
+        Self {
+            procs: Vec::with_capacity(p),
+            pool: Vec::with_capacity(m),
+            cands: Vec::with_capacity(m),
+            placements: Vec::with_capacity(m.max(p)),
+            free: Vec::with_capacity(p),
+            continuations: Vec::with_capacity(p),
+            requests: Vec::with_capacity(2 * p),
+            prog_requested: Vec::with_capacity(p),
+            data_requested: Vec::with_capacity(p),
+            completions: Vec::with_capacity(p),
+            copies: Vec::with_capacity(8),
+            activities: Vec::with_capacity(p),
+        }
+    }
+}
+
 /// The simulation engine. Construct with [`Simulation::new`], consume with
-/// [`Simulation::run`].
+/// [`Simulation::run`] (or drive slot-by-slot with [`Simulation::step`]).
 pub struct Simulation {
     app: AppConfig,
     workers: Vec<WorkerRuntime>,
     sources: Vec<Box<dyn AvailabilitySource>>,
+    /// Per-run chain statistics, built once and borrowed by every view.
     chains: Vec<ChainStats>,
     scheduler: Box<dyn Scheduler>,
     ledger: BandwidthLedger,
@@ -94,6 +180,7 @@ pub struct Simulation {
     counters: Counters,
     /// Bind order of this slot: (worker, copy), originals before replicas.
     bind_order: Vec<(usize, CopyId)>,
+    scratch: SlotScratch,
     timeline: Option<Timeline>,
     slot_marks: Vec<SlotMarks>,
 }
@@ -143,7 +230,8 @@ impl Simulation {
             iterations_done: 0,
             iteration_completed_at: Vec::with_capacity(app.iterations as usize),
             counters: Counters::default(),
-            bind_order: Vec::new(),
+            bind_order: Vec::with_capacity(platform.p()),
+            scratch: SlotScratch::with_capacity(platform.p(), app.tasks_per_iteration),
             timeline: options
                 .record_timeline
                 .then(|| Timeline::new(platform.p())),
@@ -172,9 +260,28 @@ impl Simulation {
     /// Runs to completion (all iterations done or slot cap hit).
     #[must_use]
     pub fn run(mut self) -> SimReport {
-        while self.iterations_done < self.app.iterations && self.slot < self.options.max_slots {
+        while !self.is_done() {
             self.step();
         }
+        self.into_report()
+    }
+
+    /// True when the run is over: all iterations completed or the slot cap
+    /// was hit.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.iterations_done >= self.app.iterations || self.slot >= self.options.max_slots
+    }
+
+    /// Slots simulated so far.
+    #[must_use]
+    pub fn slots_run(&self) -> Slot {
+        self.slot
+    }
+
+    /// Finishes a (possibly partial) run into its report.
+    #[must_use]
+    pub fn into_report(self) -> SimReport {
         let makespan = if self.iterations_done == self.app.iterations {
             // The last iteration finished during slot `slot − 1`... the loop
             // increments `slot` at the end of each step, so `slot` is exactly
@@ -195,8 +302,9 @@ impl Simulation {
         }
     }
 
-    /// One slot through all seven phases.
-    fn step(&mut self) {
+    /// One slot through all seven phases. Public so benches and the
+    /// allocation-counting harness can drive the loop slot-by-slot.
+    pub fn step(&mut self) {
         self.phase_states();
         self.phase_crashes();
         self.phase_schedule();
@@ -218,44 +326,50 @@ impl Simulation {
     }
 
     fn phase_crashes(&mut self) {
-        for widx in 0..self.workers.len() {
-            if self.workers[widx].state != ProcState::Down {
+        let Self {
+            workers,
+            scratch,
+            counters,
+            iter,
+            ..
+        } = self;
+        for w in workers.iter_mut() {
+            if w.state != ProcState::Down {
                 continue;
             }
-            let lost = self.workers[widx].crash();
-            for copy in lost {
-                self.counters.copies_lost_to_down += 1;
+            scratch.copies.clear();
+            w.crash_into(&mut scratch.copies);
+            for &copy in &scratch.copies {
+                counters.copies_lost_to_down += 1;
                 if copy.is_original() {
-                    self.iter.release_original(copy.task);
+                    iter.release_original(copy.task);
                 } else {
-                    self.iter.drop_replica(copy.task);
+                    iter.drop_replica(copy.task);
                 }
             }
         }
     }
 
-    /// Builds the scheduler's view of the platform (\[D1\]: states of the
-    /// current slot are observable; nothing about the future is).
-    fn build_view(&self) -> SchedView {
-        let procs = self
-            .workers
-            .iter()
-            .enumerate()
-            .map(|(i, w)| ProcSnapshot {
+    /// Rebuilds the scheduler's snapshot buffer for the current slot
+    /// (\[D1\]: states of the current slot are observable; nothing about the
+    /// future is). The per-run `chains` slice completes the view.
+    fn snapshot_procs(&mut self) {
+        let Self {
+            workers,
+            scratch,
+            app,
+            ..
+        } = self;
+        scratch.procs.clear();
+        scratch
+            .procs
+            .extend(workers.iter().enumerate().map(|(i, w)| ProcSnapshot {
                 id: ProcessorId(i as u32),
                 state: w.state,
                 w: w.spec.w,
-                has_program: w.has_program(self.app.t_prog),
-                delay: w.delay_estimate(self.app.t_prog, self.app.t_data),
-                chain: self.chains[i].clone(),
-            })
-            .collect();
-        SchedView {
-            procs,
-            t_prog: self.app.t_prog,
-            t_data: self.app.t_data,
-            ncom: self.ledger.ncom(),
-        }
+                has_program: w.has_program(app.t_prog),
+                delay: w.delay_estimate(app.t_prog, app.t_data),
+            }));
     }
 
     /// Binds `copy` to worker `widx` if legal; immediately pins zero-length
@@ -291,13 +405,35 @@ impl Simulation {
 
     fn phase_schedule(&mut self) {
         self.bind_order.clear();
-        let view = self.build_view();
+        self.snapshot_procs();
 
         // Originals first (strict priority, Section 6.1).
-        let pool = self.iter.pool_tasks();
-        if !pool.is_empty() {
-            let placements = self.scheduler.place(&view, pool.len());
-            for (&task, pid) in pool.iter().zip(placements) {
+        self.iter.pool_tasks_into(&mut self.scratch.pool);
+        if !self.scratch.pool.is_empty() {
+            let count = self.scratch.pool.len();
+            {
+                let Self {
+                    scratch,
+                    scheduler,
+                    chains,
+                    app,
+                    ledger,
+                    ..
+                } = self;
+                let view = SchedView {
+                    procs: &scratch.procs,
+                    chains,
+                    t_prog: app.t_prog,
+                    t_data: app.t_data,
+                    ncom: ledger.ncom(),
+                };
+                scratch.placements.clear();
+                scheduler.place_into(&view, count, &mut scratch.placements);
+            }
+            let placed = self.scratch.placements.len().min(count);
+            for k in 0..placed {
+                let task = self.scratch.pool[k];
+                let pid = self.scratch.placements[k];
                 debug_assert!(
                     self.workers[pid.idx()].state == ProcState::Up,
                     "scheduler placed a task on a non-UP processor"
@@ -309,23 +445,53 @@ impl Simulation {
         // Replication: idle UP workers receive replicas of the least
         // replicated unfinished tasks (≤ max_extra_replicas each).
         if self.options.replication && !self.iter.is_complete() {
-            let free: Vec<usize> = (0..self.workers.len())
-                .filter(|&i| self.workers[i].state == ProcState::Up && self.workers[i].is_idle())
-                .collect();
-            if !free.is_empty() {
-                let cands = self.iter.replica_candidates(self.options.max_extra_replicas);
-                let k = cands.len().min(free.len());
+            let n_free = {
+                let Self {
+                    workers, scratch, ..
+                } = self;
+                scratch.free.clear();
+                scratch
+                    .free
+                    .extend(workers.iter().map(|w| w.state == ProcState::Up && w.is_idle()));
+                scratch.free.iter().filter(|&&f| f).count()
+            };
+            if n_free > 0 {
+                self.iter
+                    .replica_candidates_into(self.options.max_extra_replicas, &mut self.scratch.cands);
+                let k = self.scratch.cands.len().min(n_free);
                 if k > 0 {
-                    // Restrict the heuristic's choice to the free workers by
-                    // masking everyone else as non-UP in a cloned view.
-                    let mut restricted = view;
-                    for (i, p) in restricted.procs.iter_mut().enumerate() {
-                        if !free.contains(&i) {
-                            p.state = ProcState::Reclaimed;
+                    {
+                        let Self {
+                            scratch,
+                            scheduler,
+                            chains,
+                            app,
+                            ledger,
+                            ..
+                        } = self;
+                        // Restrict the heuristic's choice to the free workers
+                        // by masking everyone else as non-UP — in place: the
+                        // snapshots were built this slot and are rebuilt next
+                        // slot, so no second view construction and no restore.
+                        for (i, p) in scratch.procs.iter_mut().enumerate() {
+                            if !scratch.free[i] {
+                                p.state = ProcState::Reclaimed;
+                            }
                         }
+                        let view = SchedView {
+                            procs: &scratch.procs,
+                            chains,
+                            t_prog: app.t_prog,
+                            t_data: app.t_data,
+                            ncom: ledger.ncom(),
+                        };
+                        scratch.placements.clear();
+                        scheduler.place_into(&view, k, &mut scratch.placements);
                     }
-                    let placements = self.scheduler.place(&restricted, k);
-                    for (&task, pid) in cands.iter().zip(placements) {
+                    let placed = self.scratch.placements.len().min(k);
+                    for j in 0..placed {
+                        let task = self.scratch.cands[j];
+                        let pid = self.scratch.placements[j];
                         let copy = self.iter.mint_replica(task);
                         if !self.try_bind(pid.idx(), copy) {
                             self.iter.drop_replica(task);
@@ -341,54 +507,75 @@ impl Simulation {
         let t_prog = self.app.t_prog;
         let t_data = self.app.t_data;
 
-        // --- Collect requests -------------------------------------------
-        // (a) Continuations: in-flight data transfers and partially received
-        //     programs on UP workers, oldest first ([D11]).
-        let mut continuations: Vec<(Slot, usize, Request)> = Vec::new();
-        for (widx, w) in self.workers.iter().enumerate() {
-            if w.state != ProcState::Up {
-                continue; // suspended transfers hold no channel
-            }
-            if let Some(tr) = &w.transfer {
-                continuations.push((tr.began_at, widx, Request::DataCont { widx }));
-            } else if w.prog_done > 0
-                && !w.has_program(t_prog)
-                && (w.pinned_count() > 0 || !w.bound.is_empty())
-            {
-                continuations.push((w.prog_began_at, widx, Request::Prog { widx }));
-            }
-        }
-        continuations.sort_by_key(|&(t, widx, _)| (t, widx));
-        let mut requests: Vec<Request> = continuations.into_iter().map(|(_, _, r)| r).collect();
+        {
+            let Self {
+                workers,
+                scratch,
+                bind_order,
+                ..
+            } = self;
 
-        // (b) New transfers in binding order: a worker lacking the program
-        //     requests the program once; a worker holding it requests data
-        //     for its first bound copy if its transfer slot is free.
-        let mut prog_requested = vec![false; self.workers.len()];
-        let mut data_requested = vec![false; self.workers.len()];
-        for &(widx, copy) in &self.bind_order {
-            let w = &self.workers[widx];
-            if w.state != ProcState::Up || !w.bound.contains(&copy) {
-                continue;
-            }
-            if !w.has_program(t_prog) {
-                if w.prog_done == 0 && !prog_requested[widx] {
-                    prog_requested[widx] = true;
-                    requests.push(Request::Prog { widx });
+            // --- Collect requests ---------------------------------------
+            // (a) Continuations: in-flight data transfers and partially
+            //     received programs on UP workers, oldest first ([D11]).
+            scratch.continuations.clear();
+            for (widx, w) in workers.iter().enumerate() {
+                if w.state != ProcState::Up {
+                    continue; // suspended transfers hold no channel
                 }
-            } else if w.transfer.is_none()
-                && w.buffered.is_none()
-                && !data_requested[widx]
-                && t_data > 0
-            {
-                data_requested[widx] = true;
-                requests.push(Request::DataNew { widx, copy });
+                if let Some(tr) = &w.transfer {
+                    scratch
+                        .continuations
+                        .push((tr.began_at, widx, Request::DataCont { widx }));
+                } else if w.prog_done > 0
+                    && !w.has_program(t_prog)
+                    && (w.pinned_count() > 0 || !w.bound.is_empty())
+                {
+                    scratch
+                        .continuations
+                        .push((w.prog_began_at, widx, Request::Prog { widx }));
+                }
+            }
+            // `widx` makes the key unique, so the unstable sort is
+            // deterministic (and allocation-free, unlike a stable sort).
+            scratch.continuations.sort_unstable_by_key(|&(t, widx, _)| (t, widx));
+            scratch.requests.clear();
+            scratch
+                .requests
+                .extend(scratch.continuations.iter().map(|&(_, _, r)| r));
+
+            // (b) New transfers in binding order: a worker lacking the
+            //     program requests the program once; a worker holding it
+            //     requests data for its first bound copy if its transfer
+            //     slot is free.
+            scratch.prog_requested.clear();
+            scratch.prog_requested.resize(workers.len(), false);
+            scratch.data_requested.clear();
+            scratch.data_requested.resize(workers.len(), false);
+            for &(widx, copy) in bind_order.iter() {
+                let w = &workers[widx];
+                if w.state != ProcState::Up || !w.bound.contains(&copy) {
+                    continue;
+                }
+                if !w.has_program(t_prog) {
+                    if w.prog_done == 0 && !scratch.prog_requested[widx] {
+                        scratch.prog_requested[widx] = true;
+                        scratch.requests.push(Request::Prog { widx });
+                    }
+                } else if w.transfer.is_none()
+                    && w.buffered.is_none()
+                    && !scratch.data_requested[widx]
+                    && t_data > 0
+                {
+                    scratch.data_requested[widx] = true;
+                    scratch.requests.push(Request::DataNew { widx, copy });
+                }
             }
         }
 
         // --- Grant in priority order -------------------------------------
-        for req in requests {
-            match req {
+        for k in 0..self.scratch.requests.len() {
+            match self.scratch.requests[k] {
                 Request::Prog { widx } => {
                     if self.ledger.try_grant(TransferKind::Program) {
                         let w = &mut self.workers[widx];
@@ -435,21 +622,31 @@ impl Simulation {
     }
 
     fn phase_compute(&mut self) {
-        let mut completions: Vec<(usize, CopyId)> = Vec::new();
-        for (widx, w) in self.workers.iter_mut().enumerate() {
-            if w.state != ProcState::Up {
-                continue;
-            }
-            if let Some(c) = &mut w.computing {
-                debug_assert!(w.prog_done >= self.app.t_prog);
-                c.done += 1;
-                self.slot_marks[widx].computed = true;
-                if c.done == w.spec.w {
-                    completions.push((widx, c.copy));
+        {
+            let Self {
+                workers,
+                scratch,
+                slot_marks,
+                app,
+                ..
+            } = self;
+            scratch.completions.clear();
+            for (widx, w) in workers.iter_mut().enumerate() {
+                if w.state != ProcState::Up {
+                    continue;
+                }
+                if let Some(c) = &mut w.computing {
+                    debug_assert!(w.prog_done >= app.t_prog);
+                    c.done += 1;
+                    slot_marks[widx].computed = true;
+                    if c.done == w.spec.w {
+                        scratch.completions.push((widx, c.copy));
+                    }
                 }
             }
         }
-        for (widx, copy) in completions {
+        for k in 0..self.scratch.completions.len() {
+            let (widx, copy) = self.scratch.completions[k];
             // A sibling that completed earlier in this slot may have already
             // canceled this copy (cancel_siblings cleared the compute unit);
             // its result is then redundant and counts as waste.
@@ -476,43 +673,27 @@ impl Simulation {
 
     /// Cancels every remaining copy of a completed task, platform-wide.
     fn cancel_siblings(&mut self, task: TaskId) {
-        for widx in 0..self.workers.len() {
-            let canceled = self.cancel_task_on(widx, task);
-            for copy in canceled {
-                self.counters.replicas_canceled += 1;
-                if !copy.is_original() {
-                    self.iter.drop_replica(task);
-                }
-                // Originals need no pool transition: mark_completed set Done.
+        let Self {
+            workers,
+            scratch,
+            counters,
+            iter,
+            ..
+        } = self;
+        scratch.copies.clear();
+        for w in workers.iter_mut() {
+            w.cancel_task_into(task, &mut scratch.copies);
+        }
+        for &copy in &scratch.copies {
+            counters.replicas_canceled += 1;
+            if !copy.is_original() {
+                iter.drop_replica(task);
             }
+            // Originals need no pool transition: mark_completed set Done.
         }
         // Also forget bind-order entries of the canceled copies so they do
         // not request channels later in this slot.
         self.bind_order.retain(|&(_, c)| c.task != task);
-    }
-
-    /// Removes all copies of `task` from worker `widx`, returning them.
-    fn cancel_task_on(&mut self, widx: usize, task: TaskId) -> Vec<CopyId> {
-        let w = &mut self.workers[widx];
-        let mut removed = Vec::new();
-        if w.computing.as_ref().is_some_and(|c| c.copy.task == task) {
-            removed.push(w.computing.take().expect("checked").copy);
-        }
-        if w.buffered.is_some_and(|b| b.task == task) {
-            removed.push(w.buffered.take().expect("checked"));
-        }
-        if w.transfer.as_ref().is_some_and(|t| t.copy.task == task) {
-            removed.push(w.transfer.take().expect("checked").copy);
-        }
-        let mut i = 0;
-        while i < w.bound.len() {
-            if w.bound[i].task == task {
-                removed.push(w.bound.remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        removed
     }
 
     fn phase_promotions(&mut self) {
@@ -547,14 +728,24 @@ impl Simulation {
         }
         self.bind_order.clear();
 
-        if let Some(tl) = &mut self.timeline {
-            let activities: Vec<crate::timeline::Activity> = self
-                .workers
-                .iter()
-                .zip(&self.slot_marks)
-                .map(|(w, m)| m.resolve(w.state))
-                .collect();
-            tl.push_slot(&activities);
+        {
+            let Self {
+                workers,
+                scratch,
+                slot_marks,
+                timeline,
+                ..
+            } = self;
+            if let Some(tl) = timeline {
+                scratch.activities.clear();
+                scratch.activities.extend(
+                    workers
+                        .iter()
+                        .zip(slot_marks.iter())
+                        .map(|(w, m)| m.resolve(w.state)),
+                );
+                tl.push_slot(&scratch.activities);
+            }
         }
 
         if self.iter.is_complete() {
@@ -573,7 +764,7 @@ impl Simulation {
                 );
             }
             if self.iterations_done < self.app.iterations {
-                self.iter = IterationState::new(self.iterations_done, self.app.tasks_per_iteration);
+                self.iter.reset(self.iterations_done);
             }
         }
     }
@@ -879,6 +1070,68 @@ mod tests {
                 .collect(),
             ncom: 2,
         }
+    }
+
+    #[test]
+    fn determinism_64_workers_with_and_without_replication() {
+        // Identical seeds must yield bit-identical reports at scale, for a
+        // stateful random heuristic and a deterministic greedy one, with the
+        // replica placement path both exercised and disabled.
+        let platform = markov_platform(64, 3);
+        let app = AppConfig {
+            tasks_per_iteration: 96,
+            iterations: 2,
+            t_prog: 5,
+            t_data: 2,
+        };
+        for kind in [HeuristicKind::EmctStar, HeuristicKind::Random2w] {
+            for replication in [false, true] {
+                let go = || {
+                    Simulation::run_seeded(
+                        &platform,
+                        &app,
+                        kind.build(SeedPath::root(11).rng()),
+                        SeedPath::root(42),
+                        SimOptions {
+                            max_slots: 100_000,
+                            replication,
+                            max_extra_replicas: 2,
+                            record_timeline: false,
+                        },
+                    )
+                    .unwrap()
+                };
+                let a = go();
+                let b = go();
+                assert_eq!(a, b, "{kind} replication={replication}");
+                assert!(a.finished(), "{kind} replication={replication}: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn stepping_matches_run() {
+        // Driving the engine slot-by-slot through the public `step` must
+        // reproduce `run` exactly (the bench and alloc harness rely on it).
+        let platform = markov_platform(8, 3);
+        let app = AppConfig {
+            tasks_per_iteration: 12,
+            iterations: 2,
+            t_prog: 4,
+            t_data: 1,
+        };
+        let build = || {
+            let sched = HeuristicKind::EmctStar.build(SeedPath::root(5).rng());
+            let sources = sources_for(&platform, 21);
+            Simulation::new(&platform, &app, sched, sources, SimOptions::default()).unwrap()
+        };
+        let by_run = build().run();
+        let mut sim = build();
+        while !sim.is_done() {
+            sim.step();
+        }
+        assert_eq!(sim.slots_run(), by_run.slots_run);
+        assert_eq!(sim.into_report(), by_run);
     }
 
     #[test]

@@ -106,6 +106,18 @@ impl IterationState {
         }
     }
 
+    /// Reinitializes in place for iteration `index`, keeping the allocated
+    /// buffers — the barrier-slot equivalent of `Self::new(index, m)`.
+    pub fn reset(&mut self, index: u64) {
+        self.index = index;
+        self.completed.fill(false);
+        self.n_completed = 0;
+        self.original.fill(OriginalState::Pool);
+        self.replicas_alive.fill(0);
+        self.next_replica.fill(0);
+        self.completed_at = None;
+    }
+
     /// Iteration number (0-based).
     #[must_use]
     pub fn index(&self) -> u64 {
@@ -164,25 +176,53 @@ impl IterationState {
 
     /// Unfinished tasks whose original sits in the pool, in id order — the
     /// `m − m′` schedulable tasks of Section 6.1.
+    ///
+    /// Allocates; the engine's slot loop uses [`Self::pool_tasks_into`].
     #[must_use]
     pub fn pool_tasks(&self) -> Vec<TaskId> {
-        (0..self.m)
-            .filter(|&i| !self.completed[i] && self.original[i] == OriginalState::Pool)
-            .map(|i| TaskId(i as u32))
-            .collect()
+        let mut out = Vec::new();
+        self.pool_tasks_into(&mut out);
+        out
+    }
+
+    /// Writes the pool tasks into `out` (cleared first), in id order.
+    /// Allocation-free once `out` has warmed to capacity `m`.
+    pub fn pool_tasks_into(&self, out: &mut Vec<TaskId>) {
+        out.clear();
+        for i in 0..self.m {
+            if !self.completed[i] && self.original[i] == OriginalState::Pool {
+                out.push(TaskId(i as u32));
+            }
+        }
     }
 
     /// Unfinished tasks eligible for one more replica (fewer than
     /// `max_extra` live replicas), ordered by (live copies, id) so the least
     /// replicated task replicates first.
+    ///
+    /// Allocates; the engine's slot loop uses [`Self::replica_candidates_into`].
     #[must_use]
     pub fn replica_candidates(&self, max_extra: u8) -> Vec<TaskId> {
-        let mut cands: Vec<TaskId> = (0..self.m)
-            .filter(|&i| !self.completed[i] && self.replicas_alive[i] < max_extra)
-            .map(|i| TaskId(i as u32))
-            .collect();
-        cands.sort_by_key(|t| (self.replicas_alive[t.idx()], t.0));
-        cands
+        let mut out = Vec::new();
+        self.replica_candidates_into(max_extra, &mut out);
+        out
+    }
+
+    /// Writes the replica candidates into `out` (cleared first), ordered by
+    /// (live copies, id). Allocation-free once `out` has warmed to capacity
+    /// `m`; one linear pass per replica level replaces a comparison sort
+    /// (`max_extra` is ≤ 2 in the paper) and yields the identical order,
+    /// since scanning level-by-level in id order *is* sorting by the unique
+    /// key (live copies, id).
+    pub fn replica_candidates_into(&self, max_extra: u8, out: &mut Vec<TaskId>) {
+        out.clear();
+        for level in 0..max_extra {
+            for i in 0..self.m {
+                if !self.completed[i] && self.replicas_alive[i] == level {
+                    out.push(TaskId(i as u32));
+                }
+            }
+        }
     }
 
     /// Mints a new replica copy of `task` and counts it alive.

@@ -110,10 +110,14 @@ impl WorkerRuntime {
     }
 
     /// Whether any copy (pinned or bound) of `task` lives here — used to
-    /// forbid two copies of a task on one processor.
+    /// forbid two copies of a task on one processor. Allocation-free (the
+    /// engine asks this on every bind attempt).
     #[must_use]
     pub fn has_copy_of(&self, task: TaskId) -> bool {
-        self.all_copies().iter().any(|c| c.task == task)
+        self.computing.as_ref().is_some_and(|c| c.copy.task == task)
+            || self.buffered.is_some_and(|b| b.task == task)
+            || self.transfer.as_ref().is_some_and(|t| t.copy.task == task)
+            || self.bound.iter().any(|c| c.task == task)
     }
 
     /// Room for one more bound copy (pipeline capacity 2: compute + one
@@ -147,10 +151,10 @@ impl WorkerRuntime {
     }
 
     /// Clears all volatile state after a crash (`DOWN`): program, transfers,
-    /// buffers, computation. Returns the pinned copies that were lost.
-    pub fn crash(&mut self) -> Vec<CopyId> {
+    /// buffers, computation. Appends the lost pinned copies to `lost` (not
+    /// cleared), for scratch-buffer reuse across slots.
+    pub fn crash_into(&mut self, lost: &mut Vec<CopyId>) {
         self.prog_done = 0;
-        let mut lost = Vec::new();
         if let Some(c) = self.computing.take() {
             lost.push(c.copy);
         }
@@ -160,29 +164,29 @@ impl WorkerRuntime {
         if let Some(t) = self.transfer.take() {
             lost.push(t.copy);
         }
-        lost
     }
 
     /// Cancels every copy of `task` on this worker (sibling finished or
-    /// iteration ended). Returns how many copies were removed (bound copies
-    /// included).
-    pub fn cancel_task(&mut self, task: TaskId) -> usize {
-        let mut n = 0;
+    /// iteration ended), appending the removed copies — bound copies
+    /// included — to `removed` (not cleared), for scratch-buffer reuse.
+    pub fn cancel_task_into(&mut self, task: TaskId, removed: &mut Vec<CopyId>) {
         if self.computing.as_ref().is_some_and(|c| c.copy.task == task) {
-            self.computing = None;
-            n += 1;
+            removed.push(self.computing.take().expect("checked").copy);
         }
         if self.buffered.is_some_and(|b| b.task == task) {
-            self.buffered = None;
-            n += 1;
+            removed.push(self.buffered.take().expect("checked"));
         }
         if self.transfer.as_ref().is_some_and(|t| t.copy.task == task) {
-            self.transfer = None;
-            n += 1;
+            removed.push(self.transfer.take().expect("checked").copy);
         }
-        let before = self.bound.len();
-        self.bound.retain(|c| c.task != task);
-        n + (before - self.bound.len())
+        let mut i = 0;
+        while i < self.bound.len() {
+            if self.bound[i].task == task {
+                removed.push(self.bound.remove(i));
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Structural invariants of the pipeline; cheap enough to assert every
@@ -289,7 +293,8 @@ mod tests {
         w.prog_done = 5;
         w.computing = Some(ComputeState { copy: copy(0, 0), done: 1 });
         w.transfer = Some(TransferState { copy: copy(1, 1), done: 1, began_at: 3 });
-        let lost = w.crash();
+        let mut lost = Vec::new();
+        w.crash_into(&mut lost);
         assert_eq!(lost, vec![copy(0, 0), copy(1, 1)]);
         assert_eq!(w.prog_done, 0);
         assert!(w.is_idle());
@@ -301,10 +306,14 @@ mod tests {
         w.prog_done = 5;
         w.computing = Some(ComputeState { copy: copy(7, 0), done: 0 });
         w.bound.push(copy(7, 2));
-        assert_eq!(w.cancel_task(TaskId(7)), 2);
+        let mut removed = Vec::new();
+        w.cancel_task_into(TaskId(7), &mut removed);
+        assert_eq!(removed, vec![copy(7, 0), copy(7, 2)]);
         assert!(w.computing.is_none());
         assert!(w.bound.is_empty());
-        assert_eq!(w.cancel_task(TaskId(7)), 0);
+        removed.clear();
+        w.cancel_task_into(TaskId(7), &mut removed);
+        assert!(removed.is_empty());
     }
 
     #[test]

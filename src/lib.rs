@@ -62,7 +62,7 @@ pub use vg_sim as sim;
 
 /// One-stop imports for applications built on the library.
 pub mod prelude {
-    pub use vg_core::{HeuristicKind, SchedView, SchedViewBuilder, Scheduler};
+    pub use vg_core::{HeuristicKind, OwnedSchedView, SchedView, SchedViewBuilder, Scheduler};
     pub use vg_des::prelude::*;
     pub use vg_markov::{AvailabilityChain, AvailabilityStream, ChainStats, ProcState};
     pub use vg_platform::{

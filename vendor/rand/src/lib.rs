@@ -1,0 +1,166 @@
+//! Minimal, offline stand-in for the `rand` crate.
+//!
+//! The workspace's own generators ([`vg_des::rng::StreamRng`]) implement the
+//! algorithms; this crate only supplies the trait vocabulary (`RngCore`,
+//! `SeedableRng`, `Rng`) plus uniform range sampling, matching the rand 0.9
+//! API surface actually used here. It exists because the build environment
+//! has no network access; swap the workspace `rand` entry back to crates.io
+//! to use the real thing.
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded via SplitMix64 (the
+    /// construction rand itself documents).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform sampling of a value from a range type.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Widening-multiply bounded draw (Lemire, without the
+                // rejection step — bias is negligible for a test shim).
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience extension methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Draws a bool with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&x));
+            let y: u32 = rng.random_range(0..10);
+            assert!(y < 10);
+            let z: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct S([u8; 32]);
+        impl SeedableRng for S {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                S(seed)
+            }
+        }
+        assert_eq!(S::seed_from_u64(9).0, S::seed_from_u64(9).0);
+        assert_ne!(S::seed_from_u64(9).0, S::seed_from_u64(10).0);
+    }
+}
