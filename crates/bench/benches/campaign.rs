@@ -1,0 +1,143 @@
+//! Campaign throughput: instances simulated per second through the batched,
+//! arena-reusing pipeline (`run_campaign`) versus the PR 1 per-unit runner
+//! (`run_campaign_reference`), at sequential and auto parallelism — the
+//! numerator of every "how long will the paper-scale campaign take"
+//! estimate.
+//!
+//! Like `slotloop`, this target emits machine-readable JSON
+//! (`BENCH_campaign.json`, override with `BENCH_CAMPAIGN_OUT`) so CI can
+//! track the campaign-throughput trajectory across PRs. The `speedup` field
+//! of the batched/auto row is relative to the per-unit runner at the same
+//! parallelism — the acceptance metric of the batching work.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use vg_core::HeuristicKind;
+use vg_des::par::ParallelismConfig;
+use vg_exp::campaign::{run_campaign, run_campaign_reference, CampaignConfig, CampaignResult};
+use vg_exp::scenario::ScenarioParams;
+
+struct Cell {
+    runner: &'static str,
+    parallelism: &'static str,
+    instances: usize,
+    seconds: f64,
+}
+
+impl Cell {
+    fn instances_per_sec(&self) -> f64 {
+        self.instances as f64 / self.seconds
+    }
+}
+
+fn time_runner(
+    label: (&'static str, &'static str),
+    cells: &[ScenarioParams],
+    cfg: &CampaignConfig,
+    run: impl Fn(&[ScenarioParams], &CampaignConfig) -> CampaignResult,
+) -> Cell {
+    // One warm-up pass at reduced size (allocator and branch predictors).
+    let warm_cfg = CampaignConfig {
+        scenarios_per_cell: 1,
+        trials: 1,
+        ..cfg.clone()
+    };
+    let warm = run(cells, &warm_cfg);
+    assert!(warm.instances > 0);
+
+    let start = Instant::now();
+    let result = run(cells, cfg);
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(result.capped_instances(), 0, "bench cells must complete");
+    Cell {
+        runner: label.0,
+        parallelism: label.1,
+        instances: result.instances,
+        seconds,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Two representative Table-1 cells: the smallest (setup-dominated) and a
+    // mid-grid one (simulation-dominated), so the batching win is averaged
+    // over both regimes rather than cherry-picked.
+    let grid = vec![
+        ScenarioParams::paper(5, 5, 1),
+        ScenarioParams::paper(10, 10, 2),
+    ];
+    let cfg = CampaignConfig {
+        heuristics: HeuristicKind::ALL.to_vec(),
+        scenarios_per_cell: if quick { 2 } else { 8 },
+        trials: if quick { 2 } else { 5 },
+        master_seed: 42,
+        parallelism: ParallelismConfig::Sequential,
+        ..CampaignConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for (parallelism, label) in [
+        (ParallelismConfig::Sequential, "sequential"),
+        (ParallelismConfig::Auto, "auto"),
+    ] {
+        let cfg = CampaignConfig {
+            parallelism,
+            ..cfg.clone()
+        };
+        rows.push(time_runner(
+            ("per_unit", label),
+            &grid,
+            &cfg,
+            run_campaign_reference,
+        ));
+        rows.push(time_runner(("batched", label), &grid, &cfg, run_campaign));
+    }
+    for c in &rows {
+        println!(
+            "campaign runner={:<9} parallelism={:<10} {:>8.1} instances/sec ({} instances in {:.3}s)",
+            c.runner,
+            c.parallelism,
+            c.instances_per_sec(),
+            c.instances,
+            c.seconds,
+        );
+    }
+
+    let speedup_of = |runner: &str, par: &str| {
+        rows.iter()
+            .find(|c| c.runner == runner && c.parallelism == par)
+            .map(Cell::instances_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup_auto = speedup_of("batched", "auto") / speedup_of("per_unit", "auto");
+    println!("batched vs per-unit at auto parallelism: {speedup_auto:.2}x");
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, c) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"runner\": \"{}\", \"parallelism\": \"{}\", \"instances\": {}, \"seconds\": {:.6}, \"instances_per_sec\": {:.2}}}{}",
+            c.runner,
+            c.parallelism,
+            c.instances,
+            c.seconds,
+            c.instances_per_sec(),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"batched_vs_per_unit_auto_speedup\": {speedup_auto:.3}\n}}"
+    );
+    // Default under target/ so local runs don't dirty the tracked
+    // BENCH_campaign.json trajectory anchor; CI overrides via the env var.
+    let out =
+        std::env::var("BENCH_CAMPAIGN_OUT").unwrap_or_else(|_| "target/BENCH_campaign.json".into());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create bench output dir");
+        }
+    }
+    std::fs::write(&out, &json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -7,10 +7,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
+use vg_des::rng::SeedPath;
 use vg_offline::reduction::{figure1_formula, reduce, schedule_from_assignment};
 use vg_offline::sat::{dpll, Cnf};
 use vg_offline::{bnb, OfflineInstance};
-use vg_des::rng::SeedPath;
 use vg_platform::Trace;
 
 fn bench_reduction(c: &mut Criterion) {

@@ -19,7 +19,11 @@ fn view_p(p: usize, seed: u64) -> OwnedSchedView {
     let mut b = SchedViewBuilder::new(10, 2, (p / 4).max(2));
     for q in 0..p as u64 {
         b = b.proc(
-            if q % 5 == 4 { ProcState::Reclaimed } else { ProcState::Up },
+            if q % 5 == 4 {
+                ProcState::Reclaimed
+            } else {
+                ProcState::Up
+            },
             2 + q % 8,
             q % 3 != 0,
             q % 7,
@@ -69,19 +73,15 @@ fn bench_place_scaling(c: &mut Criterion) {
         let view = owned.view();
         let count = p / 4; // a paper-ratio batch of tasks to place
         for kind in [HeuristicKind::Mct, HeuristicKind::EmctStar] {
-            g.bench_with_input(
-                BenchmarkId::new(kind.name(), p),
-                &count,
-                |b, &count| {
-                    let mut sched = kind.build(SeedPath::root(1).rng());
-                    let mut out: Vec<ProcessorId> = Vec::with_capacity(count);
-                    b.iter(|| {
-                        out.clear();
-                        sched.place_into(black_box(&view), count, &mut out);
-                        black_box(out.len())
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(kind.name(), p), &count, |b, &count| {
+                let mut sched = kind.build(SeedPath::root(1).rng());
+                let mut out: Vec<ProcessorId> = Vec::with_capacity(count);
+                b.iter(|| {
+                    out.clear();
+                    sched.place_into(black_box(&view), count, &mut out);
+                    black_box(out.len())
+                });
+            });
         }
     }
     g.finish();

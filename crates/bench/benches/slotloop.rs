@@ -45,7 +45,10 @@ fn run_cell(p: usize, replication: bool, max_slots: u64) -> Cell {
         &app,
         HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
         SeedPath::root(2),
-        SimOptions { max_slots: (max_slots / 10).max(10), ..options },
+        SimOptions {
+            max_slots: (max_slots / 10).max(10),
+            ..options
+        },
     )
     .expect("valid");
     assert!(warm.slots_run > 0);
@@ -60,7 +63,12 @@ fn run_cell(p: usize, replication: bool, max_slots: u64) -> Cell {
     )
     .expect("valid");
     let seconds = start.elapsed().as_secs_f64();
-    Cell { p, replication, slots: report.slots_run, seconds }
+    Cell {
+        p,
+        replication,
+        slots: report.slots_run,
+        seconds,
+    }
 }
 
 fn main() {
@@ -101,8 +109,8 @@ fn main() {
     json.push_str("  ]\n}\n");
     // Default under target/ so local runs don't dirty the tracked
     // BENCH_slotloop.json trajectory anchor; CI overrides via the env var.
-    let out = std::env::var("BENCH_SLOTLOOP_OUT")
-        .unwrap_or_else(|_| "target/BENCH_slotloop.json".into());
+    let out =
+        std::env::var("BENCH_SLOTLOOP_OUT").unwrap_or_else(|_| "target/BENCH_slotloop.json".into());
     std::fs::write(&out, &json).expect("write bench output");
     println!("wrote {out}");
 }

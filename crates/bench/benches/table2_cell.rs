@@ -8,9 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vg_core::HeuristicKind;
+use vg_des::rng::SeedPath;
 use vg_exp::campaign::run_instance;
 use vg_exp::scenario::{make_scenario, ScenarioParams};
-use vg_des::rng::SeedPath;
 use vg_sim::SimOptions;
 
 fn bench_table2_instance(c: &mut Criterion) {

@@ -34,7 +34,10 @@ fn warmed_simulation(p: usize, replication: bool) -> Simulation {
         .processors
         .iter()
         .enumerate()
-        .map(|(q, pc)| pc.avail.build_source(SeedPath::root(2).child(q as u64).rng()))
+        .map(|(q, pc)| {
+            pc.avail
+                .build_source(SeedPath::root(2).child(q as u64).rng())
+        })
         .collect();
     let sim = Simulation::new(
         &platform,

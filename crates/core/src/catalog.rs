@@ -192,19 +192,37 @@ impl HeuristicKind {
                 rng,
                 self.name(),
             )),
-            Self::Mct => Box::new(GreedyScheduler::new(GreedyObjective::Mct, false, self.name())),
-            Self::MctStar => {
-                Box::new(GreedyScheduler::new(GreedyObjective::Mct, true, self.name()))
-            }
-            Self::Emct => {
-                Box::new(GreedyScheduler::new(GreedyObjective::Emct, false, self.name()))
-            }
-            Self::EmctStar => {
-                Box::new(GreedyScheduler::new(GreedyObjective::Emct, true, self.name()))
-            }
-            Self::Lw => Box::new(GreedyScheduler::new(GreedyObjective::Lw, false, self.name())),
+            Self::Mct => Box::new(GreedyScheduler::new(
+                GreedyObjective::Mct,
+                false,
+                self.name(),
+            )),
+            Self::MctStar => Box::new(GreedyScheduler::new(
+                GreedyObjective::Mct,
+                true,
+                self.name(),
+            )),
+            Self::Emct => Box::new(GreedyScheduler::new(
+                GreedyObjective::Emct,
+                false,
+                self.name(),
+            )),
+            Self::EmctStar => Box::new(GreedyScheduler::new(
+                GreedyObjective::Emct,
+                true,
+                self.name(),
+            )),
+            Self::Lw => Box::new(GreedyScheduler::new(
+                GreedyObjective::Lw,
+                false,
+                self.name(),
+            )),
             Self::LwStar => Box::new(GreedyScheduler::new(GreedyObjective::Lw, true, self.name())),
-            Self::Ud => Box::new(GreedyScheduler::new(GreedyObjective::Ud, false, self.name())),
+            Self::Ud => Box::new(GreedyScheduler::new(
+                GreedyObjective::Ud,
+                false,
+                self.name(),
+            )),
             Self::UdStar => Box::new(GreedyScheduler::new(GreedyObjective::Ud, true, self.name())),
         }
     }

@@ -70,6 +70,16 @@ pub struct GreedyScheduler {
     n_q: Vec<usize>,
     /// Scratch: cached score of each UP processor (parallel to `ups`).
     scores: Vec<f64>,
+    /// Cross-call cache: the delay each *initial-row* score was computed at
+    /// (`SlotSpan::MAX` = never computed). The selection score at
+    /// `(n_q = 0, n_active = 0)` is a pure function of a processor's delay —
+    /// chain, speed and the `n_active_incl = 1` contention factor are
+    /// per-run constants — so between slots where a processor's delay is
+    /// unchanged (idle workers, most replica-placement slots) the cached
+    /// value is bit-identical to a recomputation.
+    score0_delay: Vec<vg_des::SlotSpan>,
+    /// Cross-call cache: initial-row scores (parallel to `score0_delay`).
+    score0: Vec<f64>,
 }
 
 impl GreedyScheduler {
@@ -83,6 +93,8 @@ impl GreedyScheduler {
             ups: Vec::new(),
             n_q: Vec::new(),
             scores: Vec::new(),
+            score0_delay: Vec::new(),
+            score0: Vec::new(),
         }
     }
 
@@ -129,6 +141,13 @@ impl Scheduler for GreedyScheduler {
         self.name
     }
 
+    fn begin_run(&mut self) {
+        // The initial-row score cache is keyed to the run's platform
+        // (chains, speeds); a new run invalidates it wholesale.
+        self.score0_delay.clear();
+        self.score0.clear();
+    }
+
     fn place_into(&mut self, view: &SchedView<'_>, count: usize, out: &mut Vec<ProcessorId>) {
         let mut ups = std::mem::take(&mut self.ups);
         view.up_indices_into(&mut ups);
@@ -142,9 +161,26 @@ impl Scheduler for GreedyScheduler {
         let mut n_q = std::mem::take(&mut self.n_q);
         n_q.clear();
         n_q.resize(view.p(), 0);
+        if self.score0_delay.len() != view.p() {
+            self.score0_delay.clear();
+            self.score0_delay.resize(view.p(), vg_des::SlotSpan::MAX);
+            self.score0.clear();
+            self.score0.resize(view.p(), 0.0);
+        }
         let mut scores = std::mem::take(&mut self.scores);
         scores.clear();
-        scores.extend(ups.iter().map(|&i| self.score(view, i, 0, 0)));
+        for &i in &ups {
+            let delay = view.procs[i].delay;
+            let s = if self.score0_delay[i] == delay {
+                self.score0[i]
+            } else {
+                let s = self.score(view, i, 0, 0);
+                self.score0_delay[i] = delay;
+                self.score0[i] = s;
+                s
+            };
+            scores.push(s);
+        }
         let mut n_active = 0usize;
         for _ in 0..count {
             let mut best_pos = 0usize;
@@ -191,22 +227,14 @@ mod tests {
 
     fn reliable() -> AvailabilityChain {
         // Rarely leaves UP, recovers fast.
-        AvailabilityChain::new([
-            [0.99, 0.005, 0.005],
-            [0.50, 0.45, 0.05],
-            [0.10, 0.10, 0.80],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.99, 0.005, 0.005], [0.50, 0.45, 0.05], [0.10, 0.10, 0.80]])
+            .unwrap()
     }
 
     fn flaky() -> AvailabilityChain {
         // Often reclaimed, often down.
-        AvailabilityChain::new([
-            [0.55, 0.30, 0.15],
-            [0.20, 0.60, 0.20],
-            [0.05, 0.05, 0.90],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.55, 0.30, 0.15], [0.20, 0.60, 0.20], [0.05, 0.05, 0.90]])
+            .unwrap()
     }
 
     #[test]
@@ -279,7 +307,10 @@ mod tests {
             .build();
         let flaky_ew = view.view().chain(0).e_w(19);
         let reliable_ew = view.view().chain(1).e_w(21);
-        assert!(reliable_ew < flaky_ew, "premise: {reliable_ew} vs {flaky_ew}");
+        assert!(
+            reliable_ew < flaky_ew,
+            "premise: {reliable_ew} vs {flaky_ew}"
+        );
         let mut emct = GreedyScheduler::new(GreedyObjective::Emct, false, "EMCT");
         assert_eq!(emct.place(&view.view(), 1), vec![ProcessorId(1)]);
         // MCT, blind to volatility, grabs the faster one.
@@ -424,6 +455,32 @@ mod tests {
             b.place_into(&owned.view(), 6, &mut out);
             assert_eq!(out, expected);
             assert_eq!(ptr, out.as_ptr(), "output buffer must be reused");
+        }
+    }
+
+    #[test]
+    fn begin_run_drops_stale_platform_caches() {
+        // One scheduler instance reused across two equally sized but
+        // different platforms must match a fresh instance on the second,
+        // provided the engine's begin_run contract is honored.
+        let view_a = SchedViewBuilder::new(5, 3, 2)
+            .proc(ProcState::Up, 2, true, 0, reliable())
+            .proc(ProcState::Up, 9, true, 0, reliable())
+            .build();
+        let view_b = SchedViewBuilder::new(5, 3, 2)
+            .proc(ProcState::Up, 9, true, 0, flaky())
+            .proc(ProcState::Up, 2, true, 0, reliable())
+            .build();
+        for (obj, star) in [(GreedyObjective::Emct, false), (GreedyObjective::Ud, true)] {
+            let mut reused = GreedyScheduler::new(obj, star, "reused");
+            let _ = reused.place(&view_a.view(), 3);
+            reused.begin_run();
+            let mut fresh = GreedyScheduler::new(obj, star, "fresh");
+            assert_eq!(
+                reused.place(&view_b.view(), 3),
+                fresh.place(&view_b.view(), 3),
+                "{obj:?} star={star}"
+            );
         }
     }
 

@@ -44,6 +44,11 @@ pub struct RandomScheduler {
     ups: Vec<usize>,
     /// Scratch: draw weights (parallel to `ups`).
     weights: Vec<f64>,
+    /// Per-run weight cache: a processor's weight depends only on its chain
+    /// statistics and speed, both run constants, so it is computed once for
+    /// every processor on the first call and reused verbatim after (the RNG
+    /// consumption sequence is untouched, so draws are bit-identical).
+    weight_cache: Vec<f64>,
 }
 
 impl RandomScheduler {
@@ -62,6 +67,7 @@ impl RandomScheduler {
             name,
             ups: Vec::new(),
             weights: Vec::new(),
+            weight_cache: Vec::new(),
         }
     }
 
@@ -88,6 +94,12 @@ impl Scheduler for RandomScheduler {
         self.name
     }
 
+    fn begin_run(&mut self) {
+        // Weights are keyed to the run's platform (chains, speeds); a new
+        // run invalidates them wholesale.
+        self.weight_cache.clear();
+    }
+
     fn place_into(&mut self, view: &SchedView<'_>, count: usize, out: &mut Vec<ProcessorId>) {
         let mut ups = std::mem::take(&mut self.ups);
         view.up_indices_into(&mut ups);
@@ -95,9 +107,12 @@ impl Scheduler for RandomScheduler {
             self.ups = ups;
             return;
         }
+        if self.weight_cache.len() != view.p() {
+            self.weight_cache = (0..view.p()).map(|i| self.weight_of(view, i)).collect();
+        }
         let mut weights = std::mem::take(&mut self.weights);
         weights.clear();
-        weights.extend(ups.iter().map(|&i| self.weight_of(view, i)));
+        weights.extend(ups.iter().map(|&i| self.weight_cache[i]));
         for _ in 0..count {
             let pick = match self.rng.weighted_index(&weights) {
                 Some(k) => k,
@@ -120,21 +135,13 @@ mod tests {
     use vg_markov::ProcState;
 
     fn reliable() -> AvailabilityChain {
-        AvailabilityChain::new([
-            [0.98, 0.01, 0.01],
-            [0.30, 0.65, 0.05],
-            [0.10, 0.10, 0.80],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.98, 0.01, 0.01], [0.30, 0.65, 0.05], [0.10, 0.10, 0.80]])
+            .unwrap()
     }
 
     fn flaky() -> AvailabilityChain {
-        AvailabilityChain::new([
-            [0.60, 0.20, 0.20],
-            [0.30, 0.50, 0.20],
-            [0.10, 0.10, 0.80],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.60, 0.20, 0.20], [0.30, 0.50, 0.20], [0.10, 0.10, 0.80]])
+            .unwrap()
     }
 
     fn two_proc_view() -> crate::view::OwnedSchedView {
@@ -175,8 +182,7 @@ mod tests {
             RandomWeight::OftenUp,
             RandomWeight::RarelyDown,
         ] {
-            let mut s =
-                RandomScheduler::new(weight, false, SeedPath::root(2).rng(), "RandomX");
+            let mut s = RandomScheduler::new(weight, false, SeedPath::root(2).rng(), "RandomX");
             let view = two_proc_view();
             let counts = count_picks(&mut s, &view.view(), 10_000);
             assert!(
@@ -205,6 +211,45 @@ mod tests {
         let counts = count_picks(&mut s, &view.view(), 11_000);
         let ratio = counts[0] as f64 / counts[1].max(1) as f64;
         assert!((8.0..12.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn begin_run_drops_stale_weight_cache() {
+        // Platform A: reliable+fast at idx 0. Platform B (same p): flaky+slow
+        // at idx 0, reliable+fast at idx 1. A speed-weighted scheduler that
+        // honors begin_run must skew to idx 1 on B; one that silently reuses
+        // A's weights skews to idx 0 — the stale-cache failure mode.
+        let view_a = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 1, false, 0, reliable())
+            .proc(ProcState::Up, 10, false, 0, reliable())
+            .build();
+        let view_b = SchedViewBuilder::new(5, 1, 2)
+            .proc(ProcState::Up, 10, false, 0, flaky())
+            .proc(ProcState::Up, 1, false, 0, reliable())
+            .build();
+        let run = |reset: bool| {
+            let mut s = RandomScheduler::new(
+                RandomWeight::LongTimeUp,
+                true,
+                SeedPath::root(8).rng(),
+                "Random1w",
+            );
+            let _ = s.place(&view_a.view(), 500);
+            if reset {
+                s.begin_run();
+            }
+            count_picks(&mut s, &view_b.view(), 2_000)
+        };
+        let with_reset = run(true);
+        assert!(
+            with_reset[1] > 3 * with_reset[0],
+            "begin_run must re-derive B's weights: {with_reset:?}"
+        );
+        let stale = run(false);
+        assert!(
+            stale[0] > stale[1],
+            "control: without begin_run the stale cache skews to idx 0: {stale:?}"
+        );
     }
 
     #[test]

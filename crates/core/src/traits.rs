@@ -40,4 +40,11 @@ pub trait Scheduler: Send {
         self.place_into(view, count, &mut out);
         out
     }
+
+    /// Called by the engine once before a run's first slot. Implementations
+    /// must drop any cache keyed to a previous run's platform here (chain
+    /// statistics, speeds, per-processor scores), so a scheduler instance
+    /// reused across runs — even on a different platform with the same
+    /// processor count — cannot serve stale values.
+    fn begin_run(&mut self) {}
 }

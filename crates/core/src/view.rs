@@ -193,12 +193,8 @@ mod tests {
     use super::*;
 
     fn chain() -> AvailabilityChain {
-        AvailabilityChain::new([
-            [0.95, 0.03, 0.02],
-            [0.30, 0.65, 0.05],
-            [0.10, 0.10, 0.80],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.95, 0.03, 0.02], [0.30, 0.65, 0.05], [0.10, 0.10, 0.80]])
+            .unwrap()
     }
 
     #[test]

@@ -142,11 +142,7 @@ impl<E: Eq> EventQueue<E> {
     /// were removed. O(n) — intended for infrequent cancellation.
     pub fn cancel_where(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
         let before = self.heap.len();
-        let kept: Vec<Scheduled<E>> = self
-            .heap
-            .drain()
-            .filter(|s| !pred(&s.event))
-            .collect();
+        let kept: Vec<Scheduled<E>> = self.heap.drain().filter(|s| !pred(&s.event)).collect();
         self.heap = kept.into_iter().collect();
         before - self.heap.len()
     }

@@ -16,8 +16,7 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How many worker threads to use for a parallel region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParallelismConfig {
     /// Use `std::thread::available_parallelism()` (min 1).
     #[default]
@@ -28,7 +27,6 @@ pub enum ParallelismConfig {
     /// getting clean backtraces out of a failing instance).
     Sequential,
 }
-
 
 impl ParallelismConfig {
     /// Resolves to a concrete thread count (≥ 1).
@@ -100,6 +98,140 @@ where
         .collect()
 }
 
+/// Like [`par_map`] but with **per-thread state** and **chunked claiming**:
+/// each worker builds one `state = init()` when it starts and threads it
+/// through every item it processes, and items are claimed `chunk_size` at a
+/// time from the shared counter (one atomic pull per chunk instead of one
+/// per item).
+///
+/// This is the campaign fan-out primitive: `init` builds a warmed simulation
+/// arena once per thread, and every instance the thread pulls reuses the
+/// arena's buffers instead of reallocating them. Chunking additionally lets
+/// adjacent work units (all trials of one scenario) land on the same worker.
+///
+/// Output order is input order, exactly as [`par_map`]. `f` receives
+/// `&mut S` plus the item; determinism is up to the caller (seed per item,
+/// not per thread, and the result is independent of the thread schedule).
+///
+/// ```
+/// use vg_des::par::{par_map_init, ParallelismConfig};
+///
+/// let xs: Vec<u64> = (0..100).collect();
+/// let ys = par_map_init(&xs, ParallelismConfig::fixed(4), 8, || 0u64, |scratch, &x| {
+///     *scratch += 1; // per-thread state, invisible to the output
+///     x * x
+/// });
+/// assert_eq!(ys[7], 49);
+/// ```
+pub fn par_map_init<T, R, S, I, F>(
+    items: &[T],
+    cfg: ParallelismConfig,
+    chunk_size: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    par_map_init_consume(items, cfg, chunk_size, init, f, |_, r| out.push(r));
+    out
+}
+
+/// Streaming variant of [`par_map_init`]: instead of materializing a
+/// `Vec<R>`, calls `consume(index, result)` on the **calling thread**, in
+/// strictly increasing index order, as results become available.
+///
+/// This is what keeps campaign memory flat: per-instance results are folded
+/// into per-cell statistics the moment they arrive and then dropped, so the
+/// resident set is O(cells) rather than O(instances). Because `consume`
+/// always observes results in input order, a fold through it is bit-identical
+/// to the same fold over a sequential run — no merge-order nondeterminism.
+///
+/// Workers send finished chunks over a channel; the caller holds a reorder
+/// buffer of out-of-order chunks. The buffer is usually O(threads) chunks;
+/// the worst case (the very first chunk is pathologically slow) is bounded
+/// by O(items). A panicking worker is propagated to the caller after the
+/// scope joins; `consume` will then have seen only a prefix.
+pub fn par_map_init_consume<T, R, S, I, F>(
+    items: &[T],
+    cfg: ParallelismConfig,
+    chunk_size: usize,
+    init: I,
+    f: F,
+    mut consume: impl FnMut(usize, R),
+) where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let chunk = chunk_size.max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let threads = cfg.threads().min(n_chunks.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        for (i, item) in items.iter().enumerate() {
+            consume(i, f(&mut state, item));
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<R>)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(items.len());
+                    let results: Vec<R> = items[start..end]
+                        .iter()
+                        .map(|it| f(&mut state, it))
+                        .collect();
+                    if tx.send((c, results)).is_err() {
+                        break; // receiver gone: the caller is unwinding
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Reorder out-of-order chunks so `consume` sees input order.
+        let mut pending: Vec<Option<Vec<R>>> = Vec::new();
+        pending.resize_with(n_chunks, || None);
+        let mut next_consume = 0usize;
+        while next_consume < n_chunks {
+            // Err means every sender is gone — a worker panicked before
+            // finishing its chunk; stop and let the scope propagate it.
+            let Ok((c, results)) = rx.recv() else { break };
+            pending[c] = Some(results);
+            while next_consume < n_chunks {
+                let Some(results) = pending[next_consume].take() else {
+                    break;
+                };
+                let base = next_consume * chunk;
+                for (k, r) in results.into_iter().enumerate() {
+                    consume(base + k, r);
+                }
+                next_consume += 1;
+            }
+        }
+    });
+}
+
 /// Like [`par_map`] but for side-effecting work; preserves nothing.
 pub fn par_for_each<T, F>(items: &[T], cfg: ParallelismConfig, f: F)
 where
@@ -131,7 +263,13 @@ where
 /// `init` must produce an identity for `combine`. The combination order is
 /// unspecified, so `combine` should be associative and commutative (e.g.
 /// statistics merge, sum, max).
-pub fn par_fold<T, A, F, G, I>(items: &[T], cfg: ParallelismConfig, init: I, fold: F, combine: G) -> A
+pub fn par_fold<T, A, F, G, I>(
+    items: &[T],
+    cfg: ParallelismConfig,
+    init: I,
+    fold: F,
+    combine: G,
+) -> A
 where
     T: Sync,
     A: Send,
@@ -160,10 +298,7 @@ where
             });
         }
     });
-    locals
-        .into_inner()
-        .into_iter()
-        .fold(init(), combine)
+    locals.into_inner().into_iter().fold(init(), combine)
 }
 
 #[cfg(test)]
@@ -211,6 +346,113 @@ mod tests {
             (x, acc).0
         });
         assert_eq!(ys, xs);
+    }
+
+    #[test]
+    fn par_map_init_matches_par_map() {
+        let xs: Vec<u64> = (0..257).collect();
+        let plain = par_map(&xs, ParallelismConfig::Sequential, |&x| x * 3 + 1);
+        for chunk in [1usize, 3, 16, 300] {
+            for threads in [1usize, 2, 8] {
+                let with_state = par_map_init(
+                    &xs,
+                    ParallelismConfig::fixed(threads),
+                    chunk,
+                    || 0u64,
+                    |acc, &x| {
+                        *acc += 1;
+                        x * 3 + 1
+                    },
+                );
+                assert_eq!(with_state, plain, "chunk={chunk} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_init_consume_is_in_order_and_complete() {
+        let xs: Vec<usize> = (0..500).collect();
+        for chunk in [1usize, 7, 64] {
+            let mut seen = Vec::new();
+            par_map_init_consume(
+                &xs,
+                ParallelismConfig::fixed(4),
+                chunk,
+                || (),
+                |(), &x| x * 2,
+                |i, r| {
+                    assert_eq!(seen.len(), i, "consume must run in input order");
+                    seen.push(r);
+                },
+            );
+            let expect: Vec<usize> = xs.iter().map(|&x| x * 2).collect();
+            assert_eq!(seen, expect, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_state_is_per_thread() {
+        use std::sync::atomic::AtomicU64;
+        // Each item bumps its thread's local counter; the counters' total
+        // must equal the item count no matter how work was distributed.
+        let total = AtomicU64::new(0);
+        struct Local<'a> {
+            n: u64,
+            total: &'a AtomicU64,
+        }
+        impl Drop for Local<'_> {
+            fn drop(&mut self) {
+                self.total.fetch_add(self.n, Ordering::Relaxed);
+            }
+        }
+        let xs: Vec<u32> = (0..301).collect();
+        let ys = par_map_init(
+            &xs,
+            ParallelismConfig::fixed(3),
+            5,
+            || Local {
+                n: 0,
+                total: &total,
+            },
+            |local, &x| {
+                local.n += 1;
+                x
+            },
+        );
+        assert_eq!(ys, xs);
+        assert_eq!(total.load(Ordering::Relaxed), 301);
+    }
+
+    #[test]
+    fn par_map_init_empty_and_tiny() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map_init(&empty, ParallelismConfig::Auto, 4, || (), |(), &x| x).is_empty());
+        let one = par_map_init(
+            &[9u8],
+            ParallelismConfig::fixed(8),
+            4,
+            || (),
+            |(), &x| x + 1,
+        );
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn par_map_init_worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let xs: Vec<u32> = (0..64).collect();
+            par_map_init(
+                &xs,
+                ParallelismConfig::fixed(2),
+                4,
+                || (),
+                |(), &x| {
+                    assert!(x != 33, "boom");
+                    x
+                },
+            )
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -189,20 +189,28 @@ impl ConfidenceInterval {
 fn t_quantile(level: f64, df: u64) -> f64 {
     // Rows: df 1..=30 then asymptotic; classic two-sided t table.
     const T95: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     const T99: [f64; 30] = [
-        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
-        3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
-        2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+        2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+        2.771, 2.763, 2.756, 2.750,
     ];
     let idx = (df.clamp(1, 30) - 1) as usize;
     if (level - 0.95).abs() < 1e-9 {
-        if df <= 30 { T95[idx] } else { 1.960 }
+        if df <= 30 {
+            T95[idx]
+        } else {
+            1.960
+        }
     } else if (level - 0.99).abs() < 1e-9 {
-        if df <= 30 { T99[idx] } else { 2.576 }
+        if df <= 30 {
+            T99[idx]
+        } else {
+            2.576
+        }
     } else {
         // Normal approximation for other levels via inverse error function
         // (Acklam-style rational approximation is overkill here; campaigns
@@ -218,7 +226,11 @@ impl OnlineStats {
         assert!((0.5..1.0).contains(&level), "level out of range: {level}");
         let mean = self.mean();
         if self.count() < 2 {
-            return ConfidenceInterval { lo: mean, hi: mean, level };
+            return ConfidenceInterval {
+                lo: mean,
+                hi: mean,
+                level,
+            };
         }
         let t = t_quantile(level, self.count() - 1);
         let h = t * self.std_err();

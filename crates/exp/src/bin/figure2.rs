@@ -40,6 +40,13 @@ fn main() {
     let result = run_campaign(&grid, &cfg);
     let (wmins, series) = result.by_wmin(&kinds);
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    if result.capped_instances() > 0 || result.degenerate_instances() > 0 {
+        eprintln!(
+            "excluded from scoring: {} capped, {} degenerate instance(s)",
+            result.capped_instances(),
+            result.degenerate_instances()
+        );
+    }
 
     println!("Figure 2: averaged dfb results vs. wmin\n");
     let headers: Vec<String> = std::iter::once("wmin".to_string())

@@ -11,36 +11,43 @@
 use std::time::Instant;
 use vg_core::HeuristicKind;
 use vg_des::rng::SeedPath;
-use vg_exp::campaign::{run_instance, CampaignConfig};
+use vg_exp::campaign::{run_instance_fresh, CampaignConfig, CellStats, InstanceOutcome};
 use vg_exp::cli::ExpArgs;
 use vg_exp::report::{summary_table, text_table};
 use vg_exp::robustness::{expected_up_occupancy, make_robustness_scenario, RobustnessParams};
 use vg_exp::scenario::{make_scenario, ScenarioParams};
 use vg_exp::HeuristicSummary;
-use vg_des::stats::OnlineStats;
 
+/// Folds instances through the campaign's shared scoring routine, so capped
+/// and degenerate instances are excluded here exactly as in Table 2 (a
+/// burned slot cap is a lower bound, never a makespan or a win).
 fn summarize(
     label: &str,
-    makespans_per_instance: &[Vec<u64>],
+    outcomes: &[InstanceOutcome],
     kinds: &[HeuristicKind],
 ) -> Vec<HeuristicSummary> {
-    let mut stats: Vec<(OnlineStats, u64)> = vec![(OnlineStats::new(), 0); kinds.len()];
-    for mks in makespans_per_instance {
-        let best = *mks.iter().min().expect("non-empty");
-        for (h, &mk) in mks.iter().enumerate() {
-            stats[h].0.push(100.0 * (mk - best) as f64 / best as f64);
-            if mk == best {
-                stats[h].1 += 1;
-            }
-        }
+    let mut stats = CellStats::new(kinds.len());
+    for outcome in outcomes {
+        stats.absorb(outcome);
     }
     let mut out: Vec<HeuristicSummary> = kinds
         .iter()
-        .zip(stats)
-        .map(|(&kind, (dfb, wins))| HeuristicSummary { kind, dfb, wins })
+        .enumerate()
+        .map(|(h, &kind)| HeuristicSummary {
+            kind,
+            dfb: stats.dfb[h],
+            wins: stats.wins[h],
+            capped_runs: stats.capped_runs[h],
+        })
         .collect();
-    out.sort_by(|a, b| a.dfb.mean().partial_cmp(&b.dfb.mean()).expect("finite"));
+    out.sort_by(|a, b| a.dfb.mean().total_cmp(&b.dfb.mean()));
     println!("{label}\n");
+    if stats.capped_instances > 0 || stats.degenerate_instances > 0 {
+        println!(
+            "(excluded from scoring: {} capped, {} degenerate instance(s))\n",
+            stats.capped_instances, stats.degenerate_instances
+        );
+    }
     println!("{}", summary_table(&out));
     out
 }
@@ -72,36 +79,47 @@ fn main() {
     for s_idx in 0..scenarios {
         let scenario = make_scenario(params, root.child_str("mk-scn").child(s_idx as u64));
         for trial in 0..args.trials {
-            markov_outcomes.push(run_instance(
+            markov_outcomes.push(run_instance_fresh(
                 &scenario, &kinds, args.seed, 0, s_idx, trial, cfg.sim,
             ));
         }
     }
-    let markov_summaries = summarize("Arm A — Markov truth (paper setting)", &markov_outcomes, &kinds);
+    let markov_summaries = summarize(
+        "Arm A — Markov truth (paper setting)",
+        &markov_outcomes,
+        &kinds,
+    );
 
     // Arm B: semi-Markov truth, fitted belief.
     let mut semi_outcomes = Vec::new();
     for s_idx in 0..scenarios {
-        let scenario = make_robustness_scenario(
-            params,
-            &rp,
-            root.child_str("sm-scn").child(s_idx as u64),
-        );
+        let scenario =
+            make_robustness_scenario(params, &rp, root.child_str("sm-scn").child(s_idx as u64));
         for trial in 0..args.trials {
-            semi_outcomes.push(run_instance(
+            semi_outcomes.push(run_instance_fresh(
                 &scenario, &kinds, args.seed, 1, s_idx, trial, cfg.sim,
             ));
         }
     }
-    let semi_summaries = summarize("Arm B — semi-Markov truth, fitted Markov belief", &semi_outcomes, &kinds);
+    let semi_summaries = summarize(
+        "Arm B — semi-Markov truth, fitted Markov belief",
+        &semi_outcomes,
+        &kinds,
+    );
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
 
     // Head-to-head: how much of each failure-aware heuristic's edge survives.
     let rows: Vec<Vec<String>> = kinds
         .iter()
         .map(|k| {
-            let a = markov_summaries.iter().find(|s| s.kind == *k).expect("present");
-            let b = semi_summaries.iter().find(|s| s.kind == *k).expect("present");
+            let a = markov_summaries
+                .iter()
+                .find(|s| s.kind == *k)
+                .expect("present");
+            let b = semi_summaries
+                .iter()
+                .find(|s| s.kind == *k)
+                .expect("present");
             vec![
                 k.name().to_string(),
                 format!("{:.2}", a.dfb.mean()),
@@ -112,6 +130,9 @@ fn main() {
         .collect();
     println!(
         "{}",
-        text_table(&["Algorithm", "dfb (Markov)", "dfb (semi-Markov)", "delta"], &rows)
+        text_table(
+            &["Algorithm", "dfb (Markov)", "dfb (semi-Markov)", "delta"],
+            &rows
+        )
     );
 }

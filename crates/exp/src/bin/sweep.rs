@@ -150,6 +150,7 @@ fn main() {
         master_seed: args.seed,
         parallelism: ParallelismConfig::Auto,
         sim: SimOptions::default(),
+        keep_outcomes: false,
     };
     let result = run_campaign(std::slice::from_ref(&cell), &cfg);
     println!(

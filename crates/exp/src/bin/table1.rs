@@ -32,11 +32,7 @@ fn main() {
     let s = make_scenario(params, SeedPath::root(42).child_str("scenario"));
     println!(
         "sample scenario (n={}, ncom={}, wmin={}): T_prog={}, T_data={}",
-        params.n_tasks,
-        params.ncom,
-        params.wmin,
-        s.app.t_prog,
-        s.app.t_data
+        params.n_tasks, params.ncom, params.wmin, s.app.t_prog, s.app.t_data
     );
     let rows: Vec<Vec<String>> = s
         .platform

@@ -40,6 +40,13 @@ fn main() {
     let result = run_campaign(&grid, &cfg);
     let summaries = result.summarize();
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    if result.capped_instances() > 0 || result.degenerate_instances() > 0 {
+        eprintln!(
+            "excluded from scoring: {} capped instance(s) (no heuristic finished), {} degenerate instance(s) (best makespan 0)",
+            result.capped_instances(),
+            result.degenerate_instances()
+        );
+    }
 
     println!("Table 2: results over all problem instances\n");
     println!("{}", summary_table(&summaries));
@@ -59,7 +66,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            csv(&["algorithm", "avg_dfb", "sd_dfb", "wins", "instances"], &rows)
+            csv(
+                &["algorithm", "avg_dfb", "sd_dfb", "wins", "instances"],
+                &rows
+            )
         );
     }
 }

@@ -24,7 +24,11 @@ fn main() {
     let args = ExpArgs::from_env();
     // The paper runs 100 scenarios x 10 trials per scale; our default is
     // smaller unless --paper-scale (which for this table means 100 x 10).
-    let scenarios = if args.paper_scale { 100 } else { args.scenarios.max(4) };
+    let scenarios = if args.paper_scale {
+        100
+    } else {
+        args.scenarios.max(4)
+    };
     let trials = if args.paper_scale { 10 } else { args.trials };
 
     for scale in [5u64, 10] {
@@ -45,6 +49,13 @@ fn main() {
         let result = run_campaign(std::slice::from_ref(&cell), &cfg);
         let summaries = result.summarize();
         eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+        if result.capped_instances() > 0 || result.degenerate_instances() > 0 {
+            eprintln!(
+                "excluded from scoring: {} capped, {} degenerate instance(s)",
+                result.capped_instances(),
+                result.degenerate_instances()
+            );
+        }
 
         println!("Table 3: communication times x{scale}\n");
         println!("{}", summary_table(&summaries));

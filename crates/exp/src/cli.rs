@@ -56,7 +56,8 @@ impl ExpArgs {
         let mut out = Self::default();
         let mut it = args.into_iter();
         let next_value = |name: &str, it: &mut dyn Iterator<Item = String>| {
-            it.next().ok_or_else(|| ArgError(format!("{name} needs a value")))
+            it.next()
+                .ok_or_else(|| ArgError(format!("{name} needs a value")))
         };
         while let Some(tok) = it.next() {
             match tok.as_str() {
@@ -151,8 +152,18 @@ mod tests {
 
     #[test]
     fn explicit_values() {
-        let a = parse(&["--scenarios", "5", "--trials", "3", "--seed", "9", "--threads", "2", "--csv"])
-            .unwrap();
+        let a = parse(&[
+            "--scenarios",
+            "5",
+            "--trials",
+            "3",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--csv",
+        ])
+        .unwrap();
         assert_eq!(a.scenarios, 5);
         assert_eq!(a.trials, 3);
         assert_eq!(a.seed, 9);

@@ -23,5 +23,8 @@ pub mod report;
 pub mod robustness;
 pub mod scenario;
 
-pub use campaign::{run_campaign, run_instance, CampaignConfig, CampaignResult, HeuristicSummary};
+pub use campaign::{
+    run_campaign, run_campaign_reference, run_instance, run_instance_fresh, run_instance_in,
+    CampaignConfig, CampaignResult, CellStats, HeuristicSummary, InstanceOutcome,
+};
 pub use scenario::{make_scenario, Scenario, ScenarioParams};

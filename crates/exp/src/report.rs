@@ -45,21 +45,31 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Renders the Table-2-style summary (heuristic, average dfb ± 95% CI half
-/// width, wins).
+/// width, wins). When any heuristic hit the slot cap on scored instances, a
+/// `#capped` column is appended (those dfb entries are lower bounds).
 #[must_use]
 pub fn summary_table(summaries: &[HeuristicSummary]) -> String {
+    let any_capped = summaries.iter().any(|s| s.capped_runs > 0);
     let rows: Vec<Vec<String>> = summaries
         .iter()
         .map(|s| {
-            vec![
+            let mut row = vec![
                 s.kind.name().to_string(),
                 format!("{:.2}", s.dfb.mean()),
                 format!("±{:.2}", s.dfb.confidence_interval(0.95).half_width()),
                 format!("{}", s.wins),
-            ]
+            ];
+            if any_capped {
+                row.push(format!("{}", s.capped_runs));
+            }
+            row
         })
         .collect();
-    text_table(&["Algorithm", "Average dfb", "95% CI", "#wins"], &rows)
+    let mut headers = vec!["Algorithm", "Average dfb", "95% CI", "#wins"];
+    if any_capped {
+        headers.push("#capped");
+    }
+    text_table(&headers, &rows)
 }
 
 /// CSV rendering with a header row.
@@ -167,12 +177,28 @@ mod tests {
             kind: HeuristicKind::EmctStar,
             dfb,
             wins: 12,
+            capped_runs: 0,
         }]);
         assert!(s.contains("EMCT*"));
         assert!(s.contains("4.50"));
         assert!(s.contains("12"));
         assert!(s.contains("95% CI"));
         assert!(s.contains('±'));
+        assert!(!s.contains("#capped"), "column hidden when nothing capped");
+    }
+
+    #[test]
+    fn summary_table_shows_capped_column_when_relevant() {
+        let mut dfb = OnlineStats::new();
+        dfb.push(4.5);
+        let s = summary_table(&[HeuristicSummary {
+            kind: HeuristicKind::Mct,
+            dfb,
+            wins: 3,
+            capped_runs: 2,
+        }]);
+        assert!(s.contains("#capped"));
+        assert!(s.contains('2'));
     }
 
     #[test]

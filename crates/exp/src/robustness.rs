@@ -51,17 +51,16 @@ pub fn desktop_model(rp: &RobustnessParams, jitter: f64) -> SemiMarkovModel {
     let mean = rp.up_mean * jitter;
     let scale = mean / vg_markov::dist::gamma_fn(1.0 + 1.0 / rp.up_shape);
     SemiMarkovModel::new(
-        [
-            [0.0, 0.85, 0.15],
-            [0.90, 0.0, 0.10],
-            [1.0, 0.0, 0.0],
-        ],
+        [[0.0, 0.85, 0.15], [0.90, 0.0, 0.10], [1.0, 0.0, 0.0]],
         [
             SojournDist::Weibull {
                 scale,
                 shape: rp.up_shape,
             },
-            SojournDist::LogNormal { mu: 1.5, sigma: 0.8 },
+            SojournDist::LogNormal {
+                mu: 1.5,
+                sigma: 0.8,
+            },
             SojournDist::Weibull {
                 scale: 2.0 * mean,
                 shape: 1.0,
@@ -187,7 +186,10 @@ mod tests {
         assert_eq!(s.platform.p(), 4);
         for pc in &s.platform.processors {
             assert!(pc.believed.is_some());
-            assert!(matches!(pc.avail, AvailabilityModelConfig::SemiMarkov { .. }));
+            assert!(matches!(
+                pc.avail,
+                AvailabilityModelConfig::SemiMarkov { .. }
+            ));
         }
     }
 

@@ -122,7 +122,9 @@ impl AvailabilityChain {
         for (i, row) in p.iter().enumerate() {
             let sum: f64 = row.iter().sum();
             if (sum - 1.0).abs() > ROW_TOL
-                || row.iter().any(|&x| !(0.0..=1.0 + ROW_TOL).contains(&x) || x.is_nan())
+                || row
+                    .iter()
+                    .any(|&x| !(0.0..=1.0 + ROW_TOL).contains(&x) || x.is_nan())
             {
                 return Err(ChainError::NotStochastic { row: i });
             }
@@ -603,12 +605,8 @@ mod tests {
 
     /// A hand-picked, asymmetric chain exercised throughout the tests.
     fn chain() -> AvailabilityChain {
-        AvailabilityChain::new([
-            [0.92, 0.05, 0.03],
-            [0.10, 0.85, 0.05],
-            [0.04, 0.02, 0.94],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.92, 0.05, 0.03], [0.10, 0.85, 0.05], [0.04, 0.02, 0.94]])
+            .unwrap()
     }
 
     /// A paper-style chain (diagonals in [0.90, 0.99], symmetric split).
@@ -628,12 +626,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_rows() {
-        assert!(AvailabilityChain::new([
-            [0.5, 0.4, 0.0],
-            [0.1, 0.8, 0.1],
-            [0.1, 0.1, 0.8],
-        ])
-        .is_err());
+        assert!(
+            AvailabilityChain::new([[0.5, 0.4, 0.0], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8],]).is_err()
+        );
     }
 
     #[test]
@@ -862,7 +857,11 @@ mod tests {
         }
         for i in 0..3 {
             let freq = counts[i] as f64 / 20_000.0;
-            assert!((freq - pi[i]).abs() < 0.02, "state {i}: {freq} vs {}", pi[i]);
+            assert!(
+                (freq - pi[i]).abs() < 0.02,
+                "state {i}: {freq} vs {}",
+                pi[i]
+            );
         }
     }
 
@@ -878,7 +877,11 @@ mod tests {
         }
         for i in 0..3 {
             let freq = counts[i] as f64 / n as f64;
-            assert!((freq - pi[i]).abs() < 0.02, "state {i}: {freq} vs {}", pi[i]);
+            assert!(
+                (freq - pi[i]).abs() < 0.02,
+                "state {i}: {freq} vs {}",
+                pi[i]
+            );
         }
     }
 

@@ -171,11 +171,7 @@ impl MarkovChain {
         let mut dist = vec![1.0 / n as f64; n];
         for _ in 0..max_iters {
             let next = self.step_distribution(&dist);
-            let diff: f64 = next
-                .iter()
-                .zip(&dist)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f64 = next.iter().zip(&dist).map(|(a, b)| (a - b).abs()).sum();
             dist = next;
             if diff < tol {
                 break;
@@ -435,9 +431,11 @@ mod tests {
 
     #[test]
     fn reachability() {
-        let c = MarkovChain::from_rows(&[vec![0.5, 0.5, 0.0], vec![0.0, 0.5, 0.5], vec![
-            0.0, 0.0, 1.0,
-        ]])
+        let c = MarkovChain::from_rows(&[
+            vec![0.5, 0.5, 0.0],
+            vec![0.0, 0.5, 0.5],
+            vec![0.0, 0.0, 1.0],
+        ])
         .unwrap();
         assert_eq!(c.reachable_from(0), vec![true, true, true]);
         assert_eq!(c.reachable_from(2), vec![false, false, true]);

@@ -79,7 +79,9 @@ impl SojournDist {
                 if scale > 0.0 && shape > 0.0 {
                     Ok(())
                 } else {
-                    Err(format!("weibull parameters must be positive: λ={scale}, k={shape}"))
+                    Err(format!(
+                        "weibull parameters must be positive: λ={scale}, k={shape}"
+                    ))
                 }
             }
             Self::LogNormal { sigma, .. } => {
@@ -211,8 +213,14 @@ mod tests {
     fn all_samples_are_at_least_one() {
         let dists = [
             SojournDist::Geometric { p: 0.9 },
-            SojournDist::Weibull { scale: 0.3, shape: 0.7 },
-            SojournDist::LogNormal { mu: -1.0, sigma: 0.5 },
+            SojournDist::Weibull {
+                scale: 0.3,
+                shape: 0.7,
+            },
+            SojournDist::LogNormal {
+                mu: -1.0,
+                sigma: 0.5,
+            },
             SojournDist::Deterministic { t: 1 },
             SojournDist::Uniform { lo: 1, hi: 3 },
         ];
@@ -258,22 +266,35 @@ mod tests {
 
     #[test]
     fn weibull_mean_matches_analytic() {
-        let d = SojournDist::Weibull { scale: 20.0, shape: 1.5 };
+        let d = SojournDist::Weibull {
+            scale: 20.0,
+            shape: 1.5,
+        };
         let mean = sample_mean(&d, 200_000, 5);
-        assert!((mean - d.approx_mean()).abs() < 0.3, "mean {mean} vs {}", d.approx_mean());
+        assert!(
+            (mean - d.approx_mean()).abs() < 0.3,
+            "mean {mean} vs {}",
+            d.approx_mean()
+        );
     }
 
     #[test]
     fn weibull_shape1_is_exponential() {
         // Weibull(λ, 1) = Exponential(mean λ).
-        let d = SojournDist::Weibull { scale: 10.0, shape: 1.0 };
+        let d = SojournDist::Weibull {
+            scale: 10.0,
+            shape: 1.0,
+        };
         let mean = sample_mean(&d, 200_000, 6);
         assert!((mean - 10.5).abs() < 0.2, "mean {mean}");
     }
 
     #[test]
     fn lognormal_mean_matches_analytic() {
-        let d = SojournDist::LogNormal { mu: 2.0, sigma: 0.5 };
+        let d = SojournDist::LogNormal {
+            mu: 2.0,
+            sigma: 0.5,
+        };
         let mean = sample_mean(&d, 300_000, 7);
         assert!(
             (mean - d.approx_mean()).abs() < 0.3,
@@ -304,8 +325,18 @@ mod tests {
     fn validate_catches_bad_parameters() {
         assert!(SojournDist::Geometric { p: 0.0 }.validate().is_err());
         assert!(SojournDist::Geometric { p: 1.5 }.validate().is_err());
-        assert!(SojournDist::Weibull { scale: 0.0, shape: 1.0 }.validate().is_err());
-        assert!(SojournDist::LogNormal { mu: 0.0, sigma: 0.0 }.validate().is_err());
+        assert!(SojournDist::Weibull {
+            scale: 0.0,
+            shape: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(SojournDist::LogNormal {
+            mu: 0.0,
+            sigma: 0.0
+        }
+        .validate()
+        .is_err());
         assert!(SojournDist::Deterministic { t: 0 }.validate().is_err());
         assert!(SojournDist::Uniform { lo: 3, hi: 2 }.validate().is_err());
         assert!(SojournDist::Uniform { lo: 0, hi: 2 }.validate().is_err());
@@ -326,7 +357,10 @@ mod tests {
     #[test]
     fn weibull_small_shape_is_heavy_tailed() {
         // shape < 1: coefficient of variation > 1.
-        let d = SojournDist::Weibull { scale: 10.0, shape: 0.5 };
+        let d = SojournDist::Weibull {
+            scale: 10.0,
+            shape: 0.5,
+        };
         let mut rng = SeedPath::root(10).rng();
         let mut s = OnlineStats::new();
         for _ in 0..100_000 {

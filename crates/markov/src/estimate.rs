@@ -94,12 +94,8 @@ mod tests {
     use vg_des::rng::SeedPath;
 
     fn chain() -> AvailabilityChain {
-        AvailabilityChain::new([
-            [0.92, 0.05, 0.03],
-            [0.10, 0.85, 0.05],
-            [0.04, 0.02, 0.94],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.92, 0.05, 0.03], [0.10, 0.85, 0.05], [0.04, 0.02, 0.94]])
+            .unwrap()
     }
 
     #[test]
@@ -126,7 +122,8 @@ mod tests {
     #[test]
     fn mle_recovers_generating_chain() {
         let c = chain();
-        let mut stream = AvailabilityStream::new(c.clone(), ProcState::Up, SeedPath::root(21).rng());
+        let mut stream =
+            AvailabilityStream::new(c.clone(), ProcState::Up, SeedPath::root(21).rng());
         let trace = stream.take_vec(500_000);
         let est = estimate_from_trace(&trace, 0.0).unwrap();
         for i in 0..3 {

@@ -277,9 +277,11 @@ mod tests {
 
     #[test]
     fn transpose_involution() {
-        let m = SquareMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![
-            7.0, 8.0, 9.0,
-        ]]);
+        let m = SquareMatrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose()[(0, 1)], 4.0);
     }

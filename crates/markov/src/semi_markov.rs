@@ -40,10 +40,7 @@ impl std::error::Error for SemiMarkovError {}
 
 impl SemiMarkovModel {
     /// Builds and validates a model.
-    pub fn new(
-        jump: [[f64; 3]; 3],
-        sojourn: [SojournDist; 3],
-    ) -> Result<Self, SemiMarkovError> {
+    pub fn new(jump: [[f64; 3]; 3], sojourn: [SojournDist; 3]) -> Result<Self, SemiMarkovError> {
         for (i, row) in jump.iter().enumerate() {
             if row[i] != 0.0 {
                 return Err(SemiMarkovError(format!(
@@ -107,9 +104,18 @@ impl SemiMarkovModel {
                 [1.0, 0.0, 0.0],
             ],
             [
-                SojournDist::Weibull { scale: scale_up, shape: 0.7 },
-                SojournDist::LogNormal { mu: 2.0, sigma: 0.8 },
-                SojournDist::Weibull { scale: 4.0 * scale_up, shape: 1.0 },
+                SojournDist::Weibull {
+                    scale: scale_up,
+                    shape: 0.7,
+                },
+                SojournDist::LogNormal {
+                    mu: 2.0,
+                    sigma: 0.8,
+                },
+                SojournDist::Weibull {
+                    scale: 4.0 * scale_up,
+                    shape: 1.0,
+                },
             ],
         )
         .expect("template is valid")
@@ -231,12 +237,8 @@ mod tests {
     use vg_des::rng::SeedPath;
 
     fn markov_chain() -> AvailabilityChain {
-        AvailabilityChain::new([
-            [0.92, 0.05, 0.03],
-            [0.10, 0.85, 0.05],
-            [0.04, 0.02, 0.94],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.92, 0.05, 0.03], [0.10, 0.85, 0.05], [0.04, 0.02, 0.94]])
+            .unwrap()
     }
 
     #[test]
@@ -280,12 +282,8 @@ mod tests {
 
     #[test]
     fn from_markov_rejects_absorbing() {
-        let c = AvailabilityChain::new([
-            [1.0, 0.0, 0.0],
-            [0.1, 0.8, 0.1],
-            [0.1, 0.1, 0.8],
-        ])
-        .unwrap();
+        let c =
+            AvailabilityChain::new([[1.0, 0.0, 0.0], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8]]).unwrap();
         assert!(SemiMarkovModel::from_markov(&c).is_err());
     }
 
@@ -322,7 +320,12 @@ mod tests {
         let occ = sm.occupancy();
         let pi = c.stationary();
         for i in 0..3 {
-            assert!((occ[i] - pi[i]).abs() < 1e-6, "state {i}: {} vs {}", occ[i], pi[i]);
+            assert!(
+                (occ[i] - pi[i]).abs() < 1e-6,
+                "state {i}: {} vs {}",
+                occ[i],
+                pi[i]
+            );
         }
     }
 

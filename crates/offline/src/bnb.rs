@@ -69,10 +69,7 @@ impl std::error::Error for BnbError {}
 /// Exact minimum completion time of one iteration, or `None` if infeasible
 /// within the horizon. `state_budget` caps explored states (to keep tests
 /// bounded); exceeding it returns `Err(BudgetExceeded)`.
-pub fn min_makespan(
-    inst: &OfflineInstance,
-    state_budget: usize,
-) -> Result<Option<Slot>, BnbError> {
+pub fn min_makespan(inst: &OfflineInstance, state_budget: usize) -> Result<Option<Slot>, BnbError> {
     inst.validate().map_err(|_| BnbError::InvalidInstance)?;
     if !inst.is_two_state() {
         return Err(BnbError::ContainsDown);
@@ -111,12 +108,7 @@ struct Solver<'a> {
 }
 
 impl Solver<'_> {
-    fn dfs(
-        &mut self,
-        slot: Slot,
-        pipes: &[ProcPipeline],
-        done: usize,
-    ) -> Result<(), BnbError> {
+    fn dfs(&mut self, slot: Slot, pipes: &[ProcPipeline], done: usize) -> Result<(), BnbError> {
         if done >= self.inst.m {
             if self.best.is_none_or(|b| slot < b) {
                 self.best = Some(slot);
@@ -145,8 +137,7 @@ impl Solver<'_> {
                 eligible.push((q, Need::Prog));
             } else if u64::from(pipe.cur_data) < self.inst.t_data {
                 eligible.push((q, Need::CurData));
-            } else if u64::from(pipe.pre_data) < self.inst.t_data
-                && self.can_compute(q, pipe, slot)
+            } else if u64::from(pipe.pre_data) < self.inst.t_data && self.can_compute(q, pipe, slot)
             {
                 eligible.push((q, Need::PreData));
             }
@@ -269,15 +260,8 @@ mod tests {
         // S1 = uuuuuurrr, S2 = ruuuuuuuu. The optimal schedule waits one
         // slot and serves P2 first, finishing both tasks at time 9; MCT
         // (which grabs P1 immediately) is strictly worse.
-        let inst = OfflineInstance::uniform(
-            2,
-            2,
-            2,
-            2,
-            Some(1),
-            9,
-            vec![t("uuuuuurrr"), t("ruuuuuuuu")],
-        );
+        let inst =
+            OfflineInstance::uniform(2, 2, 2, 2, Some(1), 9, vec![t("uuuuuurrr"), t("ruuuuuuuu")]);
         assert_eq!(min_makespan(&inst, BUDGET), Ok(Some(9)));
     }
 
@@ -286,7 +270,15 @@ mod tests {
         // With ncom = p the channel constraint is slack on these instances;
         // B&B must agree with the provably optimal MCT.
         let cases = vec![
-            OfflineInstance::uniform(2, 1, 1, 2, None, 14, vec![t("uuuuuuuuuuuuuu"), t("ruururuuruuruu")]),
+            OfflineInstance::uniform(
+                2,
+                1,
+                1,
+                2,
+                None,
+                14,
+                vec![t("uuuuuuuuuuuuuu"), t("ruururuuruuruu")],
+            ),
             OfflineInstance::uniform(3, 1, 0, 1, None, 10, vec![t("uuuuuuuuuu"), t("uruururuur")]),
             OfflineInstance::uniform(1, 2, 2, 3, None, 12, vec![t("uuuuuuuuuuuu")]),
         ];
@@ -339,7 +331,11 @@ mod tests {
             2,
             Some(1),
             20,
-            vec![t("uuuuuuuuuuuuuuuuuuuu"), t("uuuuuuuuuuuuuuuuuuuu"), t("uuuuuuuuuuuuuuuuuuuu")],
+            vec![
+                t("uuuuuuuuuuuuuuuuuuuu"),
+                t("uuuuuuuuuuuuuuuuuuuu"),
+                t("uuuuuuuuuuuuuuuuuuuu"),
+            ],
         );
         assert_eq!(min_makespan(&inst, 10), Err(BnbError::BudgetExceeded));
     }

@@ -191,9 +191,24 @@ mod tests {
         let ok = OfflineInstance::uniform(1, 1, 0, 1, Some(1), 4, vec![t("uuuu")]);
         assert!(ok.validate().is_ok());
         assert!(OfflineInstance { m: 0, ..ok.clone() }.validate().is_err());
-        assert!(OfflineInstance { horizon: 0, ..ok.clone() }.validate().is_err());
-        assert!(OfflineInstance { ncom: Some(0), ..ok.clone() }.validate().is_err());
-        assert!(OfflineInstance { w: vec![], ..ok.clone() }.validate().is_err());
+        assert!(OfflineInstance {
+            horizon: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(OfflineInstance {
+            ncom: Some(0),
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(OfflineInstance {
+            w: vec![],
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
         assert!(OfflineInstance { w: vec![0], ..ok }.validate().is_err());
     }
 

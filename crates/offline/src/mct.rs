@@ -91,7 +91,10 @@ impl<'a> ProcTimeline<'a> {
         let inst = self.inst;
         self.prog_ready?;
         let (data_start, data_ready) = if inst.t_data == 0 {
-            (None, self.comm_cursor.max(self.prog_ready.expect("checked")))
+            (
+                None,
+                self.comm_cursor.max(self.prog_ready.expect("checked")),
+            )
         } else {
             // Look-ahead: data for task k may only flow once task k−1 has
             // started computing (and the link must be free).
@@ -165,7 +168,8 @@ pub fn mct_infinite(inst: &OfflineInstance) -> Option<MctSolution> {
         "MCT is only optimal without a bandwidth bound (Proposition 2)"
     );
     inst.validate().ok()?;
-    let mut timelines: Vec<ProcTimeline> = (0..inst.p()).map(|q| ProcTimeline::new(inst, q)).collect();
+    let mut timelines: Vec<ProcTimeline> =
+        (0..inst.p()).map(|q| ProcTimeline::new(inst, q)).collect();
     let mut assignment = Vec::with_capacity(inst.m);
     let mut makespan = 0;
     for _task in 0..inst.m {
@@ -183,7 +187,10 @@ pub fn mct_infinite(inst: &OfflineInstance) -> Option<MctSolution> {
         assignment.push(q);
         makespan = makespan.max(p.completion);
     }
-    Some(MctSolution { assignment, makespan })
+    Some(MctSolution {
+        assignment,
+        makespan,
+    })
 }
 
 /// Materializes an explicit [`Schedule`] from a task→processor assignment by
@@ -191,7 +198,8 @@ pub fn mct_infinite(inst: &OfflineInstance) -> Option<MctSolution> {
 #[must_use]
 pub fn materialize(inst: &OfflineInstance, assignment: &[usize]) -> Option<Schedule> {
     let mut schedule = Schedule::empty(inst);
-    let mut timelines: Vec<ProcTimeline> = (0..inst.p()).map(|q| ProcTimeline::new(inst, q)).collect();
+    let mut timelines: Vec<ProcTimeline> =
+        (0..inst.p()).map(|q| ProcTimeline::new(inst, q)).collect();
     // Program slots for every processor that computes something.
     for q in 0..inst.p() {
         if assignment.contains(&q) && inst.t_prog > 0 {
@@ -354,7 +362,14 @@ mod tests {
 
     #[test]
     fn mct_balances_two_processors() {
-        let i = inst(2, 1, 1, 3, 20, vec![t("uuuuuuuuuuuuuuuuuuuu"), t("uuuuuuuuuuuuuuuuuuuu")]);
+        let i = inst(
+            2,
+            1,
+            1,
+            3,
+            20,
+            vec![t("uuuuuuuuuuuuuuuuuuuu"), t("uuuuuuuuuuuuuuuuuuuu")],
+        );
         let sol = mct_infinite(&i).unwrap();
         assert_eq!(sol.assignment, vec![0, 1]);
         assert_eq!(sol.makespan, 5);
@@ -362,7 +377,14 @@ mod tests {
 
     #[test]
     fn mct_prefers_faster_processor() {
-        let mut i = inst(1, 1, 1, 1, 20, vec![t("uuuuuuuuuuuuuuuuuuuu"), t("uuuuuuuuuuuuuuuuuuuu")]);
+        let mut i = inst(
+            1,
+            1,
+            1,
+            1,
+            20,
+            vec![t("uuuuuuuuuuuuuuuuuuuu"), t("uuuuuuuuuuuuuuuuuuuu")],
+        );
         i.w = vec![5, 2];
         let sol = mct_infinite(&i).unwrap();
         assert_eq!(sol.assignment, vec![1]);
@@ -392,10 +414,17 @@ mod tests {
 
     #[test]
     fn materialized_schedule_validates() {
-        let i = inst(3, 2, 1, 2, 30, vec![
-            t("uuuuuuuuuuuuuuuuuuuuuuuuuuuuuu"),
-            t("ururururururururururururururur"),
-        ]);
+        let i = inst(
+            3,
+            2,
+            1,
+            2,
+            30,
+            vec![
+                t("uuuuuuuuuuuuuuuuuuuuuuuuuuuuuu"),
+                t("ururururururururururururururur"),
+            ],
+        );
         let sol = mct_infinite(&i).unwrap();
         let schedule = materialize(&i, &sol.assignment).unwrap();
         let completion = schedule.validate(&i).unwrap();
@@ -405,13 +434,34 @@ mod tests {
     #[test]
     fn mct_matches_brute_force_on_crafted_instances() {
         let cases = vec![
-            inst(3, 1, 1, 2, 20, vec![t("uuuuuuuuuuuuuuuuuuuu"), t("uruururuuruuruuruuru")]),
-            inst(4, 2, 1, 1, 25, vec![
-                t("uuuuuuuuuuuuuuuuuuuuuuuuu"),
-                t("rrrrruuuuuuuuuuuuuuuuuuuu"),
-                t("uururururururururururuuuu"),
-            ]),
-            inst(2, 0, 2, 3, 15, vec![t("uuuuuuuuuuuuuuu"), t("uuruuruuruuruur")]),
+            inst(
+                3,
+                1,
+                1,
+                2,
+                20,
+                vec![t("uuuuuuuuuuuuuuuuuuuu"), t("uruururuuruuruuruuru")],
+            ),
+            inst(
+                4,
+                2,
+                1,
+                1,
+                25,
+                vec![
+                    t("uuuuuuuuuuuuuuuuuuuuuuuuu"),
+                    t("rrrrruuuuuuuuuuuuuuuuuuuu"),
+                    t("uururururururururururuuuu"),
+                ],
+            ),
+            inst(
+                2,
+                0,
+                2,
+                3,
+                15,
+                vec![t("uuuuuuuuuuuuuuu"), t("uuruuruuruuruur")],
+            ),
         ];
         for (idx, i) in cases.into_iter().enumerate() {
             let greedy = mct_infinite(&i).map(|s| s.makespan);

@@ -126,14 +126,17 @@ pub fn schedule_from_assignment(cnf: &Cnf, assignment: &[bool]) -> Option<Schedu
 pub fn figure1_formula() -> Cnf {
     let p = Lit::pos;
     let q = Lit::neg;
-    Cnf::new(4, vec![
-        vec![q(0), p(2), p(3)],
-        vec![p(0), q(1), q(2)],
-        vec![p(1), p(2), q(3)],
-        vec![p(0), p(1), p(3)],
-        vec![q(0), q(1), q(3)],
-        vec![q(1), p(2), p(3)],
-    ])
+    Cnf::new(
+        4,
+        vec![
+            vec![q(0), p(2), p(3)],
+            vec![p(0), q(1), q(2)],
+            vec![p(1), p(2), q(3)],
+            vec![p(0), p(1), p(3)],
+            vec![q(0), q(1), q(3)],
+            vec![q(1), p(2), p(3)],
+        ],
+    )
 }
 
 /// Renders the availability matrix of a reduced instance in the style of the
@@ -160,7 +163,11 @@ pub fn render_figure(cnf: &Cnf, inst: &OfflineInstance) -> String {
         };
         out.push_str(&format!("{label:>7} "));
         for t in 0..inst.horizon {
-            let c = if inst.state(qv, t).is_up() { '█' } else { '·' };
+            let c = if inst.state(qv, t).is_up() {
+                '█'
+            } else {
+                '·'
+            };
             out.push(c);
             if (t as usize + 1).is_multiple_of(m) {
                 out.push(' ');
@@ -222,7 +229,9 @@ mod tests {
         let assignment = dpll(&cnf).expect("Figure-1 formula is satisfiable");
         let schedule = schedule_from_assignment(&cnf, &assignment).unwrap();
         let inst = reduce(&cnf);
-        let completion = schedule.validate(&inst).expect("constructed schedule is legal");
+        let completion = schedule
+            .validate(&inst)
+            .expect("constructed schedule is legal");
         assert!(completion <= inst.horizon);
     }
 
@@ -238,16 +247,19 @@ mod tests {
         // simplest: a compact UNSAT core over 2 clauses and 1 var can't be
         // 3-SAT; use 3 vars with all-8-polarities (UNSAT) but trim to keep
         // B&B cheap: x∧¬x expressed with padding variables.
-        let cnf = Cnf::new(3, vec![
-            vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
-            vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)],
-            vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)],
-            vec![Lit::pos(0), Lit::neg(1), Lit::neg(2)],
-            vec![Lit::neg(0), Lit::pos(1), Lit::pos(2)],
-            vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
-            vec![Lit::neg(0), Lit::neg(1), Lit::pos(2)],
-            vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)],
-        ]);
+        let cnf = Cnf::new(
+            3,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)],
+                vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+                vec![Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+                vec![Lit::neg(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+                vec![Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)],
+            ],
+        );
         assert!(dpll(&cnf).is_none());
         let inst = reduce(&cnf);
         // 8 clauses × 4 blocks… B&B on the full instance is heavy; instead

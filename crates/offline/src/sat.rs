@@ -21,7 +21,10 @@ impl Lit {
     /// Positive literal of `var`.
     #[must_use]
     pub fn pos(var: u32) -> Self {
-        Self { var, negated: false }
+        Self {
+            var,
+            negated: false,
+        }
     }
 
     /// Negative literal of `var`.
@@ -101,7 +104,10 @@ impl Cnf {
             }
             clauses.push(
                 vars.into_iter()
-                    .map(|var| Lit { var, negated: rng.bernoulli(0.5) })
+                    .map(|var| Lit {
+                        var,
+                        negated: rng.bernoulli(0.5),
+                    })
                     .collect(),
             );
         }
@@ -188,8 +194,8 @@ fn solve(clauses: &[Clause], assignment: &mut Vec<Option<bool>>) -> bool {
                 }
             }
         }
-        if let Some(var) = (0..assignment.len())
-            .find(|&v| assignment[v].is_none() && (seen_pos[v] ^ seen_neg[v]))
+        if let Some(var) =
+            (0..assignment.len()).find(|&v| assignment[v].is_none() && (seen_pos[v] ^ seen_neg[v]))
         {
             assignment[var] = Some(seen_pos[var]);
             if solve(&simplified, assignment) {
@@ -243,11 +249,14 @@ mod tests {
     #[test]
     fn forced_chain_propagates() {
         // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) forces all true.
-        let cnf = Cnf::new(3, vec![
-            vec![Lit::pos(0)],
-            vec![Lit::neg(0), Lit::pos(1)],
-            vec![Lit::neg(1), Lit::pos(2)],
-        ]);
+        let cnf = Cnf::new(
+            3,
+            vec![
+                vec![Lit::pos(0)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(1), Lit::pos(2)],
+            ],
+        );
         let a = dpll(&cnf).unwrap();
         assert_eq!(a, vec![true, true, true]);
     }
@@ -255,11 +264,14 @@ mod tests {
     #[test]
     fn pigeonhole_2_into_1_unsat() {
         // Two pigeons, one hole: p0 ∧ p1 ∧ (¬p0 ∨ ¬p1).
-        let cnf = Cnf::new(2, vec![
-            vec![Lit::pos(0)],
-            vec![Lit::pos(1)],
-            vec![Lit::neg(0), Lit::neg(1)],
-        ]);
+        let cnf = Cnf::new(
+            2,
+            vec![
+                vec![Lit::pos(0)],
+                vec![Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        );
         assert!(dpll(&cnf).is_none());
     }
 
@@ -277,7 +289,10 @@ mod tests {
         for mask in 0..8u32 {
             clauses.push(
                 (0..3)
-                    .map(|v| Lit { var: v, negated: (mask >> v) & 1 == 1 })
+                    .map(|v| Lit {
+                        var: v,
+                        negated: (mask >> v) & 1 == 1,
+                    })
                     .collect(),
             );
         }

@@ -179,7 +179,8 @@ impl Schedule {
                 .filter_map(|t| row[t].compute.map(|k| (t, k)))
                 .collect();
 
-            let uses_program = !compute_slots.is_empty() || comm_slots.iter().any(|(_, c)| matches!(c, Comm::Data(_)));
+            let uses_program = !compute_slots.is_empty()
+                || comm_slots.iter().any(|(_, c)| matches!(c, Comm::Data(_)));
             // Rule 4: program complete, and before any data/compute.
             if uses_program {
                 if (prog_slots.len() as u64) != inst.t_prog {
@@ -203,10 +204,7 @@ impl Schedule {
                         ));
                     }
                 }
-                if let Some(&(t, _)) = comm_slots
-                    .iter()
-                    .find(|(_, c)| matches!(c, Comm::Data(_)))
-                {
+                if let Some(&(t, _)) = comm_slots.iter().find(|(_, c)| matches!(c, Comm::Data(_))) {
                     if t < prog_done {
                         return Err(err(
                             Some(q),
@@ -383,8 +381,7 @@ mod tests {
 
     #[test]
     fn ncom_violation_rejected() {
-        let inst =
-            OfflineInstance::uniform(2, 1, 0, 1, Some(1), 4, vec![t("uuuu"), t("uuuu")]);
+        let inst = OfflineInstance::uniform(2, 1, 0, 1, Some(1), 4, vec![t("uuuu"), t("uuuu")]);
         let mut s = Schedule::empty(&inst);
         // Both receive the program at slot 0 with ncom = 1.
         s.action_mut(0, 0).comm = Some(Comm::Prog);
@@ -459,8 +456,7 @@ mod tests {
 
     #[test]
     fn task_computed_twice_rejected() {
-        let inst =
-            OfflineInstance::uniform(2, 1, 0, 1, Some(2), 4, vec![t("uuuu"), t("uuuu")]);
+        let inst = OfflineInstance::uniform(2, 1, 0, 1, Some(2), 4, vec![t("uuuu"), t("uuuu")]);
         let mut s = Schedule::empty(&inst);
         s.action_mut(0, 0).comm = Some(Comm::Prog);
         s.action_mut(1, 0).comm = Some(Comm::Prog);

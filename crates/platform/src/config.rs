@@ -86,12 +86,8 @@ impl AvailabilityModelConfig {
 /// Exposed so tests and documentation can reference the exact values.
 #[must_use]
 pub fn default_belief() -> AvailabilityChain {
-    AvailabilityChain::new([
-        [0.95, 0.04, 0.01],
-        [0.45, 0.50, 0.05],
-        [0.45, 0.05, 0.50],
-    ])
-    .expect("static matrix is stochastic")
+    AvailabilityChain::new([[0.95, 0.04, 0.01], [0.45, 0.50, 0.05], [0.45, 0.05, 0.50]])
+        .expect("static matrix is stochastic")
 }
 
 /// One processor: speed, true availability process, and (optionally) the
@@ -193,7 +189,9 @@ impl AppConfig {
             return Err(ConfigError("application needs at least one task".into()));
         }
         if self.iterations == 0 {
-            return Err(ConfigError("application needs at least one iteration".into()));
+            return Err(ConfigError(
+                "application needs at least one iteration".into(),
+            ));
         }
         Ok(())
     }
@@ -206,12 +204,7 @@ mod tests {
     use vg_markov::ProcState;
 
     fn chain() -> AvailabilityChain {
-        AvailabilityChain::new([
-            [0.9, 0.05, 0.05],
-            [0.1, 0.85, 0.05],
-            [0.05, 0.05, 0.9],
-        ])
-        .unwrap()
+        AvailabilityChain::new([[0.9, 0.05, 0.05], [0.1, 0.85, 0.05], [0.05, 0.05, 0.9]]).unwrap()
     }
 
     #[test]
@@ -299,7 +292,12 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(AppConfig { iterations: 0, ..ok }.validate().is_err());
+        assert!(AppConfig {
+            iterations: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
         // T_data = 0 is legal (Theorem-1 reduction instances).
         assert!(AppConfig { t_data: 0, ..ok }.validate().is_ok());
     }

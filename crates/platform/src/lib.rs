@@ -18,7 +18,9 @@ pub mod source;
 pub mod trace;
 pub mod trace_io;
 
-pub use config::{AppConfig, AvailabilityModelConfig, ConfigError, PlatformConfig, ProcessorConfig};
+pub use config::{
+    AppConfig, AvailabilityModelConfig, ConfigError, PlatformConfig, ProcessorConfig,
+};
 pub use network::{BandwidthLedger, TransferKind};
 pub use processor::{ProcessorId, ProcessorSpec};
 pub use source::{AvailabilitySource, ReplaySource, StartPolicy, TailBehavior};

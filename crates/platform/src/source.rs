@@ -7,9 +7,9 @@
 //! arguments, which is what makes common-random-number comparisons between
 //! heuristics possible.
 
+use vg_des::rng::StreamRng;
 use vg_markov::availability::{AvailabilityChain, AvailabilityStream, ProcState};
 use vg_markov::semi_markov::{SemiMarkovModel, SemiMarkovStream};
-use vg_des::rng::StreamRng;
 
 use crate::trace::Trace;
 
@@ -63,7 +63,11 @@ impl ReplaySource {
         if matches!(tail, TailBehavior::HoldLast | TailBehavior::Cycle) {
             assert!(!trace.is_empty(), "cannot hold/cycle an empty trace");
         }
-        Self { trace, pos: 0, tail }
+        Self {
+            trace,
+            pos: 0,
+            tail,
+        }
     }
 
     /// The underlying trace.
@@ -88,6 +92,98 @@ impl AvailabilitySource for ReplaySource {
             }
             TailBehavior::ReclaimedForever => ProcState::Reclaimed,
         }
+    }
+}
+
+/// A **shared availability recording** for one platform × one trace seed:
+/// the per-slot states of every processor, sampled lazily row by row from
+/// the underlying live sources and replayed to any number of consumers.
+///
+/// This is the campaign's common-random-number accelerator: the paper runs
+/// every heuristic of an instance against byte-identical availability, so
+/// sampling each `(slot, processor)` state once and replaying it 16 more
+/// times replaces 16/17 of all RNG draws with a contiguous byte read. The
+/// matrix is **slot-major** (`states[slot·p + q]`), matching the engine's
+/// per-slot scan order, so replay reads are sequential.
+///
+/// Rows extend on demand: when any reader asks for a slot beyond the
+/// horizon, the matrix samples one full row (every live source, in
+/// processor order). Each processor's state stream is therefore exactly the
+/// stream its live source would have produced stand-alone — replay is
+/// bit-identical to direct sampling, regardless of which run triggered the
+/// extension.
+#[derive(Debug)]
+pub struct SharedTraceMatrix {
+    inner: std::rc::Rc<std::cell::RefCell<TraceMatrixInner>>,
+}
+
+struct TraceMatrixInner {
+    /// Slot-major state matrix: `states[slot * p + q]`.
+    states: Vec<ProcState>,
+    /// One live source per processor, consulted only beyond the horizon.
+    live: Vec<Box<dyn AvailabilitySource>>,
+}
+
+impl std::fmt::Debug for TraceMatrixInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceMatrixInner")
+            .field("p", &self.live.len())
+            .field(
+                "recorded_slots",
+                &(self.states.len() / self.live.len().max(1)),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedTraceMatrix {
+    /// Wraps one live source per processor. `sources` must be in processor
+    /// order and non-empty.
+    #[must_use]
+    pub fn record(sources: Vec<Box<dyn AvailabilitySource>>) -> Self {
+        assert!(!sources.is_empty(), "a platform has at least one processor");
+        Self {
+            inner: std::rc::Rc::new(std::cell::RefCell::new(TraceMatrixInner {
+                states: Vec::new(),
+                live: sources,
+            })),
+        }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.inner.borrow().live.len()
+    }
+
+    /// Slots recorded so far.
+    #[must_use]
+    pub fn recorded_slots(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.states.len() / inner.live.len()
+    }
+
+    /// A cheap second handle to the same shared recording (the backing
+    /// matrix is reference-counted).
+    #[must_use]
+    pub fn handle(&self) -> Self {
+        Self {
+            inner: std::rc::Rc::clone(&self.inner),
+        }
+    }
+
+    /// Runs `f` on the full state row of `slot` (one state per processor,
+    /// in order), sampling and recording the row first if it lies beyond
+    /// the horizon. This is the bulk-read fast path: one borrow and `p`
+    /// contiguous byte reads per slot, no per-processor virtual calls.
+    pub fn with_row<R>(&self, slot: usize, f: impl FnOnce(&[ProcState]) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        let p = inner.live.len();
+        while (slot + 1) * p > inner.states.len() {
+            let TraceMatrixInner { states, live } = &mut *inner;
+            states.extend(live.iter_mut().map(|src| src.next_state()));
+        }
+        f(&inner.states[slot * p..(slot + 1) * p])
     }
 }
 
@@ -168,29 +264,74 @@ mod tests {
 
     #[test]
     fn markov_source_starts_up() {
-        let chain = AvailabilityChain::new([
-            [0.9, 0.05, 0.05],
-            [0.1, 0.85, 0.05],
-            [0.05, 0.05, 0.9],
-        ])
-        .unwrap();
+        let chain =
+            AvailabilityChain::new([[0.9, 0.05, 0.05], [0.1, 0.85, 0.05], [0.05, 0.05, 0.9]])
+                .unwrap();
         let mut src = markov_source(chain, StartPolicy::Up, SeedPath::root(1).rng());
         assert_eq!(src.next_state(), U);
     }
 
     #[test]
     fn boxed_sources_are_deterministic() {
-        let chain = AvailabilityChain::new([
-            [0.9, 0.05, 0.05],
-            [0.1, 0.85, 0.05],
-            [0.05, 0.05, 0.9],
-        ])
-        .unwrap();
+        let chain =
+            AvailabilityChain::new([[0.9, 0.05, 0.05], [0.1, 0.85, 0.05], [0.05, 0.05, 0.9]])
+                .unwrap();
         let run = || {
             let mut src = markov_source(chain.clone(), StartPolicy::Up, SeedPath::root(9).rng());
             (0..100).map(|_| src.next_state()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    fn test_chain() -> AvailabilityChain {
+        AvailabilityChain::new([[0.9, 0.05, 0.05], [0.1, 0.85, 0.05], [0.05, 0.05, 0.9]]).unwrap()
+    }
+
+    fn live_sources(p: usize, seed: u64) -> Vec<Box<dyn AvailabilitySource>> {
+        let path = SeedPath::root(seed);
+        (0..p)
+            .map(|q| markov_source(test_chain(), StartPolicy::Up, path.child(q as u64).rng()))
+            .collect()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // `t` is the slot number under test
+    fn shared_trace_rows_replay_bit_identically() {
+        // Each processor's column of the row stream must equal the
+        // stand-alone source stream, for a short first consumer, a longer
+        // second consumer (replays the prefix, extends beyond), and a third
+        // fully inside the horizon.
+        let p = 3;
+        let direct: Vec<Vec<ProcState>> = live_sources(p, 77)
+            .into_iter()
+            .map(|mut s| (0..200).map(|_| s.next_state()).collect())
+            .collect();
+        let matrix = SharedTraceMatrix::record(live_sources(p, 77));
+        assert_eq!(matrix.p(), 3);
+
+        for (consumer, horizon) in [("first", 50), ("second", 200), ("third", 200)] {
+            for t in 0..horizon {
+                matrix.with_row(t, |row| {
+                    for (q, &state) in row.iter().enumerate() {
+                        assert_eq!(state, direct[q][t], "{consumer} run, slot {t} proc {q}");
+                    }
+                });
+            }
+            assert_eq!(matrix.recorded_slots(), horizon.max(50));
+        }
+        assert_eq!(matrix.recorded_slots(), 200);
+    }
+
+    #[test]
+    fn shared_trace_handle_shares_the_recording() {
+        // A cheap handle observes (and extends) the same backing matrix.
+        let matrix = SharedTraceMatrix::record(live_sources(2, 5));
+        let handle = matrix.handle();
+        let via_handle = handle.with_row(9, |row| row.to_vec());
+        assert_eq!(matrix.recorded_slots(), 10);
+        let via_original = matrix.with_row(9, |row| row.to_vec());
+        assert_eq!(via_handle, via_original);
+        assert_eq!(matrix.recorded_slots(), 10, "replays do not extend");
     }
 
     #[test]

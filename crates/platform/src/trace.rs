@@ -33,7 +33,11 @@ pub struct TraceParseError {
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid trace character {:?} at offset {}", self.ch, self.at)
+        write!(
+            f,
+            "invalid trace character {:?} at offset {}",
+            self.ch, self.at
+        )
     }
 }
 
@@ -206,8 +210,10 @@ impl RleTrace {
         for token in text.split_whitespace() {
             let mut chars = token.chars();
             let code = chars.next().expect("split_whitespace yields non-empty");
-            let state = ProcState::from_code(code)
-                .ok_or(TraceParseError { at: offset, ch: code })?;
+            let state = ProcState::from_code(code).ok_or(TraceParseError {
+                at: offset,
+                ch: code,
+            })?;
             let count: u64 = chars.as_str().parse().map_err(|_| TraceParseError {
                 at: offset,
                 ch: chars.as_str().chars().next().unwrap_or(' '),

@@ -54,7 +54,11 @@ impl TraceSet {
     /// Builds a trace set; `slots` defaults to the longest trace.
     #[must_use]
     pub fn new(entries: Vec<(ProcessorSpec, Trace)>) -> Self {
-        let slots = entries.iter().map(|(_, t)| t.len() as u64).max().unwrap_or(0);
+        let slots = entries
+            .iter()
+            .map(|(_, t)| t.len() as u64)
+            .max()
+            .unwrap_or(0);
         Self { slots, entries }
     }
 
@@ -85,9 +89,7 @@ impl TraceSet {
         let mut lines = text.lines().enumerate().peekable();
 
         // Header.
-        let (n, first) = lines
-            .next()
-            .ok_or_else(|| err(1, "empty input".into()))?;
+        let (n, first) = lines.next().ok_or_else(|| err(1, "empty input".into()))?;
         if first.trim() != HEADER {
             return Err(err(n + 1, format!("expected header {HEADER:?}")));
         }
@@ -196,9 +198,8 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let text = format!(
-            "{HEADER}\n# a comment\n\nslots 4\nproc 0 w 2\n# trace follows\nu2 r2\n"
-        );
+        let text =
+            format!("{HEADER}\n# a comment\n\nslots 4\nproc 0 w 2\n# trace follows\nu2 r2\n");
         let ts = TraceSet::from_text(&text).unwrap();
         assert_eq!(ts.p(), 1);
         assert_eq!(ts.entries[0].1, t("uurr"));

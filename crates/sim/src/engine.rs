@@ -65,7 +65,7 @@ use vg_core::Scheduler;
 use vg_des::Slot;
 use vg_markov::availability::{ChainStats, ProcState};
 use vg_platform::network::{BandwidthLedger, TransferKind};
-use vg_platform::source::AvailabilitySource;
+use vg_platform::source::{AvailabilitySource, SharedTraceMatrix};
 use vg_platform::{AppConfig, ConfigError, PlatformConfig, ProcessorId};
 
 use crate::report::{Counters, SimReport};
@@ -134,6 +134,8 @@ struct SlotScratch {
     data_requested: Vec<bool>,
     /// Copies that finished computing this slot (phase 5).
     completions: Vec<(usize, CopyId)>,
+    /// This slot's availability states, one per worker (phase 1).
+    state_row: Vec<ProcState>,
     /// Spill buffer for crash losses and sibling cancellations.
     copies: Vec<CopyId>,
     /// One activity row for timeline recording (phase 7).
@@ -155,10 +157,332 @@ impl SlotScratch {
             prog_requested: Vec::with_capacity(p),
             data_requested: Vec::with_capacity(p),
             completions: Vec::with_capacity(p),
+            state_row: Vec::with_capacity(p),
             copies: Vec::with_capacity(8),
             activities: Vec::with_capacity(p),
         }
     }
+}
+
+/// Lean result of an arena run: what a campaign aggregation needs, nothing
+/// it doesn't. No owned strings or vectors, so producing one allocates
+/// nothing — the full [`SimReport`] stays available through
+/// [`Simulation::run`] when timelines or counters are wanted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Total slots to complete all iterations; `None` if the cap was hit.
+    pub makespan: Option<Slot>,
+    /// Slots actually simulated.
+    pub slots_run: Slot,
+    /// Iterations completed before the run ended.
+    pub completed_iterations: u64,
+}
+
+impl RunOutcome {
+    /// Makespan if complete, otherwise the burned slot cap (the
+    /// pessimistic-but-total metric; see [`SimReport::makespan_or_cap`]).
+    #[must_use]
+    pub fn makespan_or_cap(&self) -> Slot {
+        self.makespan.unwrap_or(self.slots_run)
+    }
+
+    /// True when every requested iteration completed.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.makespan.is_some()
+    }
+}
+
+/// A **warmed simulation arena**: every per-run buffer of the engine —
+/// worker runtimes (including their `bound` vectors), chain statistics,
+/// the source vector, iteration bookkeeping, the whole [`SlotScratch`],
+/// slot marks and the bind-order queue — kept alive across runs so that
+/// back-to-back simulations stop paying the ~25-allocation construction
+/// cost of [`Simulation::new`].
+///
+/// Intended use: one arena per worker thread of a campaign fan-out, driven
+/// through [`SimArena::run_seeded`] for every (heuristic, trial) instance.
+/// Results are bit-identical to [`Simulation::run_seeded`] with the same
+/// inputs — the arena only recycles allocations, never state: every buffer
+/// is reset (not merely reused) before a run, and determinism tests pin the
+/// equivalence.
+///
+/// Timeline recording is not supported here (a timeline's size is the run's
+/// output, not scratch); request it through [`Simulation`] instead.
+#[derive(Default)]
+pub struct SimArena {
+    workers: Vec<WorkerRuntime>,
+    chains: Vec<ChainStats>,
+    sources: Vec<Box<dyn AvailabilitySource>>,
+    iter: Option<IterationState>,
+    iteration_completed_at: Vec<Slot>,
+    bind_order: Vec<(usize, CopyId)>,
+    scratch: SlotScratch,
+    slot_marks: Vec<SlotMarks>,
+}
+
+impl std::fmt::Debug for SimArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimArena")
+            .field("warmed_workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimArena {
+    /// An empty (cold) arena; buffers warm up over the first run.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one simulation, reusing this arena's buffers. Seeds and
+    /// semantics are exactly [`Simulation::run_seeded`]'s: sources are built
+    /// from `trace_seeds.child(q)` per processor, so common-random-number
+    /// comparisons work unchanged.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors, and rejects
+    /// [`SimOptions::record_timeline`] (unsupported in arena mode).
+    pub fn run_seeded(
+        &mut self,
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        trace_seeds: vg_des::rng::SeedPath,
+        options: SimOptions,
+    ) -> Result<RunOutcome, ConfigError> {
+        platform.validate()?;
+        app.validate()?;
+        if options.record_timeline {
+            return Err(ConfigError(
+                "SimArena does not record timelines; use Simulation::run_seeded".into(),
+            ));
+        }
+        // Rebuild per-run state *into* the warmed buffers.
+        self.sources.clear();
+        self.sources.extend(
+            platform
+                .processors
+                .iter()
+                .enumerate()
+                .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng())),
+        );
+        self.chains.clear();
+        self.chains.extend(
+            platform
+                .processors
+                .iter()
+                .map(|pc| ChainStats::new(pc.believed_chain())),
+        );
+        Ok(self.run_core(platform, app, scheduler, options))
+    }
+
+    /// Runs one simulation with **caller-shared per-scenario state**: chain
+    /// statistics computed once per platform (see [`platform_chain_stats`])
+    /// and availability sources supplied directly (custom generators,
+    /// replayed archive traces, …). To share one *recorded* trace across
+    /// the heuristics of an instance, use [`Self::run_shared_trace`], which
+    /// consumes a [`SharedTraceMatrix`] row-by-row instead.
+    ///
+    /// `chains` must be the statistics of `platform`'s believed chains, in
+    /// processor order; `sources` must yield exactly one source per
+    /// processor, in order. Results are bit-identical to
+    /// [`Self::run_seeded`] with equivalently seeded sources.
+    ///
+    /// # Errors
+    /// Propagates validation errors; rejects timeline recording and
+    /// mismatched `chains`/`sources` lengths.
+    pub fn run_configured(
+        &mut self,
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        chains: &[ChainStats],
+        sources: impl IntoIterator<Item = Box<dyn AvailabilitySource>>,
+        options: SimOptions,
+    ) -> Result<RunOutcome, ConfigError> {
+        platform.validate()?;
+        app.validate()?;
+        if options.record_timeline {
+            return Err(ConfigError(
+                "SimArena does not record timelines; use Simulation::run_seeded".into(),
+            ));
+        }
+        if chains.len() != platform.p() {
+            return Err(ConfigError(format!(
+                "{} chain stats for {} processors",
+                chains.len(),
+                platform.p()
+            )));
+        }
+        self.sources.clear();
+        self.sources.extend(sources);
+        if self.sources.len() != platform.p() {
+            return Err(ConfigError(format!(
+                "{} sources for {} processors",
+                self.sources.len(),
+                platform.p()
+            )));
+        }
+        self.chains.clear();
+        self.chains.extend_from_slice(chains);
+        Ok(self.run_core(platform, app, scheduler, options))
+    }
+
+    /// Runs one simulation against a [`SharedTraceMatrix`] recording, with
+    /// per-scenario `chains` as in [`Self::run_configured`]. The engine
+    /// consumes the recording **row by row** — one borrow and `p` byte reads
+    /// per slot — so replaying heuristics skip per-processor sampling
+    /// entirely. Bit-identical to [`Self::run_seeded`] over sources with the
+    /// recording's seeds.
+    ///
+    /// # Errors
+    /// Propagates validation errors; rejects timeline recording and a
+    /// matrix/chains whose width is not `platform.p()`.
+    pub fn run_shared_trace(
+        &mut self,
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        chains: &[ChainStats],
+        trace: &SharedTraceMatrix,
+        options: SimOptions,
+    ) -> Result<RunOutcome, ConfigError> {
+        platform.validate()?;
+        app.validate()?;
+        if options.record_timeline {
+            return Err(ConfigError(
+                "SimArena does not record timelines; use Simulation::run_seeded".into(),
+            ));
+        }
+        if chains.len() != platform.p() || trace.p() != platform.p() {
+            return Err(ConfigError(format!(
+                "{} chain stats / {}-wide trace for {} processors",
+                chains.len(),
+                trace.p(),
+                platform.p()
+            )));
+        }
+        self.chains.clear();
+        self.chains.extend_from_slice(chains);
+        let bank = SourceBank::Shared {
+            trace: trace.handle(),
+            next_slot: 0,
+        };
+        Ok(self.run_core_with(platform, app, scheduler, bank, options))
+    }
+
+    /// Shared tail of the `run_*` entry points; expects `self.sources` and
+    /// `self.chains` to be populated for `platform`.
+    fn run_core(
+        &mut self,
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        options: SimOptions,
+    ) -> RunOutcome {
+        let bank = SourceBank::PerProc(std::mem::take(&mut self.sources));
+        self.run_core_with(platform, app, scheduler, bank, options)
+    }
+
+    /// Innermost run loop over an explicit source bank.
+    fn run_core_with(
+        &mut self,
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        mut scheduler: Box<dyn Scheduler>,
+        bank: SourceBank,
+        options: SimOptions,
+    ) -> RunOutcome {
+        scheduler.begin_run();
+        let p = platform.p();
+        self.workers.truncate(p);
+        for (w, pc) in self.workers.iter_mut().zip(&platform.processors) {
+            w.reset(pc.spec);
+        }
+        for pc in &platform.processors[self.workers.len()..] {
+            self.workers.push(WorkerRuntime::new(pc.spec));
+        }
+        let iter = match self.iter.take() {
+            Some(mut it) => {
+                it.reinit(0, app.tasks_per_iteration);
+                it
+            }
+            None => IterationState::new(0, app.tasks_per_iteration),
+        };
+        self.iteration_completed_at.clear();
+        self.bind_order.clear();
+        self.slot_marks.clear();
+        self.slot_marks.resize(p, SlotMarks::default());
+
+        let mut sim = Simulation {
+            app: *app,
+            workers: std::mem::take(&mut self.workers),
+            sources: bank,
+            chains: std::mem::take(&mut self.chains),
+            scheduler,
+            ledger: BandwidthLedger::new(platform.ncom),
+            options,
+            slot: 0,
+            iter,
+            iterations_done: 0,
+            iteration_completed_at: std::mem::take(&mut self.iteration_completed_at),
+            counters: Counters::default(),
+            bind_order: std::mem::take(&mut self.bind_order),
+            scratch: std::mem::take(&mut self.scratch),
+            timeline: None,
+            slot_marks: std::mem::take(&mut self.slot_marks),
+        };
+        while !sim.is_done() {
+            sim.step();
+        }
+        let outcome = RunOutcome {
+            makespan: (sim.iterations_done == sim.app.iterations).then_some(sim.slot),
+            slots_run: sim.slot,
+            completed_iterations: sim.iterations_done,
+        };
+
+        // Reclaim the warmed buffers for the next run.
+        self.workers = sim.workers;
+        if let SourceBank::PerProc(v) = sim.sources {
+            self.sources = v;
+        }
+        self.chains = sim.chains;
+        self.iter = Some(sim.iter);
+        self.iteration_completed_at = sim.iteration_completed_at;
+        self.bind_order = sim.bind_order;
+        self.scratch = sim.scratch;
+        self.slot_marks = sim.slot_marks;
+        outcome
+    }
+}
+
+/// Chain statistics of every processor's believed chain, in processor order
+/// — compute once per platform and share across every run on it via
+/// [`SimArena::run_configured`] or [`SimArena::run_shared_trace`] (the
+/// stationary-distribution solve behind [`ChainStats::new`] is ~half the
+/// per-run setup cost otherwise).
+#[must_use]
+pub fn platform_chain_stats(platform: &PlatformConfig) -> Vec<ChainStats> {
+    platform
+        .processors
+        .iter()
+        .map(|pc| ChainStats::new(pc.believed_chain()))
+        .collect()
+}
+
+/// Where a run's availability states come from.
+enum SourceBank {
+    /// One live source per processor (the stand-alone path).
+    PerProc(Vec<Box<dyn AvailabilitySource>>),
+    /// A shared recording, consumed row-by-row: one borrow and `p`
+    /// contiguous byte reads per slot instead of `p` virtual calls — the
+    /// common-random-numbers fast path for campaign instances.
+    Shared {
+        trace: SharedTraceMatrix,
+        next_slot: usize,
+    },
 }
 
 /// The simulation engine. Construct with [`Simulation::new`], consume with
@@ -166,7 +490,7 @@ impl SlotScratch {
 pub struct Simulation {
     app: AppConfig,
     workers: Vec<WorkerRuntime>,
-    sources: Vec<Box<dyn AvailabilitySource>>,
+    sources: SourceBank,
     /// Per-run chain statistics, built once and borrowed by every view.
     chains: Vec<ChainStats>,
     scheduler: Box<dyn Scheduler>,
@@ -207,6 +531,8 @@ impl Simulation {
                 platform.p()
             )));
         }
+        let mut scheduler = scheduler;
+        scheduler.begin_run();
         let workers: Vec<WorkerRuntime> = platform
             .processors
             .iter()
@@ -220,7 +546,7 @@ impl Simulation {
         Ok(Self {
             app: *app,
             workers,
-            sources,
+            sources: SourceBank::PerProc(sources),
             chains,
             scheduler,
             ledger: BandwidthLedger::new(platform.ncom),
@@ -232,9 +558,7 @@ impl Simulation {
             counters: Counters::default(),
             bind_order: Vec::with_capacity(platform.p()),
             scratch: SlotScratch::with_capacity(platform.p(), app.tasks_per_iteration),
-            timeline: options
-                .record_timeline
-                .then(|| Timeline::new(platform.p())),
+            timeline: options.record_timeline.then(|| Timeline::new(platform.p())),
             slot_marks: vec![SlotMarks::default(); platform.p()],
         })
     }
@@ -304,42 +628,54 @@ impl Simulation {
 
     /// One slot through all seven phases. Public so benches and the
     /// allocation-counting harness can drive the loop slot-by-slot.
+    ///
+    /// Phases 1+2 and 6+7 are fused into single passes over the workers —
+    /// their per-worker operations are independent, so the interleaving is
+    /// unobservable and the phase semantics of the module docs hold
+    /// unchanged.
     pub fn step(&mut self) {
-        self.phase_states();
-        self.phase_crashes();
+        self.phase_states_and_crashes();
         self.phase_schedule();
         self.phase_transfers();
         self.phase_compute();
-        self.phase_promotions();
+        self.phase_promotions_and_unbind();
         self.phase_slot_end();
         self.slot += 1;
     }
 
-    fn phase_states(&mut self) {
-        for (w, src) in self.workers.iter_mut().zip(&mut self.sources) {
-            w.state = src.next_state();
-            self.counters.state_slots[w.state.index()] += 1;
-        }
-        if self.timeline.is_some() {
-            self.slot_marks.fill(SlotMarks::default());
-        }
-    }
-
-    fn phase_crashes(&mut self) {
+    /// Phases 1 (states) and 2 (crashes) in one pass: a worker's crash
+    /// handling depends only on its own freshly drawn state.
+    fn phase_states_and_crashes(&mut self) {
         let Self {
             workers,
+            sources,
             scratch,
             counters,
             iter,
             ..
         } = self;
-        for w in workers.iter_mut() {
-            if w.state != ProcState::Down {
+        let SlotScratch {
+            state_row, copies, ..
+        } = scratch;
+        state_row.clear();
+        match sources {
+            SourceBank::PerProc(v) => {
+                state_row.extend(v.iter_mut().map(|src| src.next_state()));
+            }
+            SourceBank::Shared { trace, next_slot } => {
+                trace.with_row(*next_slot, |row| state_row.extend_from_slice(row));
+                *next_slot += 1;
+            }
+        }
+        for (w, &state) in workers.iter_mut().zip(state_row.iter()) {
+            w.state = state;
+            counters.state_slots[state.index()] += 1;
+            if state != ProcState::Down {
                 continue;
             }
-            scratch.copies.clear();
-            w.crash_into(&mut scratch.copies);
-            for &copy in &scratch.copies {
+            copies.clear();
+            w.crash_into(copies);
+            for &copy in copies.iter() {
                 counters.copies_lost_to_down += 1;
                 if copy.is_original() {
                     iter.release_original(copy.task);
@@ -347,6 +683,9 @@ impl Simulation {
                     iter.drop_replica(copy.task);
                 }
             }
+        }
+        if self.timeline.is_some() {
+            self.slot_marks.fill(SlotMarks::default());
         }
     }
 
@@ -368,7 +707,13 @@ impl Simulation {
                 state: w.state,
                 w: w.spec.w,
                 has_program: w.has_program(app.t_prog),
-                delay: w.delay_estimate(app.t_prog, app.t_data),
+                // Schedulers only place on (and only read the delay of) UP
+                // processors, so the pipeline walk is skipped for the rest.
+                delay: if w.state == ProcState::Up {
+                    w.delay_estimate(app.t_prog, app.t_data)
+                } else {
+                    0
+                },
             }));
     }
 
@@ -405,11 +750,17 @@ impl Simulation {
 
     fn phase_schedule(&mut self) {
         self.bind_order.clear();
-        self.snapshot_procs();
+        // Snapshots are only consulted by `place_into`; most steady-state
+        // slots have an empty pool AND nothing to replicate, so they are
+        // built lazily. Values are identical either way: nothing between
+        // the phase start and the first use mutates worker state.
+        let mut have_snapshot = false;
 
         // Originals first (strict priority, Section 6.1).
         self.iter.pool_tasks_into(&mut self.scratch.pool);
         if !self.scratch.pool.is_empty() {
+            self.snapshot_procs();
+            have_snapshot = true;
             let count = self.scratch.pool.len();
             {
                 let Self {
@@ -450,18 +801,24 @@ impl Simulation {
                     workers, scratch, ..
                 } = self;
                 scratch.free.clear();
-                scratch
-                    .free
-                    .extend(workers.iter().map(|w| w.state == ProcState::Up && w.is_idle()));
-                scratch.free.iter().filter(|&&f| f).count()
+                let mut n = 0usize;
+                scratch.free.extend(workers.iter().map(|w| {
+                    let free = w.state == ProcState::Up && w.is_idle();
+                    n += usize::from(free);
+                    free
+                }));
+                n
             };
             if n_free > 0 {
-                self.iter
-                    .replica_candidates_into(self.options.max_extra_replicas, &mut self.scratch.cands);
+                self.iter.replica_candidates_into(
+                    self.options.max_extra_replicas,
+                    &mut self.scratch.cands,
+                );
                 let k = self.scratch.cands.len().min(n_free);
                 if k > 0 {
                     {
                         let Self {
+                            workers,
                             scratch,
                             scheduler,
                             chains,
@@ -469,14 +826,48 @@ impl Simulation {
                             ledger,
                             ..
                         } = self;
-                        // Restrict the heuristic's choice to the free workers
-                        // by masking everyone else as non-UP — in place: the
-                        // snapshots were built this slot and are rebuilt next
-                        // slot, so no second view construction and no restore.
-                        for (i, p) in scratch.procs.iter_mut().enumerate() {
-                            if !scratch.free[i] {
-                                p.state = ProcState::Reclaimed;
+                        if have_snapshot {
+                            // Restrict the heuristic's choice to the free
+                            // workers by masking everyone else as non-UP — in
+                            // place: the snapshots were built this slot and
+                            // are rebuilt next slot, so no second view
+                            // construction and no restore.
+                            for (i, p) in scratch.procs.iter_mut().enumerate() {
+                                if !scratch.free[i] {
+                                    p.state = ProcState::Reclaimed;
+                                }
                             }
+                        } else {
+                            // The pool was empty: no full snapshot exists, and
+                            // the masked view only ever exposes *free* workers
+                            // anyway. Free means completely idle, so the
+                            // pipeline delay collapses to the program
+                            // remainder — build the masked snapshot directly
+                            // in one cheap pass. Bit-identical to
+                            // snapshot-then-mask: for an idle worker
+                            // `delay_estimate` returns exactly
+                            // `t_prog − prog_done`, and masked workers differ
+                            // only in fields no scheduler reads.
+                            scratch.procs.clear();
+                            scratch.procs.extend(
+                                workers.iter().zip(&scratch.free).enumerate().map(
+                                    |(i, (w, &free))| ProcSnapshot {
+                                        id: ProcessorId(i as u32),
+                                        state: if free {
+                                            ProcState::Up
+                                        } else {
+                                            ProcState::Reclaimed
+                                        },
+                                        w: w.spec.w,
+                                        has_program: w.has_program(app.t_prog),
+                                        delay: if free {
+                                            app.t_prog.saturating_sub(w.prog_done)
+                                        } else {
+                                            0
+                                        },
+                                    },
+                                ),
+                            );
                         }
                         let view = SchedView {
                             procs: &scratch.procs,
@@ -538,7 +929,9 @@ impl Simulation {
             }
             // `widx` makes the key unique, so the unstable sort is
             // deterministic (and allocation-free, unlike a stable sort).
-            scratch.continuations.sort_unstable_by_key(|&(t, widx, _)| (t, widx));
+            scratch
+                .continuations
+                .sort_unstable_by_key(|&(t, widx, _)| (t, widx));
             scratch.requests.clear();
             scratch
                 .requests
@@ -547,11 +940,14 @@ impl Simulation {
             // (b) New transfers in binding order: a worker lacking the
             //     program requests the program once; a worker holding it
             //     requests data for its first bound copy if its transfer
-            //     slot is free.
-            scratch.prog_requested.clear();
-            scratch.prog_requested.resize(workers.len(), false);
-            scratch.data_requested.clear();
-            scratch.data_requested.resize(workers.len(), false);
+            //     slot is free. The request flags only matter while there
+            //     are bindings, so their reset is gated on that.
+            if !bind_order.is_empty() {
+                scratch.prog_requested.clear();
+                scratch.prog_requested.resize(workers.len(), false);
+                scratch.data_requested.clear();
+                scratch.data_requested.resize(workers.len(), false);
+            }
             for &(widx, copy) in bind_order.iter() {
                 let w = &workers[widx];
                 if w.state != ProcState::Up || !w.bound.contains(&copy) {
@@ -593,7 +989,10 @@ impl Simulation {
                 Request::DataCont { widx } => {
                     if self.ledger.try_grant(TransferKind::Data) {
                         let w = &mut self.workers[widx];
-                        w.transfer.as_mut().expect("continuation implies transfer").done += 1;
+                        w.transfer
+                            .as_mut()
+                            .expect("continuation implies transfer")
+                            .done += 1;
                         self.counters.data_channel_slots += 1;
                         self.slot_marks[widx].recv_data = true;
                     }
@@ -696,9 +1095,13 @@ impl Simulation {
         self.bind_order.retain(|&(_, c)| c.task != task);
     }
 
-    fn phase_promotions(&mut self) {
+    /// Phase 6 (promotions) fused with the bind-dissolution half of phase 7
+    /// (\[D5\]): both touch only per-worker state (plus the iteration's
+    /// replica tallies, which promotions never read), so one pass suffices.
+    fn phase_promotions_and_unbind(&mut self) {
         let t_data = self.app.t_data;
-        for w in &mut self.workers {
+        let Self { workers, iter, .. } = self;
+        for w in workers.iter_mut() {
             if let Some(tr) = &w.transfer {
                 if tr.done >= t_data && t_data > 0 {
                     debug_assert!(w.buffered.is_none());
@@ -713,19 +1116,17 @@ impl Simulation {
             }
             #[cfg(debug_assertions)]
             w.assert_invariants(self.app.t_prog, t_data);
+            // Unstarted bindings dissolve ([D5]): originals silently remain
+            // in the pool; replica placeholders evaporate.
+            for copy in w.bound.drain(..) {
+                if !copy.is_original() {
+                    iter.drop_replica(copy.task);
+                }
+            }
         }
     }
 
     fn phase_slot_end(&mut self) {
-        // Unstarted bindings dissolve ([D5]): originals silently remain in
-        // the pool; replica placeholders evaporate.
-        for w in &mut self.workers {
-            for copy in w.bound.drain(..) {
-                if !copy.is_original() {
-                    self.iter.drop_replica(copy.task);
-                }
-            }
-        }
         self.bind_order.clear();
 
         {
@@ -757,11 +1158,7 @@ impl Simulation {
             }
             #[cfg(debug_assertions)]
             for w in &self.workers {
-                debug_assert_eq!(
-                    w.pinned_count(),
-                    0,
-                    "copies survived the iteration barrier"
-                );
+                debug_assert_eq!(w.pinned_count(), 0, "copies survived the iteration barrier");
             }
             if self.iterations_done < self.app.iterations {
                 self.iter.reset(self.iterations_done);
@@ -774,8 +1171,8 @@ impl Simulation {
 mod tests {
     use super::*;
     use vg_core::HeuristicKind;
-    use vg_des::SlotSpan;
     use vg_des::rng::SeedPath;
+    use vg_des::SlotSpan;
     use vg_platform::source::{StartPolicy, TailBehavior};
     use vg_platform::{AvailabilityModelConfig, ProcessorConfig, ProcessorSpec, Trace};
 
@@ -1063,8 +1460,9 @@ mod tests {
         PlatformConfig {
             processors: (0..p)
                 .map(|_| {
-                    let chain =
-                        vg_markov::availability::AvailabilityChain::sample_paper(&mut rng, 0.90, 0.99);
+                    let chain = vg_markov::availability::AvailabilityChain::sample_paper(
+                        &mut rng, 0.90, 0.99,
+                    );
                     ProcessorConfig::markov(w, chain, StartPolicy::Up)
                 })
                 .collect(),
@@ -1135,6 +1533,185 @@ mod tests {
     }
 
     #[test]
+    fn arena_run_is_bit_identical_to_cold_engine() {
+        // One arena reused across different platform sizes, task counts,
+        // heuristics and replication settings — buffers grow AND shrink —
+        // must reproduce the cold path exactly, run after run.
+        let mut arena = SimArena::new();
+        let plans: &[(usize, usize, bool)] = &[
+            (8, 12, true),
+            (64, 96, false), // grow
+            (4, 3, true),    // shrink
+            (8, 12, true),   // revisit the first shape with dirty buffers
+        ];
+        for (round, &(p, m, replication)) in plans.iter().enumerate() {
+            let platform = markov_platform(p, 3);
+            let app = AppConfig {
+                tasks_per_iteration: m,
+                iterations: 2,
+                t_prog: 4,
+                t_data: 1,
+            };
+            let options = SimOptions {
+                max_slots: 100_000,
+                replication,
+                max_extra_replicas: 2,
+                record_timeline: false,
+            };
+            for kind in [HeuristicKind::EmctStar, HeuristicKind::Random2w] {
+                let seed = (round * 10 + p) as u64;
+                let warm = arena
+                    .run_seeded(
+                        &platform,
+                        &app,
+                        kind.build(SeedPath::root(seed).rng()),
+                        SeedPath::root(seed + 1),
+                        options,
+                    )
+                    .unwrap();
+                let cold = Simulation::run_seeded(
+                    &platform,
+                    &app,
+                    kind.build(SeedPath::root(seed).rng()),
+                    SeedPath::root(seed + 1),
+                    options,
+                )
+                .unwrap();
+                assert_eq!(warm.makespan, cold.makespan, "round {round} {kind}");
+                assert_eq!(warm.slots_run, cold.slots_run, "round {round} {kind}");
+                assert_eq!(
+                    warm.completed_iterations, cold.completed_iterations,
+                    "round {round} {kind}"
+                );
+                assert_eq!(warm.makespan_or_cap(), cold.makespan_or_cap());
+                assert_eq!(warm.finished(), cold.finished());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_run_configured_matches_run_seeded() {
+        // Shared chains + caller-built sources (the general entry point)
+        // must be bit-identical to the self-seeding path — including when
+        // one arena alternates between equally sized but different
+        // platforms (scheduler caches must not leak across runs).
+        let mut arena = SimArena::new();
+        let app = AppConfig {
+            tasks_per_iteration: 8,
+            iterations: 2,
+            t_prog: 4,
+            t_data: 1,
+        };
+        for (pseed, kind) in [
+            (4, HeuristicKind::Ud),
+            (5, HeuristicKind::Ud),      // same p, different platform
+            (5, HeuristicKind::Random1), // impure scheduler, same platform
+            (4, HeuristicKind::Random1), // impure scheduler, platform flip
+        ] {
+            let platform = {
+                let mut rng = SeedPath::root(pseed).rng();
+                PlatformConfig {
+                    processors: (0..6)
+                        .map(|_| {
+                            let chain = vg_markov::availability::AvailabilityChain::sample_paper(
+                                &mut rng, 0.90, 0.99,
+                            );
+                            ProcessorConfig::markov(3, chain, StartPolicy::Up)
+                        })
+                        .collect(),
+                    ncom: 2,
+                }
+            };
+            let chains = platform_chain_stats(&platform);
+            let configured = arena
+                .run_configured(
+                    &platform,
+                    &app,
+                    kind.build(SeedPath::root(9).rng()),
+                    &chains,
+                    sources_for(&platform, 13),
+                    SimOptions::default(),
+                )
+                .unwrap();
+            let seeded = Simulation::run_seeded(
+                &platform,
+                &app,
+                kind.build(SeedPath::root(9).rng()),
+                SeedPath::root(13),
+                SimOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(configured.makespan, seeded.makespan, "{kind} pseed={pseed}");
+            assert_eq!(
+                configured.slots_run, seeded.slots_run,
+                "{kind} pseed={pseed}"
+            );
+        }
+        // Mismatched chains are rejected, not misused.
+        let platform = always_up(2, 1, 1);
+        let err = arena.run_configured(
+            &platform,
+            &app,
+            HeuristicKind::Mct.build(SeedPath::root(1).rng()),
+            &[],
+            sources_for(&platform, 1),
+            SimOptions::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn arena_rejects_timeline_recording() {
+        let platform = always_up(1, 1, 1);
+        let app = AppConfig {
+            tasks_per_iteration: 1,
+            iterations: 1,
+            t_prog: 1,
+            t_data: 1,
+        };
+        let mut arena = SimArena::new();
+        let err = arena.run_seeded(
+            &platform,
+            &app,
+            HeuristicKind::Mct.build(SeedPath::root(1).rng()),
+            SeedPath::root(2),
+            SimOptions {
+                record_timeline: true,
+                ..NO_REP
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn arena_reports_cap_as_unfinished() {
+        let platform = replay_platform(&["r"], 1, 1);
+        let app = AppConfig {
+            tasks_per_iteration: 1,
+            iterations: 1,
+            t_prog: 1,
+            t_data: 1,
+        };
+        let mut arena = SimArena::new();
+        let outcome = arena
+            .run_seeded(
+                &platform,
+                &app,
+                HeuristicKind::Mct.build(SeedPath::root(1).rng()),
+                SeedPath::root(2),
+                SimOptions {
+                    max_slots: 25,
+                    ..NO_REP
+                },
+            )
+            .unwrap();
+        assert!(!outcome.finished());
+        assert_eq!(outcome.makespan, None);
+        assert_eq!(outcome.makespan_or_cap(), 25);
+        assert_eq!(outcome.completed_iterations, 0);
+    }
+
+    #[test]
     fn all_heuristics_complete_on_a_markov_platform() {
         let platform = markov_platform(6, 2);
         let app = AppConfig {
@@ -1201,7 +1778,12 @@ mod tests {
             t_prog: 5,
             t_data: 2,
         };
-        let r = run(&platform, &app, HeuristicKind::MctStar, SimOptions::default());
+        let r = run(
+            &platform,
+            &app,
+            HeuristicKind::MctStar,
+            SimOptions::default(),
+        );
         assert!(r.mean_bandwidth_utilization >= 0.0);
         assert!(r.mean_bandwidth_utilization <= 1.0);
     }

@@ -8,8 +8,62 @@
 //! * [`task`] — tasks, copies (original + ≤ 2 replicas), iteration state;
 //! * [`worker`] — the per-worker pipeline (program / data / compute with one
 //!   task of look-ahead);
-//! * [`engine`] — the seven-phase slot loop ([`engine::Simulation`]);
+//! * [`engine`] — the seven-phase slot loop ([`engine::Simulation`]) and the
+//!   warmed arena ([`engine::SimArena`]);
 //! * [`report`] — makespans and counters ([`report::SimReport`]).
+//!
+//! ## Warmed arenas for campaign-scale fan-out
+//!
+//! Campaigns run hundreds of thousands of short simulations; building each
+//! [`Simulation`](engine::Simulation) from scratch pays ~25 allocations
+//! (worker runtimes, chain statistics, the whole slot scratch) before the
+//! first slot executes. A [`SimArena`](engine::SimArena) keeps all of those
+//! buffers warm across runs — one arena per worker thread — and
+//! [`SimArena::run_seeded`](engine::SimArena::run_seeded) returns a lean
+//! [`RunOutcome`](engine::RunOutcome) (no strings, no vectors) whose results
+//! are **bit-identical** to [`Simulation::run_seeded`](engine::Simulation::run_seeded):
+//!
+//! ```
+//! use vg_core::HeuristicKind;
+//! use vg_des::rng::SeedPath;
+//! use vg_markov::availability::AvailabilityChain;
+//! use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig, StartPolicy};
+//! use vg_sim::{SimArena, SimOptions, Simulation};
+//!
+//! let mut rng = SeedPath::root(1).rng();
+//! let platform = PlatformConfig {
+//!     processors: (0..2)
+//!         .map(|_| ProcessorConfig::markov(
+//!             2,
+//!             AvailabilityChain::sample_paper(&mut rng, 0.90, 0.99),
+//!             StartPolicy::Up,
+//!         ))
+//!         .collect(),
+//!     ncom: 1,
+//! };
+//! let app = AppConfig { tasks_per_iteration: 4, iterations: 2, t_prog: 5, t_data: 1 };
+//!
+//! let mut arena = SimArena::new();
+//! for trial in 0..3 {
+//!     let outcome = arena.run_seeded(
+//!         &platform,
+//!         &app,
+//!         HeuristicKind::Emct.build(SeedPath::root(10 + trial).rng()),
+//!         SeedPath::root(20 + trial),
+//!         SimOptions::default(),
+//!     ).unwrap();
+//!     // Same seeds through a cold engine give the same answer, bit for bit.
+//!     let cold = Simulation::run_seeded(
+//!         &platform,
+//!         &app,
+//!         HeuristicKind::Emct.build(SeedPath::root(10 + trial).rng()),
+//!         SeedPath::root(20 + trial),
+//!         SimOptions::default(),
+//!     ).unwrap();
+//!     assert_eq!(outcome.makespan, cold.makespan);
+//!     assert_eq!(outcome.slots_run, cold.slots_run);
+//! }
+//! ```
 //!
 //! ```
 //! use vg_core::HeuristicKind;
@@ -48,7 +102,7 @@ pub mod task;
 pub mod timeline;
 pub mod worker;
 
-pub use engine::{SimOptions, Simulation};
+pub use engine::{platform_chain_stats, RunOutcome, SimArena, SimOptions, Simulation};
 pub use report::{Counters, SimReport};
 pub use task::{CopyId, TaskId};
 pub use timeline::{Activity, Timeline};

@@ -122,7 +122,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(report(Some(100)).to_string().contains("2 iterations in 100 slots"));
+        assert!(report(Some(100))
+            .to_string()
+            .contains("2 iterations in 100 slots"));
         assert!(report(None).to_string().contains("INCOMPLETE"));
     }
 }

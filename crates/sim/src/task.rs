@@ -118,6 +118,25 @@ impl IterationState {
         self.completed_at = None;
     }
 
+    /// Reinitializes in place for a **new run** with a possibly different
+    /// task count, reusing the allocated buffers — the cross-run (arena)
+    /// counterpart of [`Self::reset`], which keeps `m` fixed.
+    pub fn reinit(&mut self, index: u64, m: usize) {
+        assert!(m >= 1);
+        self.m = m;
+        self.index = index;
+        self.completed.clear();
+        self.completed.resize(m, false);
+        self.n_completed = 0;
+        self.original.clear();
+        self.original.resize(m, OriginalState::Pool);
+        self.replicas_alive.clear();
+        self.replicas_alive.resize(m, 0);
+        self.next_replica.clear();
+        self.next_replica.resize(m, 0);
+        self.completed_at = None;
+    }
+
     /// Iteration number (0-based).
     #[must_use]
     pub fn index(&self) -> u64 {
@@ -293,7 +312,10 @@ mod tests {
         let mut it = IterationState::new(0, 3);
         it.pin_original(TaskId(1), 7);
         assert_eq!(it.pool_tasks(), vec![TaskId(0), TaskId(2)]);
-        assert_eq!(it.original_state(TaskId(1)), OriginalState::Pinned { worker: 7 });
+        assert_eq!(
+            it.original_state(TaskId(1)),
+            OriginalState::Pinned { worker: 7 }
+        );
         it.release_original(TaskId(1));
         assert_eq!(it.pool_tasks().len(), 3);
     }
@@ -359,7 +381,11 @@ mod tests {
     fn copy_display() {
         assert_eq!(CopyId::original(TaskId(3)).to_string(), "T3");
         assert_eq!(
-            CopyId { task: TaskId(3), replica: 2 }.to_string(),
+            CopyId {
+                task: TaskId(3),
+                replica: 2
+            }
+            .to_string(),
             "T3·r2"
         );
     }

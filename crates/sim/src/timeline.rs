@@ -208,23 +208,44 @@ mod tests {
         let up = ProcState::Up;
         assert_eq!(SlotMarks::default().resolve(up), Activity::IdleUp);
         assert_eq!(
-            SlotMarks { recv_prog: true, ..Default::default() }.resolve(up),
+            SlotMarks {
+                recv_prog: true,
+                ..Default::default()
+            }
+            .resolve(up),
             Activity::RecvProg
         );
         assert_eq!(
-            SlotMarks { recv_data: true, ..Default::default() }.resolve(up),
+            SlotMarks {
+                recv_data: true,
+                ..Default::default()
+            }
+            .resolve(up),
             Activity::RecvData
         );
         assert_eq!(
-            SlotMarks { computed: true, ..Default::default() }.resolve(up),
+            SlotMarks {
+                computed: true,
+                ..Default::default()
+            }
+            .resolve(up),
             Activity::Compute
         );
         assert_eq!(
-            SlotMarks { computed: true, recv_data: true, ..Default::default() }.resolve(up),
+            SlotMarks {
+                computed: true,
+                recv_data: true,
+                ..Default::default()
+            }
+            .resolve(up),
             Activity::ComputeAndRecv
         );
         assert_eq!(
-            SlotMarks { computed: false, ..Default::default() }.resolve(ProcState::Down),
+            SlotMarks {
+                computed: false,
+                ..Default::default()
+            }
+            .resolve(ProcState::Down),
             Activity::Down
         );
         assert_eq!(

@@ -72,6 +72,20 @@ impl WorkerRuntime {
         }
     }
 
+    /// Reinitializes in place for a new run with `spec`, keeping the `bound`
+    /// buffer's allocation — the arena-reuse equivalent of
+    /// [`Self::new`](Self::new).
+    pub fn reset(&mut self, spec: ProcessorSpec) {
+        self.spec = spec;
+        self.state = ProcState::Reclaimed;
+        self.prog_done = 0;
+        self.prog_began_at = 0;
+        self.transfer = None;
+        self.buffered = None;
+        self.computing = None;
+        self.bound.clear();
+    }
+
     /// Does the worker hold a complete program copy?
     #[must_use]
     pub fn has_program(&self, t_prog: SlotSpan) -> bool {
@@ -259,7 +273,10 @@ mod tests {
         w.prog_done = 5; // program complete (t_prog = 5)
 
         // Computing: 1 slot done out of 4 -> 3 remaining.
-        w.computing = Some(ComputeState { copy: copy(0, 0), done: 1 });
+        w.computing = Some(ComputeState {
+            copy: copy(0, 0),
+            done: 1,
+        });
         assert_eq!(w.delay_estimate(5, 2), 3);
 
         // Plus a buffered task: +4.
@@ -270,13 +287,21 @@ mod tests {
         // data ready at 1, compute of task 0 free at 3 -> second compute
         // spans [3,7).
         w.buffered = None;
-        w.transfer = Some(TransferState { copy: copy(1, 0), done: 1, began_at: 0 });
+        w.transfer = Some(TransferState {
+            copy: copy(1, 0),
+            done: 1,
+            began_at: 0,
+        });
         assert_eq!(w.delay_estimate(5, 2), 7);
 
         // Transfer-dominated: long data, short compute.
         let mut w2 = worker(1);
         w2.prog_done = 5;
-        w2.transfer = Some(TransferState { copy: copy(0, 0), done: 0, began_at: 0 });
+        w2.transfer = Some(TransferState {
+            copy: copy(0, 0),
+            done: 0,
+            began_at: 0,
+        });
         assert_eq!(w2.delay_estimate(5, 10), 11);
     }
 
@@ -291,8 +316,15 @@ mod tests {
     fn crash_clears_everything_and_reports_losses() {
         let mut w = worker(2);
         w.prog_done = 5;
-        w.computing = Some(ComputeState { copy: copy(0, 0), done: 1 });
-        w.transfer = Some(TransferState { copy: copy(1, 1), done: 1, began_at: 3 });
+        w.computing = Some(ComputeState {
+            copy: copy(0, 0),
+            done: 1,
+        });
+        w.transfer = Some(TransferState {
+            copy: copy(1, 1),
+            done: 1,
+            began_at: 3,
+        });
         let mut lost = Vec::new();
         w.crash_into(&mut lost);
         assert_eq!(lost, vec![copy(0, 0), copy(1, 1)]);
@@ -304,7 +336,10 @@ mod tests {
     fn cancel_task_removes_all_forms() {
         let mut w = worker(2);
         w.prog_done = 5;
-        w.computing = Some(ComputeState { copy: copy(7, 0), done: 0 });
+        w.computing = Some(ComputeState {
+            copy: copy(7, 0),
+            done: 0,
+        });
         w.bound.push(copy(7, 2));
         let mut removed = Vec::new();
         w.cancel_task_into(TaskId(7), &mut removed);
@@ -319,7 +354,10 @@ mod tests {
     #[test]
     fn has_copy_of_and_bind_room() {
         let mut w = worker(2);
-        w.computing = Some(ComputeState { copy: copy(3, 0), done: 0 });
+        w.computing = Some(ComputeState {
+            copy: copy(3, 0),
+            done: 0,
+        });
         assert!(w.has_copy_of(TaskId(3)));
         assert!(!w.has_copy_of(TaskId(4)));
         assert!(w.has_bind_room());
@@ -331,8 +369,15 @@ mod tests {
     fn invariants_pass_on_consistent_state() {
         let mut w = worker(3);
         w.prog_done = 5;
-        w.computing = Some(ComputeState { copy: copy(0, 0), done: 2 });
-        w.transfer = Some(TransferState { copy: copy(1, 0), done: 1, began_at: 2 });
+        w.computing = Some(ComputeState {
+            copy: copy(0, 0),
+            done: 2,
+        });
+        w.transfer = Some(TransferState {
+            copy: copy(1, 0),
+            done: 1,
+            began_at: 2,
+        });
         w.assert_invariants(5, 2);
     }
 
@@ -341,7 +386,10 @@ mod tests {
     fn invariants_catch_compute_without_program() {
         let mut w = worker(3);
         w.prog_done = 2;
-        w.computing = Some(ComputeState { copy: copy(0, 0), done: 0 });
+        w.computing = Some(ComputeState {
+            copy: copy(0, 0),
+            done: 0,
+        });
         w.assert_invariants(5, 2);
     }
 

@@ -19,8 +19,8 @@ use volatile_grid::prelude::*;
 
 fn main() {
     let rp = RobustnessParams {
-        up_shape: 0.7,  // heavy-tailed UP durations
-        up_mean: 60.0,  // one "work session" ≈ 60 slots
+        up_shape: 0.7, // heavy-tailed UP durations
+        up_mean: 60.0, // one "work session" ≈ 60 slots
         training_slots: 30_000,
     };
 

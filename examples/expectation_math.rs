@@ -20,13 +20,23 @@ fn main() {
 
     println!("sampled availability chain (paper-style):");
     for (label, row) in ["u", "r", "d"].iter().zip(chain.raw()) {
-        println!("  P({label},·) = [{:.4}, {:.4}, {:.4}]", row[0], row[1], row[2]);
+        println!(
+            "  P({label},·) = [{:.4}, {:.4}, {:.4}]",
+            row[0], row[1], row[2]
+        );
     }
     println!("  stationary: pi_u = {pi_u:.4}, pi_r = {pi_r:.4}, pi_d = {pi_d:.4}");
-    println!("  Lemma 1:    P+  = {:.6}  (series check: {:.6})\n", chain.p_plus(), chain.p_plus_numeric());
+    println!(
+        "  Lemma 1:    P+  = {:.6}  (series check: {:.6})\n",
+        chain.p_plus(),
+        chain.p_plus_numeric()
+    );
 
     println!("Theorem 2 — expected completion slots E(W) vs workload W:");
-    println!("  {:>6} {:>10} {:>10} {:>9}", "W", "E(W)", "E(W)-W", "P(no d)");
+    println!(
+        "  {:>6} {:>10} {:>10} {:>9}",
+        "W", "E(W)", "E(W)-W", "P(no d)"
+    );
     for w in [1u64, 2, 5, 10, 20, 50, 100, 200] {
         println!(
             "  {:>6} {:>10.2} {:>10.2} {:>9.4}",
@@ -38,7 +48,10 @@ fn main() {
     }
 
     println!("\nSection 6.3.3 — P_UD(k): exact (matrix power) vs paper approximation:");
-    println!("  {:>6} {:>10} {:>10} {:>9}", "k", "exact", "approx", "abs err");
+    println!(
+        "  {:>6} {:>10} {:>10} {:>9}",
+        "k", "exact", "approx", "abs err"
+    );
     for k in [2u64, 3, 5, 10, 20, 40, 80] {
         let e = chain.p_ud_exact(k);
         let a = chain.p_ud_approx(k);

@@ -23,6 +23,7 @@ fn main() {
         master_seed: 42,
         parallelism: ParallelismConfig::Auto,
         sim: SimOptions::default(),
+        keep_outcomes: false,
     };
     println!(
         "tournament: 17 heuristics × {} scenarios × {} trials on (n={}, ncom={}, wmin={})\n",

@@ -17,11 +17,14 @@ use volatile_grid::prelude::*;
 fn main() {
     // --- Part 1: the reduction -------------------------------------------
     // (x1 ∨ x2 ∨ x̄3) ∧ (x̄1 ∨ x3 ∨ x2) ∧ (x̄2 ∨ x̄3 ∨ x1)
-    let cnf = Cnf::new(3, vec![
-        vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)],
-        vec![Lit::neg(0), Lit::pos(2), Lit::pos(1)],
-        vec![Lit::neg(1), Lit::neg(2), Lit::pos(0)],
-    ]);
+    let cnf = Cnf::new(
+        3,
+        vec![
+            vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)],
+            vec![Lit::neg(0), Lit::pos(2), Lit::pos(1)],
+            vec![Lit::neg(1), Lit::neg(2), Lit::pos(0)],
+        ],
+    );
     println!("formula: {cnf}\n");
 
     let inst = reduce(&cnf);
@@ -44,7 +47,10 @@ fn main() {
             let completion = schedule
                 .validate(&inst)
                 .expect("the Theorem-1 construction is feasible");
-            println!("schedule validates; completes at slot {completion} ≤ N = {}\n", inst.horizon);
+            println!(
+                "schedule validates; completes at slot {completion} ≤ N = {}\n",
+                inst.horizon
+            );
         }
         None => println!("unsatisfiable ⇒ the instance is infeasible within N\n"),
     }
@@ -58,7 +64,10 @@ fn main() {
     let inst = OfflineInstance::uniform(5, 2, 1, 3, None, 20, traces);
     let sol = mct_infinite(&inst).expect("feasible");
     let exact = brute_force_infinite(&inst).expect("feasible");
-    println!("ncom = ∞ greedy MCT: makespan {}, assignment {:?}", sol.makespan, sol.assignment);
+    println!(
+        "ncom = ∞ greedy MCT: makespan {}, assignment {:?}",
+        sol.makespan, sol.assignment
+    );
     println!("brute-force optimum: {exact}  (Proposition 2: they always agree)");
     assert_eq!(sol.makespan, exact);
 }

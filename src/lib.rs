@@ -52,12 +52,12 @@
 //! assert!(report.finished());
 //! ```
 
+pub use vg_core as sched;
 pub use vg_des as des;
 pub use vg_exp as exp;
 pub use vg_markov as markov;
 pub use vg_offline as offline;
 pub use vg_platform as platform;
-pub use vg_core as sched;
 pub use vg_sim as sim;
 
 /// One-stop imports for applications built on the library.

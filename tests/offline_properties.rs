@@ -9,13 +9,13 @@ use volatile_grid::prelude::*;
 /// Random small 2-state instances (sized for the exact solver).
 fn arb_instance() -> impl Strategy<Value = OfflineInstance> {
     (
-        1usize..=3,                                            // m
-        0u64..=2,                                              // t_prog
-        0u64..=2,                                              // t_data
-        1u64..=2,                                              // w
-        1usize..=2,                                            // ncom
+        1usize..=3, // m
+        0u64..=2,   // t_prog
+        0u64..=2,   // t_data
+        1u64..=2,   // w
+        1usize..=2, // ncom
         proptest::collection::vec(
-            proptest::collection::vec(0usize..2, 10..=14),     // traces (u/r)
+            proptest::collection::vec(0usize..2, 10..=14), // traces (u/r)
             1..=2,
         ),
     )
@@ -25,7 +25,13 @@ fn arb_instance() -> impl Strategy<Value = OfflineInstance> {
                 .map(|codes| {
                     codes
                         .iter()
-                        .map(|&c| if c == 0 { ProcState::Up } else { ProcState::Reclaimed })
+                        .map(|&c| {
+                            if c == 0 {
+                                ProcState::Up
+                            } else {
+                                ProcState::Reclaimed
+                            }
+                        })
                         .collect()
                 })
                 .collect();

@@ -17,6 +17,7 @@ fn small_campaign(cells: &[ScenarioParams], heuristics: Vec<HK>) -> Vec<(HK, f64
         master_seed: 20260610,
         parallelism: ParallelismConfig::Auto,
         sim: SimOptions::default(),
+        keep_outcomes: false,
     };
     let result = run_campaign(cells, &cfg);
     result
@@ -85,6 +86,7 @@ fn speed_weighting_helps_random_heuristics() {
         master_seed: 20260610,
         parallelism: ParallelismConfig::Auto,
         sim: SimOptions::default(),
+        keep_outcomes: false,
     };
     let result = run_campaign(&[volatile_cell()], &cfg);
     let results: Vec<(HK, f64, u64)> = result

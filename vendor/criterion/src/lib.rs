@@ -43,12 +43,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` id.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { id: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Id from the parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 

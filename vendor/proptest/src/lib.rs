@@ -196,13 +196,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -215,7 +221,10 @@ pub mod collection {
 
     /// Generates vectors of values from `elem`, sized within `size`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
