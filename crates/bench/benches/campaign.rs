@@ -129,10 +129,17 @@ fn main() {
         json,
         "  ],\n  \"batched_vs_per_unit_auto_speedup\": {speedup_auto:.3}\n}}"
     );
-    // Default under target/ so local runs don't dirty the tracked
-    // BENCH_campaign.json trajectory anchor; CI overrides via the env var.
-    let out =
-        std::env::var("BENCH_CAMPAIGN_OUT").unwrap_or_else(|_| "target/BENCH_campaign.json".into());
+    // Default under the workspace target/ so local runs don't dirty the
+    // tracked BENCH_campaign.json trajectory anchor; CI overrides via the
+    // env var. (Bench binaries run with the package dir as cwd, so the
+    // default is anchored to the manifest, not the cwd.)
+    let out = std::env::var("BENCH_CAMPAIGN_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_campaign.json"
+        )
+        .into()
+    });
     if let Some(parent) = std::path::Path::new(&out).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).expect("create bench output dir");

@@ -1,0 +1,76 @@
+//! Per-phase wall-clock split of the slot loop, at several platform sizes.
+//!
+//! Run with:
+//! `cargo bench -p vg-bench --features phase-profile --bench phase_profile`
+//!
+//! Backs the ROADMAP's per-phase cost-split claims (which phase is the next
+//! lever) with a reproducible measurement instead of ad-hoc instrumentation.
+//! Without the feature this target is a no-op stub, so plain
+//! `cargo bench -p vg-bench` still builds everything.
+
+#[cfg(not(feature = "phase-profile"))]
+fn main() {
+    eprintln!(
+        "phase_profile needs the instrumented engine:\n  \
+         cargo bench -p vg-bench --features phase-profile --bench phase_profile"
+    );
+}
+
+#[cfg(feature = "phase-profile")]
+fn main() {
+    use vg_bench::{paper_app, paper_platform};
+    use vg_core::HeuristicKind;
+    use vg_des::rng::SeedPath;
+    use vg_platform::source::AvailabilitySource;
+    use vg_sim::engine::phase_profile;
+    use vg_sim::{SimOptions, Simulation};
+
+    let quick = std::env::args().any(|a| a == "--quick");
+    for p in [20usize, 32, 256, 1024] {
+        let platform = paper_platform(p, (p / 10).max(2), 2, 11);
+        let budget: u64 = if quick { 100_000 } else { 1_000_000 };
+        let max_slots = (budget / p as u64).max(100);
+        let app = paper_app(2 * p, max_slots, 2, 1);
+        let sources: Vec<Box<dyn AvailabilitySource>> = platform
+            .processors
+            .iter()
+            .enumerate()
+            .map(|(q, pc)| {
+                pc.avail
+                    .build_source(SeedPath::root(2).child(q as u64).rng())
+            })
+            .collect();
+        let mut sim = Simulation::new(
+            &platform,
+            &app,
+            HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
+            sources,
+            SimOptions {
+                max_slots,
+                replication: true,
+                max_extra_replicas: 2,
+                record_timeline: false,
+            },
+        )
+        .expect("valid configuration");
+        // Warm up outside the measured window, then profile the remainder.
+        for _ in 0..(max_slots / 10).max(10) {
+            sim.step();
+        }
+        phase_profile::reset();
+        while !sim.is_done() {
+            sim.step();
+        }
+        let nanos = phase_profile::snapshot();
+        let total: u64 = nanos.iter().sum();
+        print!("phase_profile p={p:<5}");
+        for (name, n) in phase_profile::NAMES.iter().zip(nanos) {
+            print!(" {name}={:.1}%", 100.0 * n as f64 / total.max(1) as f64);
+        }
+        println!(
+            " (total {:.3}s over {} slots)",
+            total as f64 / 1e9,
+            sim.slots_run()
+        );
+    }
+}

@@ -107,10 +107,17 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    // Default under target/ so local runs don't dirty the tracked
-    // BENCH_slotloop.json trajectory anchor; CI overrides via the env var.
-    let out =
-        std::env::var("BENCH_SLOTLOOP_OUT").unwrap_or_else(|_| "target/BENCH_slotloop.json".into());
+    // Default under the workspace target/ so local runs don't dirty the
+    // tracked BENCH_slotloop.json trajectory anchor; CI overrides via the
+    // env var. (Bench binaries run with the package dir as cwd, so the
+    // default is anchored to the manifest, not the cwd.)
+    let out = std::env::var("BENCH_SLOTLOOP_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_slotloop.json"
+        )
+        .into()
+    });
     std::fs::write(&out, &json).expect("write bench output");
     println!("wrote {out}");
 }

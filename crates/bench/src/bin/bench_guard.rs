@@ -1,0 +1,181 @@
+//! Bench-regression gate over `BENCH_slotloop.json` artifacts.
+//!
+//! ```text
+//! bench_guard <baseline.json> <candidate.json> [min_ratio]
+//! ```
+//!
+//! Compares the freshly measured slot-loop throughput against a baseline
+//! measurement and **exits non-zero** if the candidate's slots/sec at
+//! `p = 1024` (either replication setting) drops below `min_ratio ×
+//! baseline` (default 0.85 — runners are noisy; a real regression from a
+//! hot-path change shows up far below that). Absolute slots/sec vary with
+//! hardware, so the baseline must come from the **same machine** — CI
+//! benches the merge-base revision in the same job and passes that file
+//! here (the committed `BENCH_slotloop.json` is a recorded trajectory, not
+//! a cross-machine gate). All shared cells are printed; only the p = 1024
+//! cells gate, since that is the scale the SoA layout and the lazy-heap
+//! placement exist for.
+//!
+//! The parser is deliberately tiny and fixed to the one-object-per-line
+//! format `slotloop` emits — no serde needed for a CI gate.
+
+use std::process::ExitCode;
+
+/// One `{"p": …, "replication": …, …, "slots_per_sec": …}` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CellPerf {
+    p: u64,
+    replication: bool,
+    slots_per_sec: f64,
+}
+
+/// Extracts the JSON number (or bare token) following `"key": `.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Parses every benchmark cell out of a `BENCH_slotloop.json` body.
+fn parse_cells(json: &str) -> Vec<CellPerf> {
+    json.lines()
+        .filter_map(|line| {
+            Some(CellPerf {
+                p: field(line, "p")?.parse().ok()?,
+                replication: field(line, "replication")? == "true",
+                slots_per_sec: field(line, "slots_per_sec")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, candidate_path: &str, min_ratio: f64) -> Result<(), String> {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline = parse_cells(&read(baseline_path)?);
+    let candidate = parse_cells(&read(candidate_path)?);
+    if baseline.is_empty() || candidate.is_empty() {
+        return Err(format!(
+            "no benchmark cells parsed ({} baseline, {} candidate)",
+            baseline.len(),
+            candidate.len()
+        ));
+    }
+    let mut gated = 0usize;
+    let mut failures = Vec::new();
+    for base in &baseline {
+        let Some(cand) = candidate
+            .iter()
+            .find(|c| c.p == base.p && c.replication == base.replication)
+        else {
+            continue;
+        };
+        let ratio = cand.slots_per_sec / base.slots_per_sec;
+        let gates = base.p == 1024;
+        println!(
+            "p={:<5} replication={:<5} baseline={:>12.1} candidate={:>12.1} ratio={:.3}{}",
+            base.p,
+            base.replication,
+            base.slots_per_sec,
+            cand.slots_per_sec,
+            ratio,
+            if gates { "  [gated]" } else { "" }
+        );
+        if gates {
+            gated += 1;
+            if ratio < min_ratio {
+                failures.push(format!(
+                    "p={} replication={}: {:.1} slots/sec is {:.3}× the committed {:.1} \
+                     (floor {min_ratio})",
+                    base.p, base.replication, cand.slots_per_sec, ratio, base.slots_per_sec
+                ));
+            }
+        }
+    }
+    if gated == 0 {
+        return Err("no shared p=1024 cells to gate on".into());
+    }
+    if failures.is_empty() {
+        println!("bench guard OK ({gated} gated cells ≥ {min_ratio}× baseline)");
+        Ok(())
+    } else {
+        Err(format!(
+            "slot-loop regression:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_guard <baseline.json> <candidate.json> [min_ratio]");
+        return ExitCode::FAILURE;
+    }
+    let min_ratio = args
+        .get(3)
+        .map(|s| s.parse::<f64>().expect("min_ratio must be a float"))
+        .unwrap_or(0.85);
+    match run(&args[1], &args[2], min_ratio) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_guard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"p": 32, "replication": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1000.0},
+    {"p": 1024, "replication": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 3000.0},
+    {"p": 1024, "replication": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_slotloop_format() {
+        let cells = parse_cells(SAMPLE);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(
+            cells[2],
+            CellPerf {
+                p: 1024,
+                replication: true,
+                slots_per_sec: 1600.0
+            }
+        );
+    }
+
+    #[test]
+    fn gate_logic_passes_and_fails_on_ratio() {
+        let dir = std::env::temp_dir().join("vg_bench_guard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        std::fs::write(&good, SAMPLE.replace("1600.0", "1700.0")).unwrap();
+        std::fs::write(&bad, SAMPLE.replace("1600.0", "900.0")).unwrap();
+        let b = base.to_str().unwrap();
+        assert!(run(b, good.to_str().unwrap(), 0.85).is_ok());
+        assert!(run(b, bad.to_str().unwrap(), 0.85).is_err());
+        // Candidate faster than baseline on one gated cell but regressed on
+        // the other must still fail.
+        let mixed = dir.join("mixed.json");
+        std::fs::write(
+            &mixed,
+            SAMPLE
+                .replace("3000.0", "9000.0")
+                .replace("1600.0", "100.0"),
+        )
+        .unwrap();
+        assert!(run(b, mixed.to_str().unwrap(), 0.85).is_err());
+    }
+}

@@ -39,7 +39,7 @@ fn warmed_simulation(p: usize, replication: bool) -> Simulation {
                 .build_source(SeedPath::root(2).child(q as u64).rng())
         })
         .collect();
-    let sim = Simulation::new(
+    Simulation::new(
         &platform,
         &app,
         HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
@@ -51,16 +51,21 @@ fn warmed_simulation(p: usize, replication: bool) -> Simulation {
             record_timeline: false,
         },
     )
-    .expect("valid configuration");
-    sim
+    .expect("valid configuration")
 }
 
 #[test]
 fn steady_state_slot_loop_is_allocation_free() {
-    for replication in [false, true] {
-        let mut sim = warmed_simulation(64, replication);
+    // p = 64 exercises the SoA column scans and the linear-scan side of the
+    // greedy selection; p = 256 pushes the post-barrier placement bursts
+    // (count ≈ 2p over ~p UP candidates) across the lazy-heap crossover, so
+    // the heap's backing storage is pinned as persistent scheduler scratch
+    // — warmed during the warm-up window, silent thereafter.
+    for (p, replication) in [(64, false), (64, true), (256, true)] {
+        let mut sim = warmed_simulation(p, replication);
         // Warm-up: scratch buffers, worker bound-lists and scheduler
-        // internals reach their high-water capacities.
+        // internals (including the placement heap) reach their high-water
+        // capacities.
         for _ in 0..2_000 {
             sim.step();
             if sim.is_done() {
@@ -77,7 +82,7 @@ fn steady_state_slot_loop_is_allocation_free() {
         let delta = snapshot().delta(before);
         assert!(
             delta.is_quiet(),
-            "steady-state slots allocated (replication={replication}): \
+            "steady-state slots allocated (p={p} replication={replication}): \
              {} allocs, {} reallocs, {} bytes over {} measured slots",
             delta.allocs,
             delta.reallocs,

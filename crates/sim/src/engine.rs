@@ -54,6 +54,19 @@
 //! the engine-owned placement buffer and keeping their own internal scratch
 //! (see `vg_core::greedy`). The iteration barrier reuses the
 //! [`IterationState`] buffers via `reset` rather than reallocating them.
+//!
+//! ## Worker storage: SoA by default, AoS as oracle
+//!
+//! Per-worker state lives behind the [`WorkerStore`] trait
+//! (`crate::store`): the engine is generic — and monomorphized — over the
+//! layout, defaulting to the cache-tight hot/cold [`WorkerSoA`] split while
+//! [`ReferenceSimulation`] retains the original `Vec<WorkerRuntime>` path.
+//! Every phase above is written as index loops over the store, so with the
+//! SoA each pass walks dense columns (1-byte states, the `occupancy` byte
+//! for the free-mask and unbind early-outs) instead of dragging each
+//! worker's cold fields through the cache. The
+//! `crates/sim/tests/soa_equivalence.rs` grid pins the two layouts to
+//! byte-identical [`SimReport`]s across all 17 heuristics.
 //! The only remaining steady-state allocations are inside a recorded
 //! [`Timeline`] (opt-in via [`SimOptions::record_timeline`], one push per
 //! worker-slot) — campaigns leave it off. The `alloc-counter` test harness
@@ -69,9 +82,10 @@ use vg_platform::source::{AvailabilitySource, SharedTraceMatrix};
 use vg_platform::{AppConfig, ConfigError, PlatformConfig, ProcessorId};
 
 use crate::report::{Counters, SimReport};
+use crate::store::{AosWorkers, WorkerSoA, WorkerStore};
 use crate::task::{CopyId, IterationState, TaskId};
 use crate::timeline::{Activity, SlotMarks, Timeline};
-use crate::worker::{ComputeState, TransferState, WorkerRuntime};
+use crate::worker::{ComputeState, TransferState};
 
 /// Engine options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +108,49 @@ impl Default for SimOptions {
             max_extra_replicas: 2,
             record_timeline: false,
         }
+    }
+}
+
+/// Wall-clock accounting of the (fused) slot phases, recorded by
+/// [`Simulation::step`] when the `phase-profile` feature is enabled. Global
+/// and cumulative across every engine on the process — reset before the
+/// measured window, then read the split. The `phase_profile` bench in
+/// vg-bench drives this and prints percentages per platform size.
+#[cfg(feature = "phase-profile")]
+pub mod phase_profile {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Display names, index-aligned with [`NANOS`].
+    pub const NAMES: [&str; 6] = [
+        "states+crashes",
+        "schedule",
+        "transfers",
+        "compute",
+        "promotions+unbind",
+        "slot_end",
+    ];
+
+    /// Cumulative nanoseconds per fused phase.
+    pub static NANOS: [AtomicU64; 6] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    /// Zeroes every accumulator.
+    pub fn reset() {
+        for n in &NANOS {
+            n.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads all accumulators.
+    #[must_use]
+    pub fn snapshot() -> [u64; 6] {
+        std::array::from_fn(|i| NANOS[i].load(Ordering::Relaxed))
     }
 }
 
@@ -211,7 +268,7 @@ impl RunOutcome {
 /// output, not scratch); request it through [`Simulation`] instead.
 #[derive(Default)]
 pub struct SimArena {
-    workers: Vec<WorkerRuntime>,
+    workers: WorkerSoA,
     chains: Vec<ChainStats>,
     sources: Vec<Box<dyn AvailabilitySource>>,
     iter: Option<IterationState>,
@@ -397,13 +454,8 @@ impl SimArena {
     ) -> RunOutcome {
         scheduler.begin_run();
         let p = platform.p();
-        self.workers.truncate(p);
-        for (w, pc) in self.workers.iter_mut().zip(&platform.processors) {
-            w.reset(pc.spec);
-        }
-        for pc in &platform.processors[self.workers.len()..] {
-            self.workers.push(WorkerRuntime::new(pc.spec));
-        }
+        self.workers
+            .reset_for(platform.processors.iter().map(|pc| pc.spec));
         let iter = match self.iter.take() {
             Some(mut it) => {
                 it.reinit(0, app.tasks_per_iteration);
@@ -487,9 +539,15 @@ enum SourceBank {
 
 /// The simulation engine. Construct with [`Simulation::new`], consume with
 /// [`Simulation::run`] (or drive slot-by-slot with [`Simulation::step`]).
-pub struct Simulation {
+///
+/// Generic over the worker-storage layout `S` (monomorphized, zero runtime
+/// cost): the default [`WorkerSoA`] is the hot/cold split the production
+/// engine runs on, while [`ReferenceSimulation`] (= `Simulation<AosWorkers>`)
+/// retains the original `Vec<WorkerRuntime>` path as the bit-identity
+/// oracle — see `crates/sim/tests/soa_equivalence.rs`.
+pub struct Simulation<S: WorkerStore = WorkerSoA> {
     app: AppConfig,
-    workers: Vec<WorkerRuntime>,
+    workers: S,
     sources: SourceBank,
     /// Per-run chain statistics, built once and borrowed by every view.
     chains: Vec<ChainStats>,
@@ -509,13 +567,46 @@ pub struct Simulation {
     slot_marks: Vec<SlotMarks>,
 }
 
+/// The retained AoS engine: `Simulation` over the original
+/// `Vec<WorkerRuntime>` layout, used as the bit-identity oracle for the SoA
+/// refactor. Construct with [`Simulation::new_in`] /
+/// [`Simulation::run_seeded_in`].
+pub type ReferenceSimulation = Simulation<AosWorkers>;
+
 impl Simulation {
-    /// Builds an engine.
+    /// Builds an engine over the default [`WorkerSoA`] layout.
     ///
     /// `sources` must contain exactly one availability source per platform
     /// processor, in processor order; the caller controls their seeds (this
     /// is what enables common-random-number comparisons).
     pub fn new(
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        sources: Vec<Box<dyn AvailabilitySource>>,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        Self::new_in(platform, app, scheduler, sources, options)
+    }
+
+    /// Convenience: build sources straight from the platform config using a
+    /// seed path (`path.child(q)` per processor) and run.
+    pub fn run_seeded(
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        trace_seeds: vg_des::rng::SeedPath,
+        options: SimOptions,
+    ) -> Result<SimReport, ConfigError> {
+        Self::run_seeded_in(platform, app, scheduler, trace_seeds, options)
+    }
+}
+
+impl<S: WorkerStore> Simulation<S> {
+    /// Builds an engine over an explicit worker-storage layout `S`
+    /// ([`Simulation::new`] for the default SoA; `S = AosWorkers` for the
+    /// reference path).
+    pub fn new_in(
         platform: &PlatformConfig,
         app: &AppConfig,
         scheduler: Box<dyn Scheduler>,
@@ -533,11 +624,8 @@ impl Simulation {
         }
         let mut scheduler = scheduler;
         scheduler.begin_run();
-        let workers: Vec<WorkerRuntime> = platform
-            .processors
-            .iter()
-            .map(|pc| WorkerRuntime::new(pc.spec))
-            .collect();
+        let mut workers = S::default();
+        workers.reset_for(platform.processors.iter().map(|pc| pc.spec));
         let chains: Vec<ChainStats> = platform
             .processors
             .iter()
@@ -563,9 +651,9 @@ impl Simulation {
         })
     }
 
-    /// Convenience: build sources straight from the platform config using a
-    /// seed path (`path.child(q)` per processor) and run.
-    pub fn run_seeded(
+    /// Seed-path convenience over [`Self::new_in`] — the layout-generic
+    /// twin of [`Simulation::run_seeded`].
+    pub fn run_seeded_in(
         platform: &PlatformConfig,
         app: &AppConfig,
         scheduler: Box<dyn Scheduler>,
@@ -578,7 +666,7 @@ impl Simulation {
             .enumerate()
             .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng()))
             .collect();
-        Ok(Self::new(platform, app, scheduler, sources, options)?.run())
+        Ok(Self::new_in(platform, app, scheduler, sources, options)?.run())
     }
 
     /// Runs to completion (all iterations done or slot cap hit).
@@ -634,12 +722,29 @@ impl Simulation {
     /// unobservable and the phase semantics of the module docs hold
     /// unchanged.
     pub fn step(&mut self) {
-        self.phase_states_and_crashes();
-        self.phase_schedule();
-        self.phase_transfers();
-        self.phase_compute();
-        self.phase_promotions_and_unbind();
-        self.phase_slot_end();
+        #[cfg(feature = "phase-profile")]
+        macro_rules! timed {
+            ($idx:expr, $e:expr) => {{
+                let t = std::time::Instant::now();
+                $e;
+                phase_profile::NANOS[$idx].fetch_add(
+                    t.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }};
+        }
+        #[cfg(not(feature = "phase-profile"))]
+        macro_rules! timed {
+            ($idx:expr, $e:expr) => {
+                $e
+            };
+        }
+        timed!(0, self.phase_states_and_crashes());
+        timed!(1, self.phase_schedule());
+        timed!(2, self.phase_transfers());
+        timed!(3, self.phase_compute());
+        timed!(4, self.phase_promotions_and_unbind());
+        timed!(5, self.phase_slot_end());
         self.slot += 1;
     }
 
@@ -667,14 +772,14 @@ impl Simulation {
                 *next_slot += 1;
             }
         }
-        for (w, &state) in workers.iter_mut().zip(state_row.iter()) {
-            w.state = state;
+        workers.set_states(state_row);
+        for (q, &state) in state_row.iter().enumerate() {
             counters.state_slots[state.index()] += 1;
             if state != ProcState::Down {
                 continue;
             }
             copies.clear();
-            w.crash_into(copies);
+            workers.crash_into(q, copies);
             for &copy in copies.iter() {
                 counters.copies_lost_to_down += 1;
                 if copy.is_original() {
@@ -702,15 +807,15 @@ impl Simulation {
         scratch.procs.clear();
         scratch
             .procs
-            .extend(workers.iter().enumerate().map(|(i, w)| ProcSnapshot {
-                id: ProcessorId(i as u32),
-                state: w.state,
-                w: w.spec.w,
-                has_program: w.has_program(app.t_prog),
+            .extend((0..workers.len()).map(|q| ProcSnapshot {
+                id: ProcessorId(q as u32),
+                state: workers.state(q),
+                w: workers.w(q),
+                has_program: workers.has_program(q, app.t_prog),
                 // Schedulers only place on (and only read the delay of) UP
                 // processors, so the pipeline walk is skipped for the rest.
-                delay: if w.state == ProcState::Up {
-                    w.delay_estimate(app.t_prog, app.t_data)
+                delay: if workers.state(q) == ProcState::Up {
+                    workers.delay_estimate(q, app.t_prog, app.t_data)
                 } else {
                     0
                 },
@@ -720,14 +825,17 @@ impl Simulation {
     /// Binds `copy` to worker `widx` if legal; immediately pins zero-length
     /// data copies (they need no channel). Returns success.
     fn try_bind(&mut self, widx: usize, copy: CopyId) -> bool {
-        let w = &mut self.workers[widx];
-        if w.state != ProcState::Up || !w.has_bind_room() || w.has_copy_of(copy.task) {
+        let w = &self.workers;
+        if w.state(widx) != ProcState::Up
+            || !w.has_bind_room(widx)
+            || w.has_copy_of(widx, copy.task)
+        {
             return false;
         }
         if self.app.t_data == 0
-            && w.has_program(self.app.t_prog)
-            && w.transfer.is_none()
-            && w.buffered.is_none()
+            && w.has_program(widx, self.app.t_prog)
+            && w.transfer(widx).is_none()
+            && w.buffered(widx).is_none()
         {
             // Zero-length data: the copy is pinned instantly ([D2] corollary:
             // a transfer of zero slots completes without a channel).
@@ -736,14 +844,15 @@ impl Simulation {
             } else {
                 self.counters.replicas_started += 1;
             }
-            if w.computing.is_none() {
-                w.computing = Some(ComputeState { copy, done: 0 });
+            if self.workers.computing(widx).is_none() {
+                self.workers
+                    .set_computing(widx, Some(ComputeState { copy, done: 0 }));
             } else {
-                w.buffered = Some(copy);
+                self.workers.set_buffered(widx, Some(copy));
             }
             return true;
         }
-        w.bound.push(copy);
+        self.workers.bound_push(widx, copy);
         self.bind_order.push((widx, copy));
         true
     }
@@ -786,7 +895,7 @@ impl Simulation {
                 let task = self.scratch.pool[k];
                 let pid = self.scratch.placements[k];
                 debug_assert!(
-                    self.workers[pid.idx()].state == ProcState::Up,
+                    self.workers.state(pid.idx()) == ProcState::Up,
                     "scheduler placed a task on a non-UP processor"
                 );
                 let _ = self.try_bind(pid.idx(), CopyId::original(task));
@@ -802,8 +911,8 @@ impl Simulation {
                 } = self;
                 scratch.free.clear();
                 let mut n = 0usize;
-                scratch.free.extend(workers.iter().map(|w| {
-                    let free = w.state == ProcState::Up && w.is_idle();
+                scratch.free.extend((0..workers.len()).map(|q| {
+                    let free = workers.state(q) == ProcState::Up && workers.is_idle(q);
                     n += usize::from(free);
                     free
                 }));
@@ -849,25 +958,23 @@ impl Simulation {
                             // `t_prog − prog_done`, and masked workers differ
                             // only in fields no scheduler reads.
                             scratch.procs.clear();
-                            scratch.procs.extend(
-                                workers.iter().zip(&scratch.free).enumerate().map(
-                                    |(i, (w, &free))| ProcSnapshot {
-                                        id: ProcessorId(i as u32),
-                                        state: if free {
-                                            ProcState::Up
-                                        } else {
-                                            ProcState::Reclaimed
-                                        },
-                                        w: w.spec.w,
-                                        has_program: w.has_program(app.t_prog),
-                                        delay: if free {
-                                            app.t_prog.saturating_sub(w.prog_done)
-                                        } else {
-                                            0
-                                        },
+                            scratch.procs.extend(scratch.free.iter().enumerate().map(
+                                |(q, &free)| ProcSnapshot {
+                                    id: ProcessorId(q as u32),
+                                    state: if free {
+                                        ProcState::Up
+                                    } else {
+                                        ProcState::Reclaimed
                                     },
-                                ),
-                            );
+                                    w: workers.w(q),
+                                    has_program: workers.has_program(q, app.t_prog),
+                                    delay: if free {
+                                        app.t_prog.saturating_sub(workers.prog_done(q))
+                                    } else {
+                                        0
+                                    },
+                                },
+                            ));
                         }
                         let view = SchedView {
                             procs: &scratch.procs,
@@ -910,21 +1017,23 @@ impl Simulation {
             // (a) Continuations: in-flight data transfers and partially
             //     received programs on UP workers, oldest first ([D11]).
             scratch.continuations.clear();
-            for (widx, w) in workers.iter().enumerate() {
-                if w.state != ProcState::Up {
+            for widx in 0..workers.len() {
+                if workers.state(widx) != ProcState::Up {
                     continue; // suspended transfers hold no channel
                 }
-                if let Some(tr) = &w.transfer {
+                if let Some(tr) = workers.transfer(widx) {
                     scratch
                         .continuations
                         .push((tr.began_at, widx, Request::DataCont { widx }));
-                } else if w.prog_done > 0
-                    && !w.has_program(t_prog)
-                    && (w.pinned_count() > 0 || !w.bound.is_empty())
+                } else if workers.prog_done(widx) > 0
+                    && !workers.has_program(widx, t_prog)
+                    && workers.busy(widx)
                 {
-                    scratch
-                        .continuations
-                        .push((w.prog_began_at, widx, Request::Prog { widx }));
+                    scratch.continuations.push((
+                        workers.prog_began_at(widx),
+                        widx,
+                        Request::Prog { widx },
+                    ));
                 }
             }
             // `widx` makes the key unique, so the unstable sort is
@@ -949,17 +1058,16 @@ impl Simulation {
                 scratch.data_requested.resize(workers.len(), false);
             }
             for &(widx, copy) in bind_order.iter() {
-                let w = &workers[widx];
-                if w.state != ProcState::Up || !w.bound.contains(&copy) {
+                if workers.state(widx) != ProcState::Up || !workers.bound(widx).contains(&copy) {
                     continue;
                 }
-                if !w.has_program(t_prog) {
-                    if w.prog_done == 0 && !scratch.prog_requested[widx] {
+                if !workers.has_program(widx, t_prog) {
+                    if workers.prog_done(widx) == 0 && !scratch.prog_requested[widx] {
                         scratch.prog_requested[widx] = true;
                         scratch.requests.push(Request::Prog { widx });
                     }
-                } else if w.transfer.is_none()
-                    && w.buffered.is_none()
+                } else if workers.transfer(widx).is_none()
+                    && workers.buffered(widx).is_none()
                     && !scratch.data_requested[widx]
                     && t_data > 0
                 {
@@ -974,38 +1082,41 @@ impl Simulation {
             match self.scratch.requests[k] {
                 Request::Prog { widx } => {
                     if self.ledger.try_grant(TransferKind::Program) {
-                        let w = &mut self.workers[widx];
-                        if w.prog_done == 0 {
-                            w.prog_began_at = self.slot;
+                        let done = self.workers.prog_done(widx);
+                        if done == 0 {
+                            self.workers.set_prog_began_at(widx, self.slot);
                         }
-                        w.prog_done += 1;
+                        self.workers.set_prog_done(widx, done + 1);
                         self.counters.prog_channel_slots += 1;
                         self.slot_marks[widx].recv_prog = true;
-                        if w.has_program(t_prog) {
+                        if self.workers.has_program(widx, t_prog) {
                             self.counters.programs_delivered += 1;
                         }
                     }
                 }
                 Request::DataCont { widx } => {
                     if self.ledger.try_grant(TransferKind::Data) {
-                        let w = &mut self.workers[widx];
-                        w.transfer
-                            .as_mut()
-                            .expect("continuation implies transfer")
-                            .done += 1;
+                        let mut tr = self
+                            .workers
+                            .transfer(widx)
+                            .expect("continuation implies transfer");
+                        tr.done += 1;
+                        self.workers.set_transfer(widx, Some(tr));
                         self.counters.data_channel_slots += 1;
                         self.slot_marks[widx].recv_data = true;
                     }
                 }
                 Request::DataNew { widx, copy } => {
                     if self.ledger.try_grant(TransferKind::Data) {
-                        let w = &mut self.workers[widx];
-                        w.bound.retain(|c| *c != copy);
-                        w.transfer = Some(TransferState {
-                            copy,
-                            done: 1,
-                            began_at: self.slot,
-                        });
+                        self.workers.bound_remove(widx, copy);
+                        self.workers.set_transfer(
+                            widx,
+                            Some(TransferState {
+                                copy,
+                                done: 1,
+                                began_at: self.slot,
+                            }),
+                        );
                         self.counters.data_channel_slots += 1;
                         self.slot_marks[widx].recv_data = true;
                         if copy.is_original() {
@@ -1030,17 +1141,18 @@ impl Simulation {
                 ..
             } = self;
             scratch.completions.clear();
-            for (widx, w) in workers.iter_mut().enumerate() {
-                if w.state != ProcState::Up {
+            for (widx, mark) in slot_marks.iter_mut().enumerate().take(workers.len()) {
+                if workers.state(widx) != ProcState::Up {
                     continue;
                 }
-                if let Some(c) = &mut w.computing {
-                    debug_assert!(w.prog_done >= app.t_prog);
+                if let Some(mut c) = workers.computing(widx) {
+                    debug_assert!(workers.prog_done(widx) >= app.t_prog);
                     c.done += 1;
-                    slot_marks[widx].computed = true;
-                    if c.done == w.spec.w {
+                    mark.computed = true;
+                    if c.done == workers.w(widx) {
                         scratch.completions.push((widx, c.copy));
                     }
+                    workers.set_computing(widx, Some(c));
                 }
             }
         }
@@ -1049,15 +1161,12 @@ impl Simulation {
             // A sibling that completed earlier in this slot may have already
             // canceled this copy (cancel_siblings cleared the compute unit);
             // its result is then redundant and counts as waste.
-            let still_current = self.workers[widx]
-                .computing
-                .as_ref()
-                .is_some_and(|c| c.copy == copy);
+            let still_current = self.workers.computing(widx).is_some_and(|c| c.copy == copy);
             if !still_current {
                 self.counters.duplicate_results += 1;
                 continue;
             }
-            self.workers[widx].computing = None;
+            self.workers.set_computing(widx, None);
             self.counters.copies_completed += 1;
             let task = copy.task;
             let first = self.iter.mark_completed(task);
@@ -1080,8 +1189,8 @@ impl Simulation {
             ..
         } = self;
         scratch.copies.clear();
-        for w in workers.iter_mut() {
-            w.cancel_task_into(task, &mut scratch.copies);
+        for q in 0..workers.len() {
+            workers.cancel_task_into(q, task, &mut scratch.copies);
         }
         for &copy in &scratch.copies {
             counters.replicas_canceled += 1;
@@ -1100,28 +1209,38 @@ impl Simulation {
     /// replica tallies, which promotions never read), so one pass suffices.
     fn phase_promotions_and_unbind(&mut self) {
         let t_data = self.app.t_data;
+        #[cfg(debug_assertions)]
+        let t_prog = self.app.t_prog;
         let Self { workers, iter, .. } = self;
-        for w in workers.iter_mut() {
-            if let Some(tr) = &w.transfer {
-                if tr.done >= t_data && t_data > 0 {
-                    debug_assert!(w.buffered.is_none());
-                    w.buffered = Some(tr.copy);
-                    w.transfer = None;
+        for q in 0..workers.len() {
+            if workers.busy(q) {
+                if let Some(tr) = workers.transfer(q) {
+                    if tr.done >= t_data && t_data > 0 {
+                        debug_assert!(workers.buffered(q).is_none());
+                        workers.set_buffered(q, Some(tr.copy));
+                        workers.set_transfer(q, None);
+                    }
+                }
+                if workers.computing(q).is_none() {
+                    if let Some(b) = workers.buffered(q) {
+                        workers.set_buffered(q, None);
+                        workers.set_computing(q, Some(ComputeState { copy: b, done: 0 }));
+                    }
                 }
             }
-            if w.computing.is_none() {
-                if let Some(b) = w.buffered.take() {
-                    w.computing = Some(ComputeState { copy: b, done: 0 });
-                }
-            }
+            // Checked for *every* worker — not inside the busy() block —
+            // so a desynced occupancy column cannot hide a worker from its
+            // own consistency check (the SoA validates occupancy here).
             #[cfg(debug_assertions)]
-            w.assert_invariants(self.app.t_prog, t_data);
-            // Unstarted bindings dissolve ([D5]): originals silently remain
-            // in the pool; replica placeholders evaporate.
-            for copy in w.bound.drain(..) {
-                if !copy.is_original() {
-                    iter.drop_replica(copy.task);
-                }
+            workers.assert_invariants(q, t_prog, t_data);
+            if workers.busy(q) {
+                // Unstarted bindings dissolve ([D5]): originals silently
+                // remain in the pool; replica placeholders evaporate.
+                workers.drain_bound(q, |copy| {
+                    if !copy.is_original() {
+                        iter.drop_replica(copy.task);
+                    }
+                });
             }
         }
     }
@@ -1140,10 +1259,10 @@ impl Simulation {
             if let Some(tl) = timeline {
                 scratch.activities.clear();
                 scratch.activities.extend(
-                    workers
+                    slot_marks
                         .iter()
-                        .zip(slot_marks.iter())
-                        .map(|(w, m)| m.resolve(w.state)),
+                        .enumerate()
+                        .map(|(q, m)| m.resolve(workers.state(q))),
                 );
                 tl.push_slot(&scratch.activities);
             }
@@ -1157,8 +1276,12 @@ impl Simulation {
                 tl.push_barrier(self.slot);
             }
             #[cfg(debug_assertions)]
-            for w in &self.workers {
-                debug_assert_eq!(w.pinned_count(), 0, "copies survived the iteration barrier");
+            for q in 0..self.workers.len() {
+                debug_assert_eq!(
+                    self.workers.pinned_count(q),
+                    0,
+                    "copies survived the iteration barrier"
+                );
             }
             if self.iterations_done < self.app.iterations {
                 self.iter.reset(self.iterations_done);

@@ -8,8 +8,10 @@
 //! * [`task`] — tasks, copies (original + ≤ 2 replicas), iteration state;
 //! * [`worker`] — the per-worker pipeline (program / data / compute with one
 //!   task of look-ahead);
-//! * [`engine`] — the seven-phase slot loop ([`engine::Simulation`]) and the
-//!   warmed arena ([`engine::SimArena`]);
+//! * [`store`] — worker storage layouts: the hot/cold [`store::WorkerSoA`]
+//!   the engine runs on and the retained [`store::AosWorkers`] oracle;
+//! * [`engine`] — the seven-phase slot loop ([`engine::Simulation`], generic
+//!   over the layout) and the warmed arena ([`engine::SimArena`]);
 //! * [`report`] — makespans and counters ([`report::SimReport`]).
 //!
 //! ## Warmed arenas for campaign-scale fan-out
@@ -98,11 +100,15 @@
 
 pub mod engine;
 pub mod report;
+pub mod store;
 pub mod task;
 pub mod timeline;
 pub mod worker;
 
-pub use engine::{platform_chain_stats, RunOutcome, SimArena, SimOptions, Simulation};
+pub use engine::{
+    platform_chain_stats, ReferenceSimulation, RunOutcome, SimArena, SimOptions, Simulation,
+};
 pub use report::{Counters, SimReport};
+pub use store::{AosWorkers, WorkerSoA, WorkerStore};
 pub use task::{CopyId, TaskId};
 pub use timeline::{Activity, Timeline};

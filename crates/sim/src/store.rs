@@ -1,0 +1,749 @@
+//! Worker storage layouts: the hot/cold **SoA** the engine runs on, and the
+//! retained **AoS** path kept as the bit-identity oracle.
+//!
+//! The slot loop is a sequence of dense scans over per-worker state — draw
+//! states, estimate delays, advance transfers and computations. Stored as an
+//! array of [`WorkerRuntime`] structs (AoS), every scan drags each worker's
+//! *cold* fields (the `bound` vector, `prog_began_at`, the spec) through the
+//! cache alongside the one or two hot fields it actually reads; at
+//! `p ≥ 1024` a single state pass touches ~100 KiB instead of 1 KiB.
+//! [`WorkerSoA`] splits the runtime into parallel arrays so each phase walks
+//! only the columns it needs:
+//!
+//! * **hot** (touched every slot, densely): `state`, `w`, `prog_done`, and
+//!   the pipeline columns `computing` / `transfer` / `buffered` whose
+//!   discriminants drive the per-slot branches;
+//! * **cold** (touched on binds/crashes only): `prog_began_at` and the
+//!   per-worker `bound` lists (allocations kept warm across runs, as the
+//!   AoS `WorkerRuntime::bound` buffers were).
+//!
+//! Both layouts implement [`WorkerStore`], the exact per-worker contract the
+//! engine phases are written against. The engine is generic over it and
+//! monomorphized, so the abstraction costs nothing; [`AosWorkers`] is a thin
+//! adapter that delegates every operation to the original
+//! [`WorkerRuntime`] methods — the pre-refactor code path, unchanged — which
+//! is what makes `Simulation<AosWorkers>` a genuine oracle for the SoA
+//! engine (see `crates/sim/tests/soa_equivalence.rs`).
+//!
+//! [`WorkerSoA::reset_for`] reinitializes every column with a single
+//! `memset`-style fill pass per array (clear + resize on retained
+//! allocations), which is what lets a warmed [`SimArena`](crate::SimArena)
+//! recycle the store across grow→shrink→grow platform sequences without
+//! per-worker bookkeeping.
+
+use vg_des::{Slot, SlotSpan};
+use vg_markov::availability::ProcState;
+use vg_platform::ProcessorSpec;
+
+use crate::task::{CopyId, TaskId};
+use crate::worker::{ComputeState, TransferState, WorkerRuntime};
+
+/// Per-worker state storage, as consumed by the engine's slot phases.
+///
+/// Semantics of every method are those of the corresponding
+/// [`WorkerRuntime`] field or method; implementations differ only in memory
+/// layout. The engine is generic (and monomorphized) over this trait, so
+/// both layouts compile to direct array accesses.
+pub trait WorkerStore: Default + Send {
+    /// Number of workers.
+    fn len(&self) -> usize;
+
+    /// True when the store holds no workers.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rebuilds the store for a platform, reusing retained allocations
+    /// (the arena-path equivalent of constructing fresh workers): after the
+    /// call every worker is in the [`WorkerRuntime::new`] state for its
+    /// spec.
+    fn reset_for<I>(&mut self, specs: I)
+    where
+        I: ExactSizeIterator<Item = ProcessorSpec>;
+
+    /// `w_q` of worker `q`.
+    fn w(&self, q: usize) -> SlotSpan;
+
+    /// State of worker `q` for the current slot.
+    fn state(&self, q: usize) -> ProcState;
+
+    /// Overwrites every worker's state from `states` (`states.len()` must
+    /// equal [`Self::len`]) — phase 1's dense column write.
+    fn set_states(&mut self, states: &[ProcState]);
+
+    /// Slots of program received by worker `q`.
+    fn prog_done(&self, q: usize) -> SlotSpan;
+
+    /// Sets the program progress of worker `q`.
+    fn set_prog_done(&mut self, q: usize, v: SlotSpan);
+
+    /// Slot at which worker `q`'s current program transfer began.
+    fn prog_began_at(&self, q: usize) -> Slot;
+
+    /// Sets the program-transfer start slot of worker `q`.
+    fn set_prog_began_at(&mut self, q: usize, v: Slot);
+
+    /// In-flight data transfer of worker `q`.
+    fn transfer(&self, q: usize) -> Option<TransferState>;
+
+    /// Sets the in-flight data transfer of worker `q`.
+    fn set_transfer(&mut self, q: usize, t: Option<TransferState>);
+
+    /// Buffered (complete, waiting for compute) copy of worker `q`.
+    fn buffered(&self, q: usize) -> Option<CopyId>;
+
+    /// Sets the buffered copy of worker `q`.
+    fn set_buffered(&mut self, q: usize, b: Option<CopyId>);
+
+    /// Copy being computed by worker `q`.
+    fn computing(&self, q: usize) -> Option<ComputeState>;
+
+    /// Sets the computing state of worker `q`.
+    fn set_computing(&mut self, q: usize, c: Option<ComputeState>);
+
+    /// Copies bound to worker `q` this slot (transfers not yet begun).
+    fn bound(&self, q: usize) -> &[CopyId];
+
+    /// Binds one more copy to worker `q`.
+    fn bound_push(&mut self, q: usize, c: CopyId);
+
+    /// Removes every bound copy equal to `c` from worker `q`.
+    fn bound_remove(&mut self, q: usize, c: CopyId);
+
+    /// Drains worker `q`'s bound list, feeding each copy to `f` in order.
+    fn drain_bound(&mut self, q: usize, f: impl FnMut(CopyId));
+
+    /// Does worker `q` hold a complete program copy?
+    fn has_program(&self, q: usize, t_prog: SlotSpan) -> bool;
+
+    /// Pinned copies of worker `q` (computing + buffered + transfer).
+    fn pinned_count(&self, q: usize) -> usize;
+
+    /// True if worker `q` is completely idle: nothing pinned, nothing bound.
+    fn is_idle(&self, q: usize) -> bool;
+
+    /// Negation of [`Self::is_idle`], for hot-loop early-outs: `true` iff
+    /// anything is pinned or bound on worker `q`.
+    fn busy(&self, q: usize) -> bool {
+        !self.is_idle(q)
+    }
+
+    /// Whether any copy (pinned or bound) of `task` lives on worker `q`.
+    fn has_copy_of(&self, q: usize, task: TaskId) -> bool;
+
+    /// Room for one more bound copy on worker `q` (pipeline capacity 2).
+    fn has_bind_room(&self, q: usize) -> bool;
+
+    /// `Delay(q)` — see [`WorkerRuntime::delay_estimate`].
+    fn delay_estimate(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) -> SlotSpan;
+
+    /// Crash handling for worker `q` — see [`WorkerRuntime::crash_into`].
+    fn crash_into(&mut self, q: usize, lost: &mut Vec<CopyId>);
+
+    /// Cancels every copy of `task` on worker `q` — see
+    /// [`WorkerRuntime::cancel_task_into`].
+    fn cancel_task_into(&mut self, q: usize, task: TaskId, removed: &mut Vec<CopyId>);
+
+    /// Structural pipeline invariants of worker `q` (debug builds).
+    fn assert_invariants(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan);
+}
+
+/// The retained AoS layout: a plain `Vec<WorkerRuntime>`, every operation
+/// delegated to the original per-worker methods. This is the pre-SoA code
+/// path, kept as the bit-identity oracle (and for tests that want to poke a
+/// single worker's fields directly).
+#[derive(Debug, Default)]
+pub struct AosWorkers(pub Vec<WorkerRuntime>);
+
+impl WorkerStore for AosWorkers {
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn reset_for<I>(&mut self, specs: I)
+    where
+        I: ExactSizeIterator<Item = ProcessorSpec>,
+    {
+        self.0.truncate(specs.len());
+        let mut specs = specs;
+        for w in self.0.iter_mut() {
+            w.reset(specs.next().expect("len checked"));
+        }
+        for spec in specs {
+            self.0.push(WorkerRuntime::new(spec));
+        }
+    }
+
+    #[inline]
+    fn w(&self, q: usize) -> SlotSpan {
+        self.0[q].spec.w
+    }
+
+    #[inline]
+    fn state(&self, q: usize) -> ProcState {
+        self.0[q].state
+    }
+
+    #[inline]
+    fn set_states(&mut self, states: &[ProcState]) {
+        for (w, &s) in self.0.iter_mut().zip(states) {
+            w.state = s;
+        }
+    }
+
+    #[inline]
+    fn prog_done(&self, q: usize) -> SlotSpan {
+        self.0[q].prog_done
+    }
+
+    #[inline]
+    fn set_prog_done(&mut self, q: usize, v: SlotSpan) {
+        self.0[q].prog_done = v;
+    }
+
+    #[inline]
+    fn prog_began_at(&self, q: usize) -> Slot {
+        self.0[q].prog_began_at
+    }
+
+    #[inline]
+    fn set_prog_began_at(&mut self, q: usize, v: Slot) {
+        self.0[q].prog_began_at = v;
+    }
+
+    #[inline]
+    fn transfer(&self, q: usize) -> Option<TransferState> {
+        self.0[q].transfer
+    }
+
+    #[inline]
+    fn set_transfer(&mut self, q: usize, t: Option<TransferState>) {
+        self.0[q].transfer = t;
+    }
+
+    #[inline]
+    fn buffered(&self, q: usize) -> Option<CopyId> {
+        self.0[q].buffered
+    }
+
+    #[inline]
+    fn set_buffered(&mut self, q: usize, b: Option<CopyId>) {
+        self.0[q].buffered = b;
+    }
+
+    #[inline]
+    fn computing(&self, q: usize) -> Option<ComputeState> {
+        self.0[q].computing
+    }
+
+    #[inline]
+    fn set_computing(&mut self, q: usize, c: Option<ComputeState>) {
+        self.0[q].computing = c;
+    }
+
+    #[inline]
+    fn bound(&self, q: usize) -> &[CopyId] {
+        &self.0[q].bound
+    }
+
+    #[inline]
+    fn bound_push(&mut self, q: usize, c: CopyId) {
+        self.0[q].bound.push(c);
+    }
+
+    #[inline]
+    fn bound_remove(&mut self, q: usize, c: CopyId) {
+        self.0[q].bound.retain(|x| *x != c);
+    }
+
+    #[inline]
+    fn drain_bound(&mut self, q: usize, mut f: impl FnMut(CopyId)) {
+        for c in self.0[q].bound.drain(..) {
+            f(c);
+        }
+    }
+
+    #[inline]
+    fn has_program(&self, q: usize, t_prog: SlotSpan) -> bool {
+        self.0[q].has_program(t_prog)
+    }
+
+    #[inline]
+    fn pinned_count(&self, q: usize) -> usize {
+        self.0[q].pinned_count()
+    }
+
+    #[inline]
+    fn is_idle(&self, q: usize) -> bool {
+        self.0[q].is_idle()
+    }
+
+    #[inline]
+    fn has_copy_of(&self, q: usize, task: TaskId) -> bool {
+        self.0[q].has_copy_of(task)
+    }
+
+    #[inline]
+    fn has_bind_room(&self, q: usize) -> bool {
+        self.0[q].has_bind_room()
+    }
+
+    #[inline]
+    fn delay_estimate(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) -> SlotSpan {
+        self.0[q].delay_estimate(t_prog, t_data)
+    }
+
+    #[inline]
+    fn crash_into(&mut self, q: usize, lost: &mut Vec<CopyId>) {
+        self.0[q].crash_into(lost);
+    }
+
+    #[inline]
+    fn cancel_task_into(&mut self, q: usize, task: TaskId, removed: &mut Vec<CopyId>) {
+        self.0[q].cancel_task_into(task, removed);
+    }
+
+    #[inline]
+    fn assert_invariants(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) {
+        self.0[q].assert_invariants(t_prog, t_data);
+    }
+}
+
+/// The hot/cold SoA layout (see the module docs). Field-for-field equivalent
+/// to `Vec<WorkerRuntime>`, stored column-wise.
+#[derive(Debug, Default)]
+pub struct WorkerSoA {
+    // --- hot columns: walked densely every slot ---------------------------
+    /// State for the current slot (1 byte per worker; phase 1's column).
+    state: Vec<ProcState>,
+    /// `w_q` (snapshot build + compute phase).
+    w: Vec<SlotSpan>,
+    /// Slots of program received.
+    prog_done: Vec<SlotSpan>,
+    /// Copy being computed.
+    computing: Vec<Option<ComputeState>>,
+    /// Data transfer in flight.
+    transfer: Vec<Option<TransferState>>,
+    /// Copy whose data is complete, waiting for the compute unit.
+    buffered: Vec<Option<CopyId>>,
+    /// Derived hot column: `pinned_count + bound.len()` per worker, kept in
+    /// sync by every mutator. Collapses `is_idle` / `busy` /
+    /// `has_bind_room` — the free-mask scan of the replica path above all —
+    /// to a single byte read instead of three `Option` columns plus a
+    /// `Vec` header chase. The SoA⇄AoS oracle grid pins its consistency.
+    occupancy: Vec<u8>,
+    // --- cold columns: touched on binds / crashes only --------------------
+    /// Slot at which the current program transfer began.
+    prog_began_at: Vec<Slot>,
+    /// Copies bound this slot; inner allocations retained across runs.
+    bound: Vec<Vec<CopyId>>,
+}
+
+/// `memset`-style column reinit: one `clear` + one `resize` fill pass over
+/// the retained allocation.
+#[inline]
+fn refill<T: Clone>(v: &mut Vec<T>, p: usize, value: T) {
+    v.clear();
+    v.resize(p, value);
+}
+
+impl WorkerStore for WorkerSoA {
+    #[inline]
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn reset_for<I>(&mut self, specs: I)
+    where
+        I: ExactSizeIterator<Item = ProcessorSpec>,
+    {
+        let p = specs.len();
+        self.w.clear();
+        self.w.extend(specs.map(|s| s.w));
+        refill(&mut self.state, p, ProcState::Reclaimed);
+        refill(&mut self.prog_done, p, 0);
+        refill(&mut self.computing, p, None);
+        refill(&mut self.transfer, p, None);
+        refill(&mut self.buffered, p, None);
+        refill(&mut self.occupancy, p, 0);
+        refill(&mut self.prog_began_at, p, 0);
+        // `bound` keeps each retained worker's allocation alive.
+        self.bound.truncate(p);
+        for b in &mut self.bound {
+            b.clear();
+        }
+        if self.bound.len() < p {
+            self.bound.resize_with(p, Vec::new);
+        }
+    }
+
+    #[inline]
+    fn w(&self, q: usize) -> SlotSpan {
+        self.w[q]
+    }
+
+    #[inline]
+    fn state(&self, q: usize) -> ProcState {
+        self.state[q]
+    }
+
+    #[inline]
+    fn set_states(&mut self, states: &[ProcState]) {
+        debug_assert_eq!(states.len(), self.state.len());
+        self.state.copy_from_slice(states);
+    }
+
+    #[inline]
+    fn prog_done(&self, q: usize) -> SlotSpan {
+        self.prog_done[q]
+    }
+
+    #[inline]
+    fn set_prog_done(&mut self, q: usize, v: SlotSpan) {
+        self.prog_done[q] = v;
+    }
+
+    #[inline]
+    fn prog_began_at(&self, q: usize) -> Slot {
+        self.prog_began_at[q]
+    }
+
+    #[inline]
+    fn set_prog_began_at(&mut self, q: usize, v: Slot) {
+        self.prog_began_at[q] = v;
+    }
+
+    #[inline]
+    fn transfer(&self, q: usize) -> Option<TransferState> {
+        self.transfer[q]
+    }
+
+    #[inline]
+    fn set_transfer(&mut self, q: usize, t: Option<TransferState>) {
+        self.occupancy[q] -= u8::from(self.transfer[q].is_some());
+        self.occupancy[q] += u8::from(t.is_some());
+        self.transfer[q] = t;
+    }
+
+    #[inline]
+    fn buffered(&self, q: usize) -> Option<CopyId> {
+        self.buffered[q]
+    }
+
+    #[inline]
+    fn set_buffered(&mut self, q: usize, b: Option<CopyId>) {
+        self.occupancy[q] -= u8::from(self.buffered[q].is_some());
+        self.occupancy[q] += u8::from(b.is_some());
+        self.buffered[q] = b;
+    }
+
+    #[inline]
+    fn computing(&self, q: usize) -> Option<ComputeState> {
+        self.computing[q]
+    }
+
+    #[inline]
+    fn set_computing(&mut self, q: usize, c: Option<ComputeState>) {
+        self.occupancy[q] -= u8::from(self.computing[q].is_some());
+        self.occupancy[q] += u8::from(c.is_some());
+        self.computing[q] = c;
+    }
+
+    #[inline]
+    fn bound(&self, q: usize) -> &[CopyId] {
+        &self.bound[q]
+    }
+
+    #[inline]
+    fn bound_push(&mut self, q: usize, c: CopyId) {
+        self.bound[q].push(c);
+        self.occupancy[q] += 1;
+    }
+
+    #[inline]
+    fn bound_remove(&mut self, q: usize, c: CopyId) {
+        let before = self.bound[q].len();
+        self.bound[q].retain(|x| *x != c);
+        self.occupancy[q] -= (before - self.bound[q].len()) as u8;
+    }
+
+    #[inline]
+    fn drain_bound(&mut self, q: usize, mut f: impl FnMut(CopyId)) {
+        self.occupancy[q] -= self.bound[q].len() as u8;
+        for c in self.bound[q].drain(..) {
+            f(c);
+        }
+    }
+
+    #[inline]
+    fn has_program(&self, q: usize, t_prog: SlotSpan) -> bool {
+        self.prog_done[q] >= t_prog
+    }
+
+    #[inline]
+    fn pinned_count(&self, q: usize) -> usize {
+        usize::from(self.transfer[q].is_some())
+            + usize::from(self.buffered[q].is_some())
+            + usize::from(self.computing[q].is_some())
+    }
+
+    #[inline]
+    fn is_idle(&self, q: usize) -> bool {
+        self.occupancy[q] == 0
+    }
+
+    #[inline]
+    fn busy(&self, q: usize) -> bool {
+        self.occupancy[q] != 0
+    }
+
+    #[inline]
+    fn has_copy_of(&self, q: usize, task: TaskId) -> bool {
+        self.occupancy[q] != 0
+            && (self.computing[q].is_some_and(|c| c.copy.task == task)
+                || self.buffered[q].is_some_and(|b| b.task == task)
+                || self.transfer[q].is_some_and(|t| t.copy.task == task)
+                || self.bound[q].iter().any(|c| c.task == task))
+    }
+
+    #[inline]
+    fn has_bind_room(&self, q: usize) -> bool {
+        self.occupancy[q] < 2
+    }
+
+    #[inline]
+    fn delay_estimate(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) -> SlotSpan {
+        // Mirrors WorkerRuntime::delay_estimate over the columns.
+        let prog_rem = t_prog.saturating_sub(self.prog_done[q]);
+        let mut comm_free = prog_rem;
+        let mut compute_free = 0;
+        if let Some(c) = self.computing[q] {
+            compute_free = self.w[q] - c.done;
+        }
+        if self.buffered[q].is_some() {
+            compute_free += self.w[q];
+        }
+        if let Some(tr) = self.transfer[q] {
+            let data_ready = comm_free + (t_data - tr.done);
+            comm_free = data_ready;
+            compute_free = compute_free.max(data_ready) + self.w[q];
+        }
+        compute_free.max(comm_free)
+    }
+
+    fn crash_into(&mut self, q: usize, lost: &mut Vec<CopyId>) {
+        self.prog_done[q] = 0;
+        if let Some(c) = self.computing[q].take() {
+            lost.push(c.copy);
+            self.occupancy[q] -= 1;
+        }
+        if let Some(b) = self.buffered[q].take() {
+            lost.push(b);
+            self.occupancy[q] -= 1;
+        }
+        if let Some(t) = self.transfer[q].take() {
+            lost.push(t.copy);
+            self.occupancy[q] -= 1;
+        }
+    }
+
+    fn cancel_task_into(&mut self, q: usize, task: TaskId, removed: &mut Vec<CopyId>) {
+        if self.occupancy[q] == 0 {
+            return; // nothing pinned or bound — nothing to cancel
+        }
+        if self.computing[q].is_some_and(|c| c.copy.task == task) {
+            removed.push(self.computing[q].take().expect("checked").copy);
+            self.occupancy[q] -= 1;
+        }
+        if self.buffered[q].is_some_and(|b| b.task == task) {
+            removed.push(self.buffered[q].take().expect("checked"));
+            self.occupancy[q] -= 1;
+        }
+        if self.transfer[q].is_some_and(|t| t.copy.task == task) {
+            removed.push(self.transfer[q].take().expect("checked").copy);
+            self.occupancy[q] -= 1;
+        }
+        let bound = &mut self.bound[q];
+        let mut i = 0;
+        while i < bound.len() {
+            if bound[i].task == task {
+                removed.push(bound.remove(i));
+                self.occupancy[q] -= 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn assert_invariants(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) {
+        // The derived occupancy byte must track the ground truth — every
+        // predicate collapsed onto it (is_idle/busy/has_bind_room) is wrong
+        // if a mutator skipped the bookkeeping.
+        assert_eq!(
+            usize::from(self.occupancy[q]),
+            usize::from(self.transfer[q].is_some())
+                + usize::from(self.buffered[q].is_some())
+                + usize::from(self.computing[q].is_some())
+                + self.bound[q].len(),
+            "occupancy column out of sync on worker {q}"
+        );
+        // Materialize the worker and reuse the canonical checks; this runs
+        // in debug builds only, so the transient allocation is acceptable.
+        let w = WorkerRuntime {
+            spec: ProcessorSpec::new(self.w[q]),
+            state: self.state[q],
+            prog_done: self.prog_done[q],
+            prog_began_at: self.prog_began_at[q],
+            transfer: self.transfer[q],
+            buffered: self.buffered[q],
+            computing: self.computing[q],
+            bound: self.bound[q].clone(),
+        };
+        w.assert_invariants(t_prog, t_data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn copy(task: u32, replica: u8) -> CopyId {
+        CopyId {
+            task: TaskId(task),
+            replica,
+        }
+    }
+
+    fn specs(ws: &[SlotSpan]) -> Vec<ProcessorSpec> {
+        ws.iter().map(|&w| ProcessorSpec::new(w)).collect()
+    }
+
+    /// Drives both layouts through the same mutation script and asserts
+    /// every observable agrees after every step — a differential unit test
+    /// below the engine-level oracle.
+    #[test]
+    fn soa_and_aos_agree_on_a_mutation_script() {
+        let mut soa = WorkerSoA::default();
+        let mut aos = AosWorkers::default();
+        let sp = specs(&[3, 5, 2]);
+        soa.reset_for(sp.iter().copied());
+        aos.reset_for(sp.iter().copied());
+
+        let states = [ProcState::Up, ProcState::Reclaimed, ProcState::Up];
+        soa.set_states(&states);
+        aos.set_states(&states);
+
+        // Build a busy pipeline on worker 0, a partial program on worker 2.
+        for s in [&mut soa as &mut dyn Probe, &mut aos as &mut dyn Probe] {
+            s.script();
+        }
+
+        let (t_prog, t_data) = (4, 2);
+        assert_eq!(soa.len(), aos.len());
+        for q in 0..soa.len() {
+            assert_eq!(soa.w(q), aos.w(q), "w {q}");
+            assert_eq!(soa.state(q), aos.state(q), "state {q}");
+            assert_eq!(soa.prog_done(q), aos.prog_done(q), "prog_done {q}");
+            assert_eq!(soa.transfer(q), aos.transfer(q), "transfer {q}");
+            assert_eq!(soa.buffered(q), aos.buffered(q), "buffered {q}");
+            assert_eq!(soa.computing(q), aos.computing(q), "computing {q}");
+            assert_eq!(soa.bound(q), aos.bound(q), "bound {q}");
+            assert_eq!(soa.pinned_count(q), aos.pinned_count(q));
+            assert_eq!(soa.is_idle(q), aos.is_idle(q));
+            assert_eq!(soa.has_bind_room(q), aos.has_bind_room(q));
+            assert_eq!(soa.has_program(q, t_prog), aos.has_program(q, t_prog));
+            assert_eq!(
+                soa.delay_estimate(q, t_prog, t_data),
+                aos.delay_estimate(q, t_prog, t_data),
+                "delay {q}"
+            );
+            for t in 0..4 {
+                assert_eq!(
+                    soa.has_copy_of(q, TaskId(t)),
+                    aos.has_copy_of(q, TaskId(t)),
+                    "has_copy_of {q} T{t}"
+                );
+            }
+        }
+
+        // Crash + cancel drain identically.
+        let (mut la, mut lb) = (Vec::new(), Vec::new());
+        soa.crash_into(0, &mut la);
+        aos.crash_into(0, &mut lb);
+        assert_eq!(la, lb);
+        la.clear();
+        lb.clear();
+        soa.cancel_task_into(2, TaskId(3), &mut la);
+        aos.cancel_task_into(2, TaskId(3), &mut lb);
+        assert_eq!(la, lb);
+    }
+
+    /// Shared mutation script for the differential test.
+    trait Probe {
+        fn script(&mut self);
+    }
+
+    impl<S: WorkerStore> Probe for S {
+        fn script(&mut self) {
+            self.set_prog_done(0, 4);
+            self.set_computing(
+                0,
+                Some(ComputeState {
+                    copy: copy(0, 0),
+                    done: 1,
+                }),
+            );
+            self.set_transfer(
+                0,
+                Some(TransferState {
+                    copy: copy(1, 0),
+                    done: 1,
+                    began_at: 2,
+                }),
+            );
+            self.set_prog_done(2, 2);
+            self.set_prog_began_at(2, 1);
+            self.bound_push(2, copy(3, 0));
+            self.bound_push(2, copy(2, 1));
+            self.bound_remove(2, copy(2, 1));
+            self.bound_push(2, copy(3, 1));
+            // drain_bound restores 2's bound list after observing it.
+            let mut seen = Vec::new();
+            self.drain_bound(2, |c| seen.push(c));
+            assert_eq!(seen, vec![copy(3, 0), copy(3, 1)]);
+            for c in seen {
+                self.bound_push(2, c);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_for_matches_cold_construction_after_grow_shrink_grow() {
+        let mut soa = WorkerSoA::default();
+        for shape in [&[2u64, 3][..], &[4, 5, 6, 7], &[9], &[1, 2, 3]] {
+            // Dirty the store first so reset has something to erase.
+            if !soa.is_empty() {
+                soa.set_prog_done(0, 7);
+                soa.set_buffered(0, Some(copy(0, 1)));
+                soa.bound_push(0, copy(1, 0));
+            }
+            soa.reset_for(specs(shape).into_iter());
+            let mut cold = WorkerSoA::default();
+            cold.reset_for(specs(shape).into_iter());
+            assert_eq!(soa.len(), shape.len());
+            for (q, &w) in shape.iter().enumerate() {
+                assert_eq!(soa.w(q), w);
+                assert_eq!(soa.state(q), ProcState::Reclaimed);
+                assert_eq!(soa.prog_done(q), 0);
+                assert_eq!(soa.prog_began_at(q), 0);
+                assert_eq!(soa.transfer(q), cold.transfer(q));
+                assert_eq!(soa.buffered(q), None);
+                assert_eq!(soa.computing(q), None);
+                assert!(soa.bound(q).is_empty());
+                assert!(soa.is_idle(q));
+            }
+        }
+    }
+}
