@@ -4,9 +4,15 @@
 //! `cargo bench -p vg-bench --features phase-profile --bench phase_profile`
 //!
 //! Backs the ROADMAP's per-phase cost-split claims (which phase is the next
-//! lever) with a reproducible measurement instead of ad-hoc instrumentation.
-//! Without the feature this target is a no-op stub, so plain
-//! `cargo bench -p vg-bench` still builds everything.
+//! lever) with a reproducible measurement instead of ad-hoc instrumentation,
+//! including the schedule phase's sub-split (snapshot consult / pool
+//! placement / free-mask + candidates / replica placement). Besides the
+//! human-readable lines it emits a machine-readable JSON artifact
+//! (`target/BENCH_phase_profile.json`, override with
+//! `BENCH_PHASE_PROFILE_OUT`) that CI uploads next to `BENCH_slotloop.json`
+//! so the split's trajectory is tracked across PRs. Without the feature
+//! this target is a no-op stub, so plain `cargo bench -p vg-bench` still
+//! builds everything.
 
 #[cfg(not(feature = "phase-profile"))]
 fn main() {
@@ -18,6 +24,7 @@ fn main() {
 
 #[cfg(feature = "phase-profile")]
 fn main() {
+    use std::fmt::Write as _;
     use vg_bench::{paper_app, paper_platform};
     use vg_core::HeuristicKind;
     use vg_des::rng::SeedPath;
@@ -26,6 +33,7 @@ fn main() {
     use vg_sim::{SimOptions, Simulation};
 
     let quick = std::env::args().any(|a| a == "--quick");
+    let mut rows: Vec<String> = Vec::new();
     for p in [20usize, 32, 256, 1024] {
         let platform = paper_platform(p, (p / 10).max(2), 2, 11);
         let budget: u64 = if quick { 100_000 } else { 1_000_000 };
@@ -62,15 +70,53 @@ fn main() {
             sim.step();
         }
         let nanos = phase_profile::snapshot();
+        let sub = phase_profile::sub_snapshot();
         let total: u64 = nanos.iter().sum();
+        let pct = |n: u64| 100.0 * n as f64 / total.max(1) as f64;
         print!("phase_profile p={p:<5}");
         for (name, n) in phase_profile::NAMES.iter().zip(nanos) {
-            print!(" {name}={:.1}%", 100.0 * n as f64 / total.max(1) as f64);
+            print!(" {name}={:.1}%", pct(n));
         }
         println!(
             " (total {:.3}s over {} slots)",
             total as f64 / 1e9,
             sim.slots_run()
         );
+        print!("  sched sub:");
+        for (name, n) in phase_profile::SUB_NAMES.iter().zip(sub) {
+            print!(" {name}={:.1}%", pct(n));
+        }
+        println!();
+
+        let mut row = format!(
+            "    {{\"p\": {p}, \"slots\": {}, \"total_seconds\": {:.6}",
+            sim.slots_run(),
+            total as f64 / 1e9
+        );
+        for (name, n) in phase_profile::NAMES.iter().zip(nanos) {
+            let _ = write!(row, ", \"{name}_pct\": {:.2}", pct(n));
+        }
+        for (name, n) in phase_profile::SUB_NAMES.iter().zip(sub) {
+            let _ = write!(row, ", \"schedule.{name}_pct\": {:.2}", pct(n));
+        }
+        row.push('}');
+        rows.push(row);
     }
+
+    let json = format!(
+        "{{\n  \"phase_profile\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Default under the workspace target/ (anchored to the manifest — bench
+    // binaries run with the package dir as cwd); CI overrides via the env
+    // var, same pattern as the slotloop artifact.
+    let out = std::env::var("BENCH_PHASE_PROFILE_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_phase_profile.json"
+        )
+        .into()
+    });
+    std::fs::write(&out, &json).expect("write phase-profile output");
+    println!("wrote {out}");
 }

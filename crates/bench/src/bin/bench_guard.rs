@@ -14,7 +14,10 @@
 //! here (the committed `BENCH_slotloop.json` is a recorded trajectory, not
 //! a cross-machine gate). All shared cells are printed; only the p = 1024
 //! cells gate, since that is the scale the SoA layout and the lazy-heap
-//! placement exist for.
+//! placement exist for — and **both** p = 1024 cells (replication off AND
+//! on) must be present in both files: a cell silently missing from either
+//! artifact would otherwise un-gate itself, which is exactly how a
+//! replication-path regression slips through.
 //!
 //! The parser is deliberately tiny and fixed to the one-object-per-line
 //! format `slotloop` emits — no serde needed for a CI gate.
@@ -62,6 +65,20 @@ fn run(baseline_path: &str, candidate_path: &str, min_ratio: f64) -> Result<(), 
             baseline.len(),
             candidate.len()
         ));
+    }
+    // The gate is only meaningful if every gated cell actually exists in
+    // both artifacts — a missing cell must fail loudly, not un-gate itself.
+    for replication in [false, true] {
+        for (file, cells) in [(baseline_path, &baseline), (candidate_path, &candidate)] {
+            if !cells
+                .iter()
+                .any(|c| c.p == 1024 && c.replication == replication)
+            {
+                return Err(format!(
+                    "{file} is missing the gated cell p=1024 replication={replication}"
+                ));
+            }
+        }
     }
     let mut gated = 0usize;
     let mut failures = Vec::new();
@@ -177,5 +194,36 @@ mod tests {
         )
         .unwrap();
         assert!(run(b, mixed.to_str().unwrap(), 0.85).is_err());
+    }
+
+    #[test]
+    fn missing_gated_cell_fails_instead_of_ungating() {
+        // Regression guard for the guard: dropping the replication-on
+        // p = 1024 cell from either artifact must be an error, not a pass
+        // with one fewer gated cell.
+        let dir = std::env::temp_dir().join("vg_bench_guard_missing_cell");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        let rep_line = r#"    {"p": 1024, "replication": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0}"#;
+        for (name, json) in [
+            ("norep.json", SAMPLE.replace(rep_line, "")),
+            (
+                "norep_at_all.json",
+                SAMPLE
+                    .lines()
+                    .filter(|l| !l.contains("1024"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            ),
+        ] {
+            let cand = dir.join(name);
+            std::fs::write(&cand, json).unwrap();
+            let err = run(base.to_str().unwrap(), cand.to_str().unwrap(), 0.85).unwrap_err();
+            assert!(err.contains("missing the gated cell"), "{name}: {err}");
+            // And a candidate baseline missing the cell fails symmetrically.
+            let err = run(cand.to_str().unwrap(), base.to_str().unwrap(), 0.85).unwrap_err();
+            assert!(err.contains("missing the gated cell"), "{name}: {err}");
+        }
     }
 }

@@ -48,6 +48,15 @@ pub fn effective_t_data(
 #[must_use]
 pub fn completion_time(p: &ProcSnapshot, n_q_incl: usize, eff_t_data: SlotSpan) -> SlotSpan {
     assert!(n_q_incl >= 1, "evaluate with the candidate task included");
+    // The engine only computes `Delay(q)` for UP processors; a non-UP
+    // snapshot carries an unspecified delay (poisoned to `SlotSpan::MAX`
+    // in debug builds), so scoring one is a heuristic bug — the paper's
+    // heuristics all restrict placement to UP processors.
+    debug_assert!(
+        p.state.is_up(),
+        "completion time of non-UP processor {}: its snapshot delay is unspecified",
+        p.id
+    );
     let pipelined = (n_q_incl as u64 - 1) * eff_t_data.max(p.w);
     p.delay + eff_t_data + pipelined + p.w
 }

@@ -17,15 +17,15 @@
 //!
 //! ## Scratch reuse and score caching
 //!
-//! `place_into` keeps four buffers across calls (`ups`, `n_q`, `scores`,
-//! `heap`), so steady-state placement allocates nothing. Scores are cached
-//! per UP processor and recomputed only when their inputs change: assigning
-//! a task to `P_j` invalidates `P_j`'s score alone, except for the `*`
-//! variants where enrolling a *new* processor bumps `n_active` and
-//! invalidates every score (Equation (2) couples them). The cache replays
-//! exactly the computation the naive rescan performed, so decisions —
-//! including the lowest-id tie-break \[D9\] — are bit-identical to the
-//! original implementation.
+//! `place_into` keeps its buffers across calls (`ups`, `n_q`, `scores`,
+//! `heap`, the score memo and the kernel copies), so steady-state placement
+//! allocates nothing. Scores are cached per UP processor and recomputed
+//! only when their inputs change: assigning a task to `P_j` invalidates
+//! `P_j`'s score alone, except for the `*` variants where enrolling a *new*
+//! processor bumps `n_active` and invalidates every score (Equation (2)
+//! couples them). Every cache replays exactly the computation the naive
+//! rescan performed, so decisions — including the lowest-id tie-break
+//! \[D9\] — are bit-identical to the original implementation.
 //!
 //! ## The stale-tolerant lazy min-heap
 //!
@@ -38,28 +38,59 @@
 //! linear scan's winner, *including the lowest-id tie-break* (`ups` is in
 //! ascending id order and the scan's strict `<` keeps the first minimum).
 //!
-//! The heap is *lazy*: an Equation-(2) ceiling step recomputes the whole
-//! `scores` array but leaves the heap entries untouched (stale). The
-//! invariant making this sound is that **scores are monotone non-decreasing
-//! within a round** — every mutation (pipelining another task onto a
-//! processor, inflating effective `T_data` by enrolling one more) raises
-//! completion time, and all four objectives are normalized so larger `CT`
-//! means a larger score. A stale entry therefore always *under*-states its
-//! processor's current score, so the heap top is a lower bound on every
-//! candidate: if the top entry matches `scores[pos]` bit-for-bit it *is*
-//! the argmin; otherwise it is refreshed in place (sift-down) and the pop
-//! retried. Each placement thus costs `O(log p)` amortized (plus the lazy
-//! refresh debt, paid at most once per entry per Equation-(2) step), and a
-//! burst costs `O(p + count · log p)`.
+//! The heap tolerates *stale* entries. The invariant making this sound is
+//! that **scores are monotone non-decreasing within a round** — every
+//! mutation (pipelining another task onto a processor, inflating effective
+//! `T_data` by enrolling one more) raises completion time, and all four
+//! objectives are normalized so larger `CT` means a larger score. A stale
+//! entry therefore always *under*-states its processor's current score, so
+//! the heap top is a lower bound on every candidate: if the top entry
+//! matches `scores[pos]` bit-for-bit it *is* the argmin; otherwise it is
+//! refreshed in place (sift-down) and the pop retried. An Equation-(2)
+//! ceiling step stales **every** entry at once, though, and paying that
+//! back one repair sift at a time was measured at hundreds of deep sifts
+//! per slot at `p = 1024` — so a ceiling step now rebuilds the heap
+//! wholesale instead (Floyd, ~2 comparisons per entry over sequential
+//! memory; see `Selector::refresh`), leaving pops between steps valid on
+//! the first try. The pop-validate loop remains as the correctness
+//! backstop. Each placement costs `O(log p)` amortized and a burst
+//! `O(p + count · log p + steps · p)` with tiny constants; the heap itself
+//! is 4-ary (`HEAP_ARITY`) because the workload is sift-down-heavy.
 //!
 //! The winner's own score update reuses the just-popped top slot (its entry
 //! is by construction the heap minimum), so the heap holds exactly one
 //! entry per candidate at all times and its backing storage — persistent
 //! scratch, like the score caches — never grows past `p`.
+//!
+//! ## The cross-slot Eq.-(2)/Theorem-2 score memo
+//!
+//! A placement score is a pure function of per-run constants (the
+//! processor's [`ChainStats`](vg_markov::ChainStats), its speed, `T_prog`,
+//! `T_data`, `ncom`) and three integers: the processor's snapshot `delay`,
+//! its `n_q`, and the Equation-(2) ceiling factor behind the effective
+//! `T_data`. The scheduler therefore keeps a table of
+//! [`ChainScoreMemo`] entries, one per *(ceiling factor, processor)* —
+//! factor-major, so an Equation-(2) refresh walks one contiguous row — each
+//! keyed by `(delay, n_q)`. The initial-row fill and every ceiling-step
+//! refresh consult the memo; between slots the platform barely moves (idle
+//! workers keep their delay, the placement trajectory replays), so most
+//! consults are single-compare hits. A hit replays the exact bits the
+//! closed form would produce, so decisions are unchanged; the naive-model
+//! proptest below pins that. `begin_run` drops the table (scores embed
+//! per-run chain statistics and speeds), and per-placement winner rescores
+//! bypass it so refresh entries survive a whole round.
+//!
+//! The memo is engaged only where re-deriving the closed form is the
+//! expensive part: LW's `powf` and UD's `pow_slots` (tens of nanoseconds
+//! each). MCT/EMCT scores are two or three flops against the dense
+//! [`ScoreKernel`] copies — cheaper than the table lookup itself, measured
+//! as a net slot-loop *loss* when cached — so those objectives evaluate
+//! directly (`GreedyScheduler::memo_pays`).
 
 use crate::ct::{completion_time, effective_t_data};
 use crate::traits::Scheduler;
 use crate::view::SchedView;
+use vg_markov::{ChainScoreMemo, ScoreKernel};
 use vg_platform::ProcessorId;
 
 /// Whether growing `n_active` from `n_active − 1` changed the Equation-(2)
@@ -106,16 +137,26 @@ pub struct GreedyScheduler {
     /// Test hook: route every selection through the heap regardless of the
     /// size thresholds, so small hand-built views exercise the heap path.
     force_heap: bool,
-    /// Cross-call cache: the delay each *initial-row* score was computed at
-    /// (`SlotSpan::MAX` = never computed). The selection score at
-    /// `(n_q = 0, n_active = 0)` is a pure function of a processor's delay —
-    /// chain, speed and the `n_active_incl = 1` contention factor are
-    /// per-run constants — so between slots where a processor's delay is
-    /// unchanged (idle workers, most replica-placement slots) the cached
-    /// value is bit-identical to a recomputation.
-    score0_delay: Vec<vg_des::SlotSpan>,
-    /// Cross-call cache: initial-row scores (parallel to `score0_delay`).
-    score0: Vec<f64>,
+    /// Cross-slot Eq.-(2)/Theorem-2 score memo: one entry per (ceiling
+    /// factor, processor), factor-major, keyed by `(delay, n_q)` — see the
+    /// module docs. Subsumes the former initial-row cache (its entries are
+    /// the factor-1, `n_q = 0` keys) and additionally serves every
+    /// Equation-(2) ceiling refresh. Rows are grown on demand per round —
+    /// a round placing `count` tasks can only reach factor
+    /// `⌈(min(count, |ups|) + 1)/ncom⌉` — so a low-`ncom` run never pays
+    /// the worst-case `⌈(p + 1)/ncom⌉ × p` fill up front.
+    memo: Vec<ChainScoreMemo>,
+    /// Row width (processor count) `memo` was laid out for; a mismatch
+    /// without an intervening `begin_run` (hand-driven tests) resets the
+    /// table instead of aliasing rows.
+    memo_width: usize,
+    /// Per-run dense copy of each processor's [`ScoreKernel`]: the four
+    /// scalars a score evaluation reads, without dragging the processor's
+    /// whole `ChainStats` (a scattered ~140-byte pull) through the cache on
+    /// every candidate. Rebuilt on a platform-size change and dropped by
+    /// `begin_run`; values are copies of `view.chains[i].kernel()`, so an
+    /// evaluation against them is bit-identical to one against the view.
+    kernels: Vec<ScoreKernel>,
 }
 
 impl GreedyScheduler {
@@ -131,8 +172,9 @@ impl GreedyScheduler {
             scores: Vec::new(),
             heap: Vec::new(),
             force_heap: false,
-            score0_delay: Vec::new(),
-            score0: Vec::new(),
+            memo: Vec::new(),
+            memo_width: 0,
+            kernels: Vec::new(),
         }
     }
 
@@ -160,25 +202,85 @@ impl GreedyScheduler {
     /// better* (maximizing objectives are negated).
     fn score(&self, view: &SchedView<'_>, idx: usize, n_q: usize, n_active: usize) -> f64 {
         let p = &view.procs[idx];
-        let chain = view.chain(idx);
+        // Hot path: the per-run dense kernel copy. Fall back to the view's
+        // ChainStats (identical values — the copy's source) when the cache
+        // is not warmed, e.g. for probe schedulers driven outside
+        // `place_into` in tests.
+        let kernel = match self.kernels.get(idx) {
+            Some(k) => *k,
+            None => view.chain(idx).kernel(),
+        };
         // [D13]: the candidate counts itself when newly enrolled.
         let n_active_incl = n_active + usize::from(n_q == 0);
         let eff = effective_t_data(view.t_data, self.contention, n_active_incl, view.ncom);
         let ct = completion_time(p, n_q + 1, eff);
         match self.objective {
             GreedyObjective::Mct => ct as f64,
-            GreedyObjective::Emct => chain.e_w(ct),
+            GreedyObjective::Emct => kernel.e_w(ct),
             GreedyObjective::Lw => {
                 // Maximize (P₊)^CT  ⇔  minimize −(P₊)^CT.
-                -(chain.p_plus().powf(ct as f64))
+                -(kernel.p_plus.powf(ct as f64))
             }
             GreedyObjective::Ud => {
                 // k = E(CT) rounded to whole slots (≥ 1), then the paper's
                 // closed-form P_UD approximation.
-                let k = chain.e_w(ct).round().max(1.0) as u64;
-                -chain.p_ud_approx(k)
+                let k = kernel.e_w(ct).round().max(1.0) as u64;
+                -kernel.p_ud_approx(k)
             }
         }
+    }
+
+    /// Whether the cross-slot memo pays for this objective. LW re-derives
+    /// a `powf` and UD a `pow_slots` per evaluation — tens of nanoseconds
+    /// a hit replays with one compare. MCT/EMCT scores are two or three
+    /// flops against the dense kernel, *cheaper than the memo lookup
+    /// itself*, so caching them only adds table traffic (measured as a net
+    /// slot-loop loss at p = 1024); they evaluate directly.
+    #[inline]
+    fn memo_pays(&self) -> bool {
+        matches!(self.objective, GreedyObjective::Lw | GreedyObjective::Ud)
+    }
+
+    /// [`Self::score`] through the cross-slot memo (see the module docs).
+    ///
+    /// `memo` is the scheduler's factor-major table (taken out of `self`
+    /// for the borrow), `factors` its row count — 0 when the memo is off
+    /// for this objective ([`Self::memo_pays`]). The memo key `(delay,
+    /// n_q)` plus the factor-indexed row capture every varying input of
+    /// `score` — chain, speed, `T_prog`, `T_data` and `ncom` are per-run
+    /// constants and `begin_run` drops the table — so a hit is
+    /// bit-identical to a recomputation.
+    #[inline]
+    fn memo_score(
+        &self,
+        memo: &mut [ChainScoreMemo],
+        factors: usize,
+        view: &SchedView<'_>,
+        idx: usize,
+        n_q: usize,
+        n_active: usize,
+    ) -> f64 {
+        if factors == 0 {
+            return self.score(view, idx, n_q, n_active);
+        }
+        let factor = if self.contention {
+            // [D13]: an unenrolled candidate counts itself.
+            let n_active_incl = n_active + usize::from(n_q == 0);
+            (n_active_incl.max(1) as u64).div_ceil(view.ncom as u64) as usize
+        } else {
+            1
+        };
+        debug_assert!(
+            (1..=factors).contains(&factor),
+            "Equation-(2) factor {factor} outside the memo's {factors} rows"
+        );
+        if factor > factors {
+            // Defensive: never alias another factor's entries.
+            return self.score(view, idx, n_q, n_active);
+        }
+        memo[(factor - 1) * view.p() + idx].get_or_eval(view.procs[idx].delay, n_q as u64, || {
+            self.score(view, idx, n_q, n_active)
+        })
     }
 }
 
@@ -194,17 +296,29 @@ fn heap_less(a: (f64, u32), b: (f64, u32)) -> bool {
     }
 }
 
+/// Heap arity. The workload is sift-down-heavy — every placement rescores
+/// the popped winner and every Equation-(2) refresh leaves repairs for the
+/// pops that follow — so a wide heap wins: with `d = 4` a sift touches
+/// `log₄ p` contiguous 64-byte child groups instead of `log₂ p` scattered
+/// cache lines (measured ~1.5× on the p = 1024 placement loop). Which
+/// valid heap shape stores the entries is unobservable: `heap_less` is a
+/// total order, its minimum is unique, so pops yield the same sequence at
+/// any arity.
+const HEAP_ARITY: usize = 4;
+
 /// Restores the min-heap property downward from slot `i`.
 fn sift_down(heap: &mut [(f64, u32)], mut i: usize) {
     loop {
-        let left = 2 * i + 1;
-        if left >= heap.len() {
+        let first = HEAP_ARITY * i + 1;
+        if first >= heap.len() {
             break;
         }
-        let mut child = left;
-        let right = left + 1;
-        if right < heap.len() && heap_less(heap[right], heap[left]) {
-            child = right;
+        let last = (first + HEAP_ARITY).min(heap.len());
+        let mut child = first;
+        for c in first + 1..last {
+            if heap_less(heap[c], heap[child]) {
+                child = c;
+            }
         }
         if heap_less(heap[child], heap[i]) {
             heap.swap(child, i);
@@ -217,8 +331,10 @@ fn sift_down(heap: &mut [(f64, u32)], mut i: usize) {
 
 /// Floyd heap construction, `O(n)`.
 fn heapify(heap: &mut [(f64, u32)]) {
-    for i in (0..heap.len() / 2).rev() {
-        sift_down(heap, i);
+    if heap.len() > 1 {
+        for i in (0..=(heap.len() - 2) / HEAP_ARITY).rev() {
+            sift_down(heap, i);
+        }
     }
 }
 
@@ -281,6 +397,23 @@ impl Selector {
             sift_down(heap, 0);
         }
     }
+
+    /// Rebuilds the heap from a wholesale-refreshed score row. Leaving the
+    /// entries stale is *sound* (see the module docs) but not free: every
+    /// stale entry that reaches the top costs a full repair sift, and an
+    /// Equation-(2) refresh stales all of them at once — measured at
+    /// hundreds of repair sifts per slot at p = 1024. One Floyd rebuild is
+    /// ~2 comparisons per entry over sequential memory and leaves every
+    /// subsequent pop valid on first try. The heap minimum is the same
+    /// either way, so decisions are untouched. The linear variant is
+    /// stateless.
+    fn refresh(&mut self, scores: &[f64]) {
+        if let Self::Heap(heap) = self {
+            heap.clear();
+            heap.extend(scores.iter().enumerate().map(|(pos, &s)| (s, pos as u32)));
+            heapify(heap);
+        }
+    }
 }
 
 impl Scheduler for GreedyScheduler {
@@ -289,10 +422,10 @@ impl Scheduler for GreedyScheduler {
     }
 
     fn begin_run(&mut self) {
-        // The initial-row score cache is keyed to the run's platform
-        // (chains, speeds); a new run invalidates it wholesale.
-        self.score0_delay.clear();
-        self.score0.clear();
+        // The score memo and the kernel copies are keyed to the run's
+        // platform (chains, speeds); a new run invalidates them wholesale.
+        self.memo.clear();
+        self.kernels.clear();
     }
 
     fn place_into(&mut self, view: &SchedView<'_>, count: usize, out: &mut Vec<ProcessorId>) {
@@ -308,25 +441,39 @@ impl Scheduler for GreedyScheduler {
         let mut n_q = std::mem::take(&mut self.n_q);
         n_q.clear();
         n_q.resize(view.p(), 0);
-        if self.score0_delay.len() != view.p() {
-            self.score0_delay.clear();
-            self.score0_delay.resize(view.p(), vg_des::SlotSpan::MAX);
-            self.score0.clear();
-            self.score0.resize(view.p(), 0.0);
+        // One memo row per Equation-(2) ceiling factor reachable *this
+        // round*: `n_active` counts enrolled UP processors, each placement
+        // enrolls at most one, and an unenrolled candidate sees
+        // `n_active + 1`, so the factor never exceeds
+        // ⌈(min(count, |ups|) + 1)/ncom⌉ (1 for the non-contended
+        // variants, whose ceiling never steps; 0 rows when the memo is off
+        // for this objective). Rows are factor-major and grow-only, so a
+        // later bigger round appends rows without disturbing the existing
+        // entries — and a run that never places large bursts never pays
+        // the worst-case ⌈(p + 1)/ncom⌉ × p fill.
+        let factors = if !self.memo_pays() {
+            0
+        } else if self.contention {
+            ((count.min(ups.len()) as u64 + 1).div_ceil(view.ncom as u64)) as usize
+        } else {
+            1
+        };
+        if self.memo_width != view.p() {
+            self.memo.clear();
+            self.memo_width = view.p();
         }
+        if self.memo.len() < factors * view.p() {
+            self.memo.resize(factors * view.p(), ChainScoreMemo::EMPTY);
+        }
+        if self.kernels.len() != view.p() {
+            self.kernels.clear();
+            self.kernels.extend(view.chains.iter().map(|c| c.kernel()));
+        }
+        let mut memo = std::mem::take(&mut self.memo);
         let mut scores = std::mem::take(&mut self.scores);
         scores.clear();
         for &i in &ups {
-            let delay = view.procs[i].delay;
-            let s = if self.score0_delay[i] == delay {
-                self.score0[i]
-            } else {
-                let s = self.score(view, i, 0, 0);
-                self.score0_delay[i] = delay;
-                self.score0[i] = s;
-                s
-            };
-            scores.push(s);
+            scores.push(self.memo_score(&mut memo, factors, view, i, 0, 0));
         }
         // Pick the selection strategy: a dense, branch-predictable linear
         // rescan costing O(u) per placement, or the lazy heap costing an
@@ -360,13 +507,18 @@ impl Scheduler for GreedyScheduler {
             if self.contention && newly_enrolled && ceiling_steps(n_active, view.ncom) {
                 // Equation (2): the new enrollee bumped a ⌈n_active/ncom⌉
                 // ceiling, inflating effective T_data — refresh the whole
-                // cache. (Between steps the factor — and hence every cached
-                // score — is bit-identical, so no refresh is needed.) Heap
-                // entries go stale and `select` repairs them lazily.
+                // cache, through the cross-slot memo (most candidates'
+                // (delay, n_q) keys repeat slot over slot, so the refresh
+                // is mostly single-compare hits). Heap entries go stale
+                // and `select` repairs them lazily.
                 for (pos, &i) in ups.iter().enumerate() {
-                    scores[pos] = self.score(view, i, n_q[i], n_active);
+                    scores[pos] = self.memo_score(&mut memo, factors, view, i, n_q[i], n_active);
                 }
+                selector.refresh(&scores);
             } else {
+                // Winner rescores bypass the memo: overwriting the winner's
+                // entry with a transient n_q would evict the refresh-keyed
+                // value the next slot's replay wants.
                 let s = self.score(view, best_idx, n_q[best_idx], n_active);
                 scores[best_pos] = s;
                 selector.rescore_winner(s);
@@ -376,6 +528,7 @@ impl Scheduler for GreedyScheduler {
             // Return the backing storage to the persistent scratch.
             self.heap = heap;
         }
+        self.memo = memo;
         self.ups = ups;
         self.n_q = n_q;
         self.scores = scores;

@@ -26,6 +26,29 @@ use crate::matrix::SquareMatrix;
 use serde::{Deserialize, Serialize};
 use vg_des::rng::StreamRng;
 
+/// Survival-style power `base^exp` for probability bases and slot-count
+/// exponents.
+///
+/// `f64::powi` takes an `i32`, so the previous `exp as i32` cast wrapped
+/// for `exp > i32::MAX`: a probability raised to a *negative* (or garbage)
+/// exponent blows up past 1 instead of underflowing toward 0. Slot counts
+/// are `u64` (a capped run can legitimately ask about horizons beyond
+/// `i32::MAX`), so exponents past the `powi` domain are routed through
+/// `powf`, which accepts the full `u64` range: the `exp as f64` rounding
+/// (at most 1 part in 2⁵³) is immaterial next to `powf`'s own error, and
+/// the result remains a valid probability for bases in `[0, 1]` — note it
+/// need *not* be near 0 (a base close enough to 1, e.g. `1 − 2⁻⁵³`, stays
+/// well above 0 even at these exponents), so the fallback must stay a real
+/// power, not a hard-coded underflow.
+#[inline]
+#[must_use]
+fn pow_slots(base: f64, exp: u64) -> f64 {
+    match i32::try_from(exp) {
+        Ok(e) => base.powi(e),
+        Err(_) => base.powf(exp as f64),
+    }
+}
+
 /// Processor availability state (Section 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ProcState {
@@ -299,7 +322,7 @@ impl AvailabilityChain {
         if w <= 1 {
             return 1.0;
         }
-        self.p_plus().powi((w - 1) as i32)
+        pow_slots(self.p_plus(), w - 1)
     }
 
     /// Exact `P_UD(k)`: probability of spending `k` consecutive slots without
@@ -340,7 +363,7 @@ impl AvailabilityChain {
             return if k == 2 { first } else { 0.0 };
         }
         let per_slot = 1.0 - (self.p_ud() * pi_u + self.p_rd() * pi_r) / live;
-        first * per_slot.powi((k - 2) as i32)
+        first * pow_slots(per_slot, k - 2)
     }
 
     // ------------------------------------------------------------------
@@ -449,12 +472,55 @@ impl AvailabilityChain {
 pub struct ChainStats {
     chain: AvailabilityChain,
     pi: [f64; 3],
-    p_plus: f64,
-    e_up: f64,
+    kernel: ScoreKernel,
+}
+
+/// The four cached scalars that every per-placement score evaluation
+/// actually reads, packed into 32 dense bytes.
+///
+/// [`ChainStats`] is ~140 bytes (the chain matrix, the stationary
+/// distribution, these factors); a scheduler scoring a thousand candidates
+/// per slot through `&[ChainStats]` pulls a whole scattered cache line per
+/// processor to use one or two of these numbers. Schedulers instead copy
+/// each processor's `ScoreKernel` into a dense per-run array once and
+/// evaluate against that — 4× less memory traffic on the hottest loop of
+/// the schedule phase. The evaluation methods here are the *single source
+/// of truth* for the Theorem-2 / Section-6.3.3 closed forms:
+/// [`ChainStats::e_w`] and [`ChainStats::p_ud_approx`] delegate to them,
+/// so a kernel evaluation is bit-identical to one through `ChainStats` by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreKernel {
+    /// Cached `P₊` (Lemma 1).
+    pub p_plus: f64,
+    /// Cached `E(up)` (Theorem 2 proof).
+    pub e_up: f64,
     /// First factor of the `P_UD` approximation: `1 − P_{u,d}`.
-    ud_first: f64,
+    pub ud_first: f64,
     /// Per-slot survival factor of the `P_UD` approximation.
-    ud_per_slot: f64,
+    pub ud_per_slot: f64,
+}
+
+impl ScoreKernel {
+    /// `E(W)` via the cached `E(up)`: `1 + (W−1)·E(up)` (Theorem 2).
+    #[inline]
+    #[must_use]
+    pub fn e_w(&self, w: u64) -> f64 {
+        if w == 0 {
+            return 0.0;
+        }
+        1.0 + (w as f64 - 1.0) * self.e_up
+    }
+
+    /// The paper's `P_UD(k)` approximation using the cached factors.
+    #[inline]
+    #[must_use]
+    pub fn p_ud_approx(&self, k: u64) -> f64 {
+        if k <= 1 {
+            return 1.0;
+        }
+        self.ud_first * pow_slots(self.ud_per_slot, k - 2)
+    }
 }
 
 impl ChainStats {
@@ -474,10 +540,12 @@ impl ChainStats {
         Self {
             chain,
             pi,
-            p_plus,
-            e_up,
-            ud_first,
-            ud_per_slot,
+            kernel: ScoreKernel {
+                p_plus,
+                e_up,
+                ud_first,
+                ud_per_slot,
+            },
         }
     }
 
@@ -485,6 +553,14 @@ impl ChainStats {
     #[must_use]
     pub fn chain(&self) -> &AvailabilityChain {
         &self.chain
+    }
+
+    /// The dense per-placement evaluation kernel (copy it into a per-run
+    /// array for hot loops — see [`ScoreKernel`]).
+    #[inline]
+    #[must_use]
+    pub fn kernel(&self) -> ScoreKernel {
+        self.kernel
     }
 
     /// `P_{u,u}` (Random1's weight).
@@ -505,34 +581,82 @@ impl ChainStats {
     #[inline]
     #[must_use]
     pub fn p_plus(&self) -> f64 {
-        self.p_plus
+        self.kernel.p_plus
     }
 
     /// Cached `E(up)`.
     #[inline]
     #[must_use]
     pub fn e_up(&self) -> f64 {
-        self.e_up
+        self.kernel.e_up
     }
 
     /// `E(W)` via the cached `E(up)`: `1 + (W−1)·E(up)` (Theorem 2).
     #[inline]
     #[must_use]
     pub fn e_w(&self, w: u64) -> f64 {
-        if w == 0 {
-            return 0.0;
-        }
-        1.0 + (w as f64 - 1.0) * self.e_up
+        self.kernel.e_w(w)
     }
 
     /// The paper's `P_UD(k)` approximation using the cached factors.
     #[inline]
     #[must_use]
     pub fn p_ud_approx(&self, k: u64) -> f64 {
-        if k <= 1 {
-            return 1.0;
+        self.kernel.p_ud_approx(k)
+    }
+}
+
+/// One slot of the schedule phase's **Eq.-(2)/Theorem-2 score cache**.
+///
+/// The greedy heuristics of Section 6.3 evaluate, thousands of times per
+/// simulated slot, a placement score that is a pure function of a
+/// processor's chain statistics and speed (run constants) and three
+/// integers: the processor's snapshot `delay`, the number of tasks already
+/// assigned to it in the current round (`n_q`), and the Equation-(2)
+/// ceiling factor `⌈n_active/ncom⌉` baked into the effective `T_data`.
+/// Callers keep one `ChainScoreMemo` per *(processor, ceiling factor)* and
+/// key each slot by `(delay, n_q)`: a hit replays the cached evaluation
+/// bit-for-bit (the closed forms of Theorem 2 / Section 6.3.3 are pure), a
+/// miss recomputes and overwrites. Entries are invalidated naturally —
+/// the key changes or a different factor's slot is consulted — exactly
+/// when the ceiling steps or the processor's pipeline delay moves, so no
+/// explicit flush is needed within a run. Callers must still drop the
+/// whole table between runs (chain statistics and speeds change).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainScoreMemo {
+    /// Snapshot delay the cached score was computed at.
+    delay: u64,
+    /// `n_q` (tasks already on the processor) it was computed at.
+    n_q: u64,
+    /// The cached evaluation.
+    score: f64,
+}
+
+impl ChainScoreMemo {
+    /// An empty slot; never hits (no real snapshot carries this key).
+    pub const EMPTY: Self = Self {
+        delay: u64::MAX,
+        n_q: u64::MAX,
+        score: 0.0,
+    };
+
+    /// The cached score for `(delay, n_q)`, or the result of `eval`
+    /// (stored for next time) on a key mismatch. `eval` must be the same
+    /// pure function on every call for a given processor and factor.
+    #[inline]
+    pub fn get_or_eval(&mut self, delay: u64, n_q: u64, eval: impl FnOnce() -> f64) -> f64 {
+        if self.delay != delay || self.n_q != n_q {
+            self.score = eval();
+            self.delay = delay;
+            self.n_q = n_q;
         }
-        self.ud_first * self.ud_per_slot.powi((k - 2) as i32)
+        self.score
+    }
+}
+
+impl Default for ChainScoreMemo {
+    fn default() -> Self {
+        Self::EMPTY
     }
 }
 
@@ -803,6 +927,75 @@ mod tests {
         for k in [3u64, 5] {
             assert!((c.p_ud_exact(k) - c.p_ud_approx(k)).abs() < 0.03, "k={k}");
         }
+    }
+
+    #[test]
+    fn p_ud_approx_survives_exponents_past_i32_max() {
+        // Regression: `powi((k - 2) as i32)` wrapped for k − 2 > i32::MAX,
+        // turning the per-slot survival factor into a *negative*-exponent
+        // power — a "probability" far above 1. Large k must instead
+        // underflow toward 0 (the chain has a nonzero per-slot death rate).
+        let c = chain();
+        let stats = ChainStats::new(c.clone());
+        let last_powi = 2 + i32::MAX as u64; // exponent exactly i32::MAX
+        let first_powf = last_powi + 1; // exponent i32::MAX + 1: wrapped before
+        for k in [last_powi, first_powf, u64::MAX] {
+            for v in [c.p_ud_approx(k), stats.p_ud_approx(k)] {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "P_UD({k}) = {v} is not a probability"
+                );
+                assert!(v <= c.p_ud_approx(3), "P_UD({k}) = {v} not decreasing");
+            }
+            assert_eq!(c.p_ud_approx(k), stats.p_ud_approx(k), "k={k}");
+        }
+        // This chain's survival factor is < 1, so the tail is exactly 0.
+        assert_eq!(c.p_ud_approx(first_powf), 0.0);
+    }
+
+    #[test]
+    fn success_prob_survives_exponents_past_i32_max() {
+        // Same wrap through `(w − 1) as i32`.
+        let c = chain();
+        for w in [1 + i32::MAX as u64, 2 + i32::MAX as u64, u64::MAX] {
+            let v = c.success_prob(w);
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "success_prob({w}) = {v} is not a probability"
+            );
+            assert!(v <= c.success_prob(2) + 1e-15, "not decreasing at {w}");
+        }
+    }
+
+    #[test]
+    fn chain_score_memo_replays_and_invalidates() {
+        let mut memo = ChainScoreMemo::default();
+        let mut evals = 0u32;
+        let eval = |d: u64, n: u64| (d * 10 + n) as f64;
+        // First consult computes; an identical key replays without eval.
+        let a = memo.get_or_eval(3, 1, || {
+            evals += 1;
+            eval(3, 1)
+        });
+        let b = memo.get_or_eval(3, 1, || {
+            evals += 1;
+            eval(3, 1)
+        });
+        assert_eq!(a, b);
+        assert_eq!(evals, 1);
+        // Either key component moving invalidates.
+        let c = memo.get_or_eval(4, 1, || {
+            evals += 1;
+            eval(4, 1)
+        });
+        assert_eq!(c, 41.0);
+        let d = memo.get_or_eval(4, 2, || {
+            evals += 1;
+            eval(4, 2)
+        });
+        assert_eq!(d, 42.0);
+        assert_eq!(evals, 3);
+        assert_eq!(ChainScoreMemo::default(), ChainScoreMemo::EMPTY);
     }
 
     #[test]

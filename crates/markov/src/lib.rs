@@ -51,6 +51,8 @@ pub mod estimate;
 pub mod matrix;
 pub mod semi_markov;
 
-pub use availability::{AvailabilityChain, AvailabilityStream, ChainStats, ProcState};
+pub use availability::{
+    AvailabilityChain, AvailabilityStream, ChainScoreMemo, ChainStats, ProcState, ScoreKernel,
+};
 pub use chain::{ChainError, MarkovChain};
 pub use matrix::{MatrixError, SquareMatrix};

@@ -142,6 +142,31 @@ pub struct PlatformConfig {
     pub ncom: usize,
 }
 
+/// Upper bound on the platform size: processor identities are dense `u32`
+/// indices ([`crate::ProcessorId`]), and the simulator builds scheduler
+/// snapshots with `ProcessorId(q as u32)` — a platform with more
+/// processors would silently truncate ids into aliases. The bound is
+/// enforced once by [`PlatformConfig::validate`] (every simulation entry
+/// point validates), so downstream casts are infallible.
+pub const MAX_PROCESSORS: usize = u32::MAX as usize;
+
+/// Validates a processor count against `1..=`[`MAX_PROCESSORS`].
+///
+/// Factored out of [`PlatformConfig::validate`] so the upper bound is
+/// testable without materializing four billion processor configs.
+pub fn validate_processor_count(p: usize) -> Result<(), ConfigError> {
+    if p == 0 {
+        return Err(ConfigError("platform has no processors".into()));
+    }
+    if p > MAX_PROCESSORS {
+        return Err(ConfigError(format!(
+            "{p} processors exceed the maximum of {MAX_PROCESSORS} \
+             (processor ids are u32 indices)"
+        )));
+    }
+    Ok(())
+}
+
 impl PlatformConfig {
     /// Number of processors `p`.
     #[must_use]
@@ -151,9 +176,7 @@ impl PlatformConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.processors.is_empty() {
-            return Err(ConfigError("platform has no processors".into()));
-        }
+        validate_processor_count(self.processors.len())?;
         if self.ncom == 0 {
             return Err(ConfigError("ncom must be ≥ 1".into()));
         }
@@ -275,6 +298,21 @@ mod tests {
             ncom: 0,
         };
         assert!(no_channels.validate().is_err());
+    }
+
+    #[test]
+    fn processor_count_bounded_by_u32_ids() {
+        // Regression for the silent `ProcessorId(q as u32)` truncation: the
+        // count check must reject anything past MAX_PROCESSORS (tested on
+        // the factored-out check — four billion configs don't fit in a
+        // test).
+        assert!(validate_processor_count(1).is_ok());
+        assert!(validate_processor_count(MAX_PROCESSORS).is_ok());
+        assert!(validate_processor_count(0).is_err());
+        if let Some(too_many) = MAX_PROCESSORS.checked_add(1) {
+            let err = validate_processor_count(too_many).unwrap_err();
+            assert!(err.0.contains("u32"), "unhelpful message: {err}");
+        }
     }
 
     #[test]

@@ -19,7 +19,8 @@ pub mod trace;
 pub mod trace_io;
 
 pub use config::{
-    AppConfig, AvailabilityModelConfig, ConfigError, PlatformConfig, ProcessorConfig,
+    validate_processor_count, AppConfig, AvailabilityModelConfig, ConfigError, PlatformConfig,
+    ProcessorConfig, MAX_PROCESSORS,
 };
 pub use network::{BandwidthLedger, TransferKind};
 pub use processor::{ProcessorId, ProcessorSpec};

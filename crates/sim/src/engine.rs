@@ -67,6 +67,27 @@
 //! worker's cold fields through the cache. The
 //! `crates/sim/tests/soa_equivalence.rs` grid pins the two layouts to
 //! byte-identical [`SimReport`]s across all 17 heuristics.
+//!
+//! ## Incremental snapshots and exact-location cancellation
+//!
+//! Two per-slot `O(p)` walks are avoided by bookkeeping:
+//!
+//! * **Scheduler snapshots are patched, not rebuilt.** The store tracks a
+//!   per-worker dirty bit (see the [`WorkerStore`] dirty-bit contract) set
+//!   by every mutation a snapshot can observe; `snapshot_procs` rewrites
+//!   the persistent buffer's states and recomputes `delay`/`has_program`
+//!   only for dirty workers. The AoS oracle opts out
+//!   ([`WorkerStore::INCREMENTAL_SNAPSHOTS`]) and rebuilds from scratch,
+//!   so the equivalence grid cross-checks the two paths; debug builds also
+//!   assert patched ≡ rebuilt at every consult.
+//! * **Sibling cancellation visits only the workers that hold copies.**
+//!   A completed task's remaining copies are located from the iteration
+//!   state (the pinned original), the bind order (still-bound copies) and
+//!   an exact-count early-exit scan for pinned replicas, instead of
+//!   scanning every worker per completion (`O(p)` per completed task was
+//!   ~27% of slot cost at `p = 1024`); debug builds re-scan and assert
+//!   nothing survived.
+//!
 //! The only remaining steady-state allocations are inside a recorded
 //! [`Timeline`] (opt-in via [`SimOptions::record_timeline`], one push per
 //! worker-slot) — campaigns leave it off. The `alloc-counter` test harness
@@ -75,7 +96,7 @@
 
 use vg_core::view::{ProcSnapshot, SchedView};
 use vg_core::Scheduler;
-use vg_des::Slot;
+use vg_des::{Slot, SlotSpan};
 use vg_markov::availability::{ChainStats, ProcState};
 use vg_platform::network::{BandwidthLedger, TransferKind};
 use vg_platform::source::{AvailabilitySource, SharedTraceMatrix};
@@ -83,7 +104,7 @@ use vg_platform::{AppConfig, ConfigError, PlatformConfig, ProcessorId};
 
 use crate::report::{Counters, SimReport};
 use crate::store::{AosWorkers, WorkerSoA, WorkerStore};
-use crate::task::{CopyId, IterationState, TaskId};
+use crate::task::{CopyId, IterationState, OriginalState, TaskId};
 use crate::timeline::{Activity, SlotMarks, Timeline};
 use crate::worker::{ComputeState, TransferState};
 
@@ -140,9 +161,29 @@ pub mod phase_profile {
         AtomicU64::new(0),
     ];
 
+    /// Display names of the schedule sub-phases, index-aligned with
+    /// [`SUB`].
+    pub const SUB_NAMES: [&str; 4] = ["snapshot", "pool_place", "mask+cands", "replica_place"];
+
+    /// Cumulative nanoseconds of the schedule phase's sub-parts: the
+    /// snapshot consult, the pool (originals) placement, the free-mask +
+    /// replica-candidate scans, and the replica placement. Together they
+    /// partition (almost all of) the `schedule` entry of [`NANOS`] — the
+    /// split that told this codebase the Eq.-(2)/Theorem-2 score
+    /// evaluations, not the snapshot walk, dominated at `p = 1024`.
+    pub static SUB: [AtomicU64; 4] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
     /// Zeroes every accumulator.
     pub fn reset() {
         for n in &NANOS {
+            n.store(0, Ordering::Relaxed);
+        }
+        for n in &SUB {
             n.store(0, Ordering::Relaxed);
         }
     }
@@ -152,7 +193,28 @@ pub mod phase_profile {
     pub fn snapshot() -> [u64; 6] {
         std::array::from_fn(|i| NANOS[i].load(Ordering::Relaxed))
     }
+
+    /// Reads the schedule sub-phase accumulators.
+    #[must_use]
+    pub fn sub_snapshot() -> [u64; 4] {
+        std::array::from_fn(|i| SUB[i].load(Ordering::Relaxed))
+    }
 }
+
+/// Snapshot `delay` written for processors that are not `UP`.
+///
+/// Schedulers never read it — every heuristic restricts placement (and
+/// scoring) to `UP` processors — so release builds keep the cheap 0.
+/// Debug builds **poison** it instead: a future heuristic that does score
+/// a non-UP worker would otherwise silently treat a DOWN machine as
+/// zero-delay and prefer it; with the poison, `completion_time`'s
+/// `debug_assert` (and, failing that, the `delay + …` overflow check)
+/// aborts the run loudly.
+const NON_UP_DELAY: SlotSpan = if cfg!(debug_assertions) {
+    SlotSpan::MAX
+} else {
+    0
+};
 
 /// A pending channel request during phase 4.
 #[derive(Debug, Clone, Copy)]
@@ -170,8 +232,16 @@ enum Request {
 /// the allocator (see the module docs).
 #[derive(Debug, Default)]
 struct SlotScratch {
-    /// Scheduler-visible snapshots, rebuilt in place each slot.
+    /// Scheduler-visible snapshots. **Persistent across slots**: with an
+    /// incremental store ([`WorkerStore::INCREMENTAL_SNAPSHOTS`]) the
+    /// buffer is patched in place — states rewritten, `delay` /
+    /// `has_program` recomputed only for dirty workers — instead of being
+    /// rebuilt; the oracle layout rebuilds it from scratch every consult.
     procs: Vec<ProcSnapshot>,
+    /// Whether `procs` holds a patchable snapshot of the *current run*.
+    /// Reset at run start (an arena reuses this scratch across runs and
+    /// platforms), forcing the first consult to rebuild fully.
+    procs_valid: bool,
     /// Schedulable original tasks (phase 3).
     pool: Vec<TaskId>,
     /// Replica candidates (phase 3).
@@ -205,6 +275,7 @@ impl SlotScratch {
     fn with_capacity(p: usize, m: usize) -> Self {
         Self {
             procs: Vec::with_capacity(p),
+            procs_valid: false,
             pool: Vec::with_capacity(m),
             cands: Vec::with_capacity(m),
             placements: Vec::with_capacity(m.max(p)),
@@ -467,6 +538,9 @@ impl SimArena {
         self.bind_order.clear();
         self.slot_marks.clear();
         self.slot_marks.resize(p, SlotMarks::default());
+        // The snapshot buffer may hold another run's platform; the first
+        // consult must rebuild it fully.
+        self.scratch.procs_valid = false;
 
         let mut sim = Simulation {
             app: *app,
@@ -794,9 +868,21 @@ impl<S: WorkerStore> Simulation<S> {
         }
     }
 
-    /// Rebuilds the scheduler's snapshot buffer for the current slot
-    /// (\[D1\]: states of the current slot are observable; nothing about the
-    /// future is). The per-run `chains` slice completes the view.
+    /// Brings the scheduler's snapshot buffer up to date for the current
+    /// slot (\[D1\]: states of the current slot are observable; nothing
+    /// about the future is). The per-run `chains` slice completes the view.
+    ///
+    /// With an incremental store ([`WorkerStore::INCREMENTAL_SNAPSHOTS`])
+    /// the persistent buffer is **patched in place**: states are rewritten
+    /// for every worker (they change every slot, and the replica path masks
+    /// them after use), while the `delay` walk and `has_program` are
+    /// recomputed only for workers whose dirty bit says their pipeline
+    /// changed since the last consult — `Delay(q)` is a pure function of
+    /// the pipeline fields, so a clean worker's cached delay is exact. Dirty
+    /// bits are sticky across unconsulted slots, so the consult can stay
+    /// lazy. The oracle layout ([`crate::AosWorkers`]) rebuilds from
+    /// scratch every time, and debug builds cross-check the two against
+    /// each other field for field.
     fn snapshot_procs(&mut self) {
         let Self {
             workers,
@@ -804,22 +890,65 @@ impl<S: WorkerStore> Simulation<S> {
             app,
             ..
         } = self;
-        scratch.procs.clear();
-        scratch
-            .procs
-            .extend((0..workers.len()).map(|q| ProcSnapshot {
+        let p = workers.len();
+        if S::INCREMENTAL_SNAPSHOTS && scratch.procs_valid && scratch.procs.len() == p {
+            for (q, snap) in scratch.procs.iter_mut().enumerate() {
+                let state = workers.state(q);
+                snap.state = state;
+                if workers.snapshot_dirty(q) {
+                    snap.has_program = workers.has_program(q, app.t_prog);
+                    // Schedulers only place on (and only read the delay of)
+                    // UP processors, so the pipeline walk is skipped for
+                    // the rest (see NON_UP_DELAY).
+                    snap.delay = if state == ProcState::Up {
+                        workers.delay_estimate(q, app.t_prog, app.t_data)
+                    } else {
+                        NON_UP_DELAY
+                    };
+                }
+            }
+        } else {
+            scratch.procs.clear();
+            scratch.procs.extend((0..p).map(|q| {
+                let state = workers.state(q);
+                ProcSnapshot {
+                    // q < u32::MAX: PlatformConfig::validate bounds the
+                    // platform by MAX_PROCESSORS at construction.
+                    id: ProcessorId(q as u32),
+                    state,
+                    w: workers.w(q),
+                    has_program: workers.has_program(q, app.t_prog),
+                    delay: if state == ProcState::Up {
+                        workers.delay_estimate(q, app.t_prog, app.t_data)
+                    } else {
+                        NON_UP_DELAY
+                    },
+                }
+            }));
+            scratch.procs_valid = true;
+        }
+        workers.clear_snapshot_dirty();
+        #[cfg(debug_assertions)]
+        for q in 0..p {
+            // Incremental-vs-full oracle: every consult must equal a
+            // from-scratch rebuild, or a mutator skipped its dirty bit.
+            let state = workers.state(q);
+            let expect = ProcSnapshot {
                 id: ProcessorId(q as u32),
-                state: workers.state(q),
+                state,
                 w: workers.w(q),
                 has_program: workers.has_program(q, app.t_prog),
-                // Schedulers only place on (and only read the delay of) UP
-                // processors, so the pipeline walk is skipped for the rest.
-                delay: if workers.state(q) == ProcState::Up {
+                delay: if state == ProcState::Up {
                     workers.delay_estimate(q, app.t_prog, app.t_data)
                 } else {
-                    0
+                    NON_UP_DELAY
                 },
-            }));
+            };
+            debug_assert_eq!(
+                scratch.procs[q], expect,
+                "incremental snapshot diverged from a full rebuild on worker {q}"
+            );
+        }
     }
 
     /// Binds `copy` to worker `widx` if legal; immediately pins zero-length
@@ -858,6 +987,24 @@ impl<S: WorkerStore> Simulation<S> {
     }
 
     fn phase_schedule(&mut self) {
+        #[cfg(feature = "phase-profile")]
+        macro_rules! sub {
+            ($idx:expr, $e:expr) => {{
+                let t = std::time::Instant::now();
+                let r = $e;
+                phase_profile::SUB[$idx].fetch_add(
+                    t.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                r
+            }};
+        }
+        #[cfg(not(feature = "phase-profile"))]
+        macro_rules! sub {
+            ($idx:expr, $e:expr) => {
+                $e
+            };
+        }
         self.bind_order.clear();
         // Snapshots are only consulted by `place_into`; most steady-state
         // slots have an empty pool AND nothing to replicate, so they are
@@ -868,10 +1015,10 @@ impl<S: WorkerStore> Simulation<S> {
         // Originals first (strict priority, Section 6.1).
         self.iter.pool_tasks_into(&mut self.scratch.pool);
         if !self.scratch.pool.is_empty() {
-            self.snapshot_procs();
+            sub!(0, self.snapshot_procs());
             have_snapshot = true;
             let count = self.scratch.pool.len();
-            {
+            sub!(1, {
                 let Self {
                     scratch,
                     scheduler,
@@ -889,7 +1036,7 @@ impl<S: WorkerStore> Simulation<S> {
                 };
                 scratch.placements.clear();
                 scheduler.place_into(&view, count, &mut scratch.placements);
-            }
+            });
             let placed = self.scratch.placements.len().min(count);
             for k in 0..placed {
                 let task = self.scratch.pool[k];
@@ -905,7 +1052,7 @@ impl<S: WorkerStore> Simulation<S> {
         // Replication: idle UP workers receive replicas of the least
         // replicated unfinished tasks (≤ max_extra_replicas each).
         if self.options.replication && !self.iter.is_complete() {
-            let n_free = {
+            let n_free = sub!(2, {
                 let Self {
                     workers, scratch, ..
                 } = self;
@@ -917,17 +1064,31 @@ impl<S: WorkerStore> Simulation<S> {
                     free
                 }));
                 n
-            };
+            });
             if n_free > 0 {
-                self.iter.replica_candidates_into(
-                    self.options.max_extra_replicas,
-                    &mut self.scratch.cands,
+                sub!(
+                    2,
+                    self.iter.replica_candidates_into(
+                        self.options.max_extra_replicas,
+                        &mut self.scratch.cands,
+                    )
                 );
                 let k = self.scratch.cands.len().min(n_free);
                 if k > 0 {
-                    {
+                    if !have_snapshot {
+                        // The pool was empty, so nothing refreshed the
+                        // snapshot yet this slot. Incremental stores patch
+                        // the persistent buffer (cheap: only dirty
+                        // workers); the oracle layout rebuilds it. Either
+                        // way the values a scheduler can read below are
+                        // identical to the old direct masked build — a
+                        // *free* worker is completely idle, so its full
+                        // `delay_estimate` collapses to the program
+                        // remainder.
+                        sub!(0, self.snapshot_procs());
+                    }
+                    sub!(3, {
                         let Self {
-                            workers,
                             scratch,
                             scheduler,
                             chains,
@@ -935,57 +1096,33 @@ impl<S: WorkerStore> Simulation<S> {
                             ledger,
                             ..
                         } = self;
-                        if have_snapshot {
-                            // Restrict the heuristic's choice to the free
-                            // workers by masking everyone else as non-UP — in
-                            // place: the snapshots were built this slot and
-                            // are rebuilt next slot, so no second view
-                            // construction and no restore.
-                            for (i, p) in scratch.procs.iter_mut().enumerate() {
-                                if !scratch.free[i] {
-                                    p.state = ProcState::Reclaimed;
-                                }
+                        let SlotScratch {
+                            procs,
+                            free,
+                            placements,
+                            ..
+                        } = scratch;
+                        // Restrict the heuristic's choice to the free
+                        // workers by masking everyone else as non-UP — in
+                        // place: states are rewritten from the store at the
+                        // next consult, so no restore pass is needed, and
+                        // masked workers' delays are unread (schedulers
+                        // only score UP processors).
+                        for (i, pr) in procs.iter_mut().enumerate() {
+                            if !free[i] {
+                                pr.state = ProcState::Reclaimed;
                             }
-                        } else {
-                            // The pool was empty: no full snapshot exists, and
-                            // the masked view only ever exposes *free* workers
-                            // anyway. Free means completely idle, so the
-                            // pipeline delay collapses to the program
-                            // remainder — build the masked snapshot directly
-                            // in one cheap pass. Bit-identical to
-                            // snapshot-then-mask: for an idle worker
-                            // `delay_estimate` returns exactly
-                            // `t_prog − prog_done`, and masked workers differ
-                            // only in fields no scheduler reads.
-                            scratch.procs.clear();
-                            scratch.procs.extend(scratch.free.iter().enumerate().map(
-                                |(q, &free)| ProcSnapshot {
-                                    id: ProcessorId(q as u32),
-                                    state: if free {
-                                        ProcState::Up
-                                    } else {
-                                        ProcState::Reclaimed
-                                    },
-                                    w: workers.w(q),
-                                    has_program: workers.has_program(q, app.t_prog),
-                                    delay: if free {
-                                        app.t_prog.saturating_sub(workers.prog_done(q))
-                                    } else {
-                                        0
-                                    },
-                                },
-                            ));
                         }
                         let view = SchedView {
-                            procs: &scratch.procs,
+                            procs,
                             chains,
                             t_prog: app.t_prog,
                             t_data: app.t_data,
                             ncom: ledger.ncom(),
                         };
-                        scratch.placements.clear();
-                        scheduler.place_into(&view, k, &mut scratch.placements);
-                    }
+                        placements.clear();
+                        scheduler.place_into(&view, k, placements);
+                    });
                     let placed = self.scratch.placements.len().min(k);
                     for j in 0..placed {
                         let task = self.scratch.cands[j];
@@ -1002,6 +1139,7 @@ impl<S: WorkerStore> Simulation<S> {
 
     fn phase_transfers(&mut self) {
         self.ledger.open_slot();
+        let record = self.timeline.is_some();
         let t_prog = self.app.t_prog;
         let t_data = self.app.t_data;
 
@@ -1088,7 +1226,9 @@ impl<S: WorkerStore> Simulation<S> {
                         }
                         self.workers.set_prog_done(widx, done + 1);
                         self.counters.prog_channel_slots += 1;
-                        self.slot_marks[widx].recv_prog = true;
+                        if record {
+                            self.slot_marks[widx].recv_prog = true;
+                        }
                         if self.workers.has_program(widx, t_prog) {
                             self.counters.programs_delivered += 1;
                         }
@@ -1103,7 +1243,9 @@ impl<S: WorkerStore> Simulation<S> {
                         tr.done += 1;
                         self.workers.set_transfer(widx, Some(tr));
                         self.counters.data_channel_slots += 1;
-                        self.slot_marks[widx].recv_data = true;
+                        if record {
+                            self.slot_marks[widx].recv_data = true;
+                        }
                     }
                 }
                 Request::DataNew { widx, copy } => {
@@ -1118,7 +1260,9 @@ impl<S: WorkerStore> Simulation<S> {
                             }),
                         );
                         self.counters.data_channel_slots += 1;
-                        self.slot_marks[widx].recv_data = true;
+                        if record {
+                            self.slot_marks[widx].recv_data = true;
+                        }
                         if copy.is_original() {
                             self.iter.pin_original(copy.task, widx);
                         } else {
@@ -1133,26 +1277,33 @@ impl<S: WorkerStore> Simulation<S> {
 
     fn phase_compute(&mut self) {
         {
+            let record = self.timeline.is_some();
+            #[cfg(debug_assertions)]
+            let t_prog = self.app.t_prog;
             let Self {
                 workers,
                 scratch,
                 slot_marks,
-                app,
                 ..
             } = self;
             scratch.completions.clear();
-            for (widx, mark) in slot_marks.iter_mut().enumerate().take(workers.len()) {
-                if workers.state(widx) != ProcState::Up {
+            #[allow(clippy::needless_range_loop)] // slot_marks writes are rare (timeline off)
+            for widx in 0..workers.len() {
+                // The occupancy byte rejects idle workers without touching
+                // the fat computing column; a busy-but-not-computing worker
+                // falls out of tick_compute's None.
+                if !workers.busy(widx) || workers.state(widx) != ProcState::Up {
                     continue;
                 }
-                if let Some(mut c) = workers.computing(widx) {
-                    debug_assert!(workers.prog_done(widx) >= app.t_prog);
-                    c.done += 1;
-                    mark.computed = true;
-                    if c.done == workers.w(widx) {
-                        scratch.completions.push((widx, c.copy));
+                if let Some((copy, finished)) = workers.tick_compute(widx) {
+                    #[cfg(debug_assertions)]
+                    debug_assert!(workers.prog_done(widx) >= t_prog);
+                    if record {
+                        slot_marks[widx].computed = true;
                     }
-                    workers.set_computing(widx, Some(c));
+                    if finished {
+                        scratch.completions.push((widx, copy));
+                    }
                 }
             }
         }
@@ -1169,28 +1320,77 @@ impl<S: WorkerStore> Simulation<S> {
             self.workers.set_computing(widx, None);
             self.counters.copies_completed += 1;
             let task = copy.task;
+            // Capture the pinned original's worker *before* mark_completed
+            // erases it; the completing copy itself is already off its
+            // worker, so when the original just completed there is no
+            // pinned original left to cancel.
+            let orig_pinned = if copy.is_original() {
+                None
+            } else {
+                match self.iter.original_state(task) {
+                    OriginalState::Pinned { worker } => Some(worker),
+                    _ => None,
+                }
+            };
             let first = self.iter.mark_completed(task);
             debug_assert!(first, "siblings are canceled before they can re-complete");
             self.counters.tasks_completed += 1;
             if !copy.is_original() {
                 self.iter.drop_replica(task);
             }
-            self.cancel_siblings(task);
+            self.cancel_siblings(task, orig_pinned);
         }
     }
 
-    /// Cancels every remaining copy of a completed task, platform-wide.
-    fn cancel_siblings(&mut self, task: TaskId) {
+    /// Cancels every remaining copy of a completed task, platform-wide —
+    /// without the former full-platform scan per completion (`O(p)` per
+    /// completed task was ~27% of slot cost at `p = 1024`). Every copy's
+    /// location is recoverable:
+    ///
+    /// * the pinned **original**'s worker comes from
+    ///   [`IterationState::original_state`] (captured by the caller before
+    ///   `mark_completed` erased it);
+    /// * still-**bound** copies (transfer not begun) sit in `bind_order`
+    ///   with their worker; entries whose transfer began are skipped — the
+    ///   bound list no longer holds them — and found as pinned copies;
+    /// * pinned **replicas** carry no location record, but their exact
+    ///   count is `replicas_alive` minus the bound replicas just canceled,
+    ///   so the fallback scan stops as soon as that many are found — with
+    ///   replication off it never runs at all.
+    ///
+    /// Debug builds re-scan the whole platform afterwards and assert no
+    /// copy survived, pinning this accounting to the exhaustive semantics.
+    fn cancel_siblings(&mut self, task: TaskId, orig_pinned: Option<usize>) {
         let Self {
             workers,
             scratch,
             counters,
             iter,
+            bind_order,
             ..
         } = self;
         scratch.copies.clear();
-        for q in 0..workers.len() {
-            workers.cancel_task_into(q, task, &mut scratch.copies);
+        let replicas_total = usize::from(iter.replicas_alive(task));
+        if let Some(w) = orig_pinned {
+            workers.cancel_task_into(w, task, &mut scratch.copies);
+        }
+        for &(widx, bound_copy) in bind_order.iter() {
+            if bound_copy.task == task && workers.bound(widx).contains(&bound_copy) {
+                workers.cancel_task_into(widx, task, &mut scratch.copies);
+            }
+        }
+        let found_replicas = scratch.copies.iter().filter(|c| !c.is_original()).count();
+        let mut pinned_replicas_left = replicas_total.saturating_sub(found_replicas);
+        if pinned_replicas_left > 0 {
+            for q in 0..workers.len() {
+                let before = scratch.copies.len();
+                workers.cancel_task_into(q, task, &mut scratch.copies);
+                pinned_replicas_left =
+                    pinned_replicas_left.saturating_sub(scratch.copies.len() - before);
+                if pinned_replicas_left == 0 {
+                    break;
+                }
+            }
         }
         for &copy in &scratch.copies {
             counters.replicas_canceled += 1;
@@ -1201,7 +1401,14 @@ impl<S: WorkerStore> Simulation<S> {
         }
         // Also forget bind-order entries of the canceled copies so they do
         // not request channels later in this slot.
-        self.bind_order.retain(|&(_, c)| c.task != task);
+        bind_order.retain(|&(_, c)| c.task != task);
+        #[cfg(debug_assertions)]
+        for q in 0..workers.len() {
+            debug_assert!(
+                !workers.has_copy_of(q, task),
+                "cancel_siblings missed a copy of {task} on worker {q}"
+            );
+        }
     }
 
     /// Phase 6 (promotions) fused with the bind-dissolution half of phase 7

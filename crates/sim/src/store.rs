@@ -30,6 +30,11 @@
 //! allocations), which is what lets a warmed [`SimArena`](crate::SimArena)
 //! recycle the store across grow→shrink→grow platform sequences without
 //! per-worker bookkeeping.
+//!
+//! Both layouts also maintain the **snapshot dirty bit** the engine's
+//! incremental snapshot builder consumes — the exact contract (which
+//! mutations set it, which deliberately do not, and how resets behave) is
+//! documented on [`WorkerStore`] itself.
 
 use vg_des::{Slot, SlotSpan};
 use vg_markov::availability::ProcState;
@@ -44,7 +49,49 @@ use crate::worker::{ComputeState, TransferState, WorkerRuntime};
 /// [`WorkerRuntime`] field or method; implementations differ only in memory
 /// layout. The engine is generic (and monomorphized) over this trait, so
 /// both layouts compile to direct array accesses.
+///
+/// # Dirty-bit contract (incremental snapshots)
+///
+/// Every store tracks one **snapshot dirty bit per worker**, feeding the
+/// engine's incremental snapshot builder. The bit must be set by every
+/// mutation that can change what a scheduler snapshot observes of that
+/// worker — its state, program possession, or `Delay(q)`:
+///
+/// * a state transition ([`Self::set_states`], changed entries only — a
+///   worker that re-draws its current state is untouched);
+/// * program progress ([`Self::set_prog_done`], changed values only);
+/// * any pinned-pipeline mutation ([`Self::set_transfer`],
+///   [`Self::set_buffered`], [`Self::set_computing`]);
+/// * crash and cancellation cleanup ([`Self::crash_into`],
+///   [`Self::cancel_task_into`]) when they actually clear program progress
+///   or a pinned copy — a worker that stays `DOWN` is re-crashed every
+///   slot but only dirties on the first.
+///
+/// Mutations that snapshots cannot observe need **not** set the bit:
+/// [`Self::set_prog_began_at`] (a transfer-priority key, not a snapshot
+/// field) and the bound-list operations ([`Self::bound_push`],
+/// [`Self::bound_remove`], [`Self::drain_bound`] and bound-only
+/// cancellations) — `Delay(q)` deliberately excludes bound copies, whose
+/// placement the scheduler is re-deciding (\[D8\]). The bind→dissolve churn
+/// of the replica path therefore leaves otherwise-idle workers clean.
+///
+/// Bits are **sticky** until [`Self::clear_snapshot_dirty`] drains them
+/// (the engine consults snapshots lazily, so several slots of mutations
+/// may accumulate), and [`Self::reset_for`] marks every worker dirty
+/// (nothing about a fresh run is cached). The
+/// `crates/sim/tests/soa_equivalence.rs` grid and a per-consult debug
+/// assertion in the engine pin the contract: a missed bit shows up as an
+/// incremental-vs-full snapshot divergence.
 pub trait WorkerStore: Default + Send {
+    /// Whether the engine should build scheduler snapshots **incrementally**
+    /// from this store's dirty bits (patching only dirty workers in the
+    /// persistent snapshot buffer) or rebuild them from scratch at every
+    /// consult. The production [`WorkerSoA`] opts in; [`AosWorkers`] keeps
+    /// the full rebuild so `ReferenceSimulation` stays a genuine oracle for
+    /// the incremental path (its dirty bits are still maintained — the
+    /// contract above is layout-independent — just not consumed).
+    const INCREMENTAL_SNAPSHOTS: bool;
+
     /// Number of workers.
     fn len(&self) -> usize;
 
@@ -101,6 +148,20 @@ pub trait WorkerStore: Default + Send {
     /// Sets the computing state of worker `q`.
     fn set_computing(&mut self, q: usize, c: Option<ComputeState>);
 
+    /// Advances worker `q`'s computation by one UP-slot, if one is in
+    /// progress; returns the copy and whether it just reached `w_q` slots
+    /// (complete). Semantically `computing()` + `set_computing(done + 1)`
+    /// — the default does exactly that — but implementations can fuse the
+    /// read-modify-write into one column access: compute progress never
+    /// changes the occupancy, only the dirty bit.
+    fn tick_compute(&mut self, q: usize) -> Option<(CopyId, bool)> {
+        let mut c = self.computing(q)?;
+        c.done += 1;
+        let finished = c.done == self.w(q);
+        self.set_computing(q, Some(c));
+        Some((c.copy, finished))
+    }
+
     /// Copies bound to worker `q` this slot (transfers not yet begun).
     fn bound(&self, q: usize) -> &[CopyId];
 
@@ -144,6 +205,15 @@ pub trait WorkerStore: Default + Send {
     /// [`WorkerRuntime::cancel_task_into`].
     fn cancel_task_into(&mut self, q: usize, task: TaskId, removed: &mut Vec<CopyId>);
 
+    /// Whether worker `q` has a snapshot-visible mutation pending since the
+    /// last [`Self::clear_snapshot_dirty`] — see the trait-level dirty-bit
+    /// contract.
+    fn snapshot_dirty(&self, q: usize) -> bool;
+
+    /// Clears every worker's dirty bit (the snapshot consumer has caught
+    /// up).
+    fn clear_snapshot_dirty(&mut self);
+
     /// Structural pipeline invariants of worker `q` (debug builds).
     fn assert_invariants(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan);
 }
@@ -151,162 +221,198 @@ pub trait WorkerStore: Default + Send {
 /// The retained AoS layout: a plain `Vec<WorkerRuntime>`, every operation
 /// delegated to the original per-worker methods. This is the pre-SoA code
 /// path, kept as the bit-identity oracle (and for tests that want to poke a
-/// single worker's fields directly).
+/// single worker's fields directly). It maintains the trait's dirty bits —
+/// the contract is layout-independent — but opts out of incremental
+/// snapshot consumption, so `ReferenceSimulation` rebuilds every snapshot
+/// from scratch and genuinely cross-checks the incremental path.
 #[derive(Debug, Default)]
-pub struct AosWorkers(pub Vec<WorkerRuntime>);
+pub struct AosWorkers {
+    /// The workers, in processor order.
+    pub workers: Vec<WorkerRuntime>,
+    /// Snapshot dirty bits (see the [`WorkerStore`] contract).
+    dirty: Vec<bool>,
+}
 
 impl WorkerStore for AosWorkers {
+    const INCREMENTAL_SNAPSHOTS: bool = false;
+
     #[inline]
     fn len(&self) -> usize {
-        self.0.len()
+        self.workers.len()
     }
 
     fn reset_for<I>(&mut self, specs: I)
     where
         I: ExactSizeIterator<Item = ProcessorSpec>,
     {
-        self.0.truncate(specs.len());
+        let p = specs.len();
+        self.workers.truncate(p);
         let mut specs = specs;
-        for w in self.0.iter_mut() {
+        for w in self.workers.iter_mut() {
             w.reset(specs.next().expect("len checked"));
         }
         for spec in specs {
-            self.0.push(WorkerRuntime::new(spec));
+            self.workers.push(WorkerRuntime::new(spec));
         }
+        refill(&mut self.dirty, p, true);
     }
 
     #[inline]
     fn w(&self, q: usize) -> SlotSpan {
-        self.0[q].spec.w
+        self.workers[q].spec.w
     }
 
     #[inline]
     fn state(&self, q: usize) -> ProcState {
-        self.0[q].state
+        self.workers[q].state
     }
 
     #[inline]
     fn set_states(&mut self, states: &[ProcState]) {
-        for (w, &s) in self.0.iter_mut().zip(states) {
-            w.state = s;
+        for (q, (w, &s)) in self.workers.iter_mut().zip(states).enumerate() {
+            if w.state != s {
+                w.state = s;
+                self.dirty[q] = true;
+            }
         }
     }
 
     #[inline]
     fn prog_done(&self, q: usize) -> SlotSpan {
-        self.0[q].prog_done
+        self.workers[q].prog_done
     }
 
     #[inline]
     fn set_prog_done(&mut self, q: usize, v: SlotSpan) {
-        self.0[q].prog_done = v;
+        if self.workers[q].prog_done != v {
+            self.workers[q].prog_done = v;
+            self.dirty[q] = true;
+        }
     }
 
     #[inline]
     fn prog_began_at(&self, q: usize) -> Slot {
-        self.0[q].prog_began_at
+        self.workers[q].prog_began_at
     }
 
     #[inline]
     fn set_prog_began_at(&mut self, q: usize, v: Slot) {
-        self.0[q].prog_began_at = v;
+        // Not a snapshot field (transfer-priority bookkeeping): no dirty.
+        self.workers[q].prog_began_at = v;
     }
 
     #[inline]
     fn transfer(&self, q: usize) -> Option<TransferState> {
-        self.0[q].transfer
+        self.workers[q].transfer
     }
 
     #[inline]
     fn set_transfer(&mut self, q: usize, t: Option<TransferState>) {
-        self.0[q].transfer = t;
+        self.workers[q].transfer = t;
+        self.dirty[q] = true;
     }
 
     #[inline]
     fn buffered(&self, q: usize) -> Option<CopyId> {
-        self.0[q].buffered
+        self.workers[q].buffered
     }
 
     #[inline]
     fn set_buffered(&mut self, q: usize, b: Option<CopyId>) {
-        self.0[q].buffered = b;
+        self.workers[q].buffered = b;
+        self.dirty[q] = true;
     }
 
     #[inline]
     fn computing(&self, q: usize) -> Option<ComputeState> {
-        self.0[q].computing
+        self.workers[q].computing
     }
 
     #[inline]
     fn set_computing(&mut self, q: usize, c: Option<ComputeState>) {
-        self.0[q].computing = c;
+        self.workers[q].computing = c;
+        self.dirty[q] = true;
     }
 
     #[inline]
     fn bound(&self, q: usize) -> &[CopyId] {
-        &self.0[q].bound
+        &self.workers[q].bound
     }
 
     #[inline]
     fn bound_push(&mut self, q: usize, c: CopyId) {
-        self.0[q].bound.push(c);
+        self.workers[q].bound.push(c);
     }
 
     #[inline]
     fn bound_remove(&mut self, q: usize, c: CopyId) {
-        self.0[q].bound.retain(|x| *x != c);
+        self.workers[q].bound.retain(|x| *x != c);
     }
 
     #[inline]
     fn drain_bound(&mut self, q: usize, mut f: impl FnMut(CopyId)) {
-        for c in self.0[q].bound.drain(..) {
+        for c in self.workers[q].bound.drain(..) {
             f(c);
         }
     }
 
     #[inline]
     fn has_program(&self, q: usize, t_prog: SlotSpan) -> bool {
-        self.0[q].has_program(t_prog)
+        self.workers[q].has_program(t_prog)
     }
 
     #[inline]
     fn pinned_count(&self, q: usize) -> usize {
-        self.0[q].pinned_count()
+        self.workers[q].pinned_count()
     }
 
     #[inline]
     fn is_idle(&self, q: usize) -> bool {
-        self.0[q].is_idle()
+        self.workers[q].is_idle()
     }
 
     #[inline]
     fn has_copy_of(&self, q: usize, task: TaskId) -> bool {
-        self.0[q].has_copy_of(task)
+        self.workers[q].has_copy_of(task)
     }
 
     #[inline]
     fn has_bind_room(&self, q: usize) -> bool {
-        self.0[q].has_bind_room()
+        self.workers[q].has_bind_room()
     }
 
     #[inline]
     fn delay_estimate(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) -> SlotSpan {
-        self.0[q].delay_estimate(t_prog, t_data)
+        self.workers[q].delay_estimate(t_prog, t_data)
     }
 
     #[inline]
     fn crash_into(&mut self, q: usize, lost: &mut Vec<CopyId>) {
-        self.0[q].crash_into(lost);
+        if self.workers[q].crash_into(lost) {
+            self.dirty[q] = true;
+        }
     }
 
     #[inline]
     fn cancel_task_into(&mut self, q: usize, task: TaskId, removed: &mut Vec<CopyId>) {
-        self.0[q].cancel_task_into(task, removed);
+        if self.workers[q].cancel_task_into(task, removed) {
+            self.dirty[q] = true;
+        }
+    }
+
+    #[inline]
+    fn snapshot_dirty(&self, q: usize) -> bool {
+        self.dirty[q]
+    }
+
+    #[inline]
+    fn clear_snapshot_dirty(&mut self) {
+        self.dirty.fill(false);
     }
 
     #[inline]
     fn assert_invariants(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) {
-        self.0[q].assert_invariants(t_prog, t_data);
+        self.workers[q].assert_invariants(t_prog, t_data);
     }
 }
 
@@ -333,6 +439,9 @@ pub struct WorkerSoA {
     /// to a single byte read instead of three `Option` columns plus a
     /// `Vec` header chase. The SoA⇄AoS oracle grid pins its consistency.
     occupancy: Vec<u8>,
+    /// Snapshot dirty bits (hot: written by pipeline mutators, drained by
+    /// the incremental snapshot pass — see the [`WorkerStore`] contract).
+    dirty: Vec<bool>,
     // --- cold columns: touched on binds / crashes only --------------------
     /// Slot at which the current program transfer began.
     prog_began_at: Vec<Slot>,
@@ -349,6 +458,8 @@ fn refill<T: Clone>(v: &mut Vec<T>, p: usize, value: T) {
 }
 
 impl WorkerStore for WorkerSoA {
+    const INCREMENTAL_SNAPSHOTS: bool = true;
+
     #[inline]
     fn len(&self) -> usize {
         self.state.len()
@@ -367,6 +478,10 @@ impl WorkerStore for WorkerSoA {
         refill(&mut self.transfer, p, None);
         refill(&mut self.buffered, p, None);
         refill(&mut self.occupancy, p, 0);
+        // Everything about a fresh run is unknown to any snapshot consumer;
+        // stale bits from a previous (possibly larger) platform must not
+        // leak through an arena reuse.
+        refill(&mut self.dirty, p, true);
         refill(&mut self.prog_began_at, p, 0);
         // `bound` keeps each retained worker's allocation alive.
         self.bound.truncate(p);
@@ -391,6 +506,15 @@ impl WorkerStore for WorkerSoA {
     #[inline]
     fn set_states(&mut self, states: &[ProcState]) {
         debug_assert_eq!(states.len(), self.state.len());
+        // Changed states dirty their worker (a non-UP delay sentinel, or a
+        // stale delay from before a suspension, must be rewritten when the
+        // state flips); unchanged ones stay clean. Two dense passes keep
+        // the common path vectorizable.
+        for (q, (&dst, &src)) in self.state.iter().zip(states).enumerate() {
+            if dst != src {
+                self.dirty[q] = true;
+            }
+        }
         self.state.copy_from_slice(states);
     }
 
@@ -401,7 +525,10 @@ impl WorkerStore for WorkerSoA {
 
     #[inline]
     fn set_prog_done(&mut self, q: usize, v: SlotSpan) {
-        self.prog_done[q] = v;
+        if self.prog_done[q] != v {
+            self.prog_done[q] = v;
+            self.dirty[q] = true;
+        }
     }
 
     #[inline]
@@ -424,6 +551,7 @@ impl WorkerStore for WorkerSoA {
         self.occupancy[q] -= u8::from(self.transfer[q].is_some());
         self.occupancy[q] += u8::from(t.is_some());
         self.transfer[q] = t;
+        self.dirty[q] = true;
     }
 
     #[inline]
@@ -436,6 +564,7 @@ impl WorkerStore for WorkerSoA {
         self.occupancy[q] -= u8::from(self.buffered[q].is_some());
         self.occupancy[q] += u8::from(b.is_some());
         self.buffered[q] = b;
+        self.dirty[q] = true;
     }
 
     #[inline]
@@ -448,6 +577,18 @@ impl WorkerStore for WorkerSoA {
         self.occupancy[q] -= u8::from(self.computing[q].is_some());
         self.occupancy[q] += u8::from(c.is_some());
         self.computing[q] = c;
+        self.dirty[q] = true;
+    }
+
+    #[inline]
+    fn tick_compute(&mut self, q: usize) -> Option<(CopyId, bool)> {
+        // One in-place column access: progress changes neither the
+        // occupancy nor the Option discriminant, only `done` and the
+        // dirty bit.
+        let c = self.computing[q].as_mut()?;
+        c.done += 1;
+        self.dirty[q] = true;
+        Some((c.copy, c.done == self.w[q]))
     }
 
     #[inline]
@@ -533,18 +674,27 @@ impl WorkerStore for WorkerSoA {
     }
 
     fn crash_into(&mut self, q: usize, lost: &mut Vec<CopyId>) {
+        // Only a change dirties: a worker that stays DOWN is re-crashed
+        // every slot on an already-empty pipeline.
+        let mut changed = self.prog_done[q] != 0;
         self.prog_done[q] = 0;
         if let Some(c) = self.computing[q].take() {
             lost.push(c.copy);
             self.occupancy[q] -= 1;
+            changed = true;
         }
         if let Some(b) = self.buffered[q].take() {
             lost.push(b);
             self.occupancy[q] -= 1;
+            changed = true;
         }
         if let Some(t) = self.transfer[q].take() {
             lost.push(t.copy);
             self.occupancy[q] -= 1;
+            changed = true;
+        }
+        if changed {
+            self.dirty[q] = true;
         }
     }
 
@@ -555,15 +705,19 @@ impl WorkerStore for WorkerSoA {
         if self.computing[q].is_some_and(|c| c.copy.task == task) {
             removed.push(self.computing[q].take().expect("checked").copy);
             self.occupancy[q] -= 1;
+            self.dirty[q] = true;
         }
         if self.buffered[q].is_some_and(|b| b.task == task) {
             removed.push(self.buffered[q].take().expect("checked"));
             self.occupancy[q] -= 1;
+            self.dirty[q] = true;
         }
         if self.transfer[q].is_some_and(|t| t.copy.task == task) {
             removed.push(self.transfer[q].take().expect("checked").copy);
             self.occupancy[q] -= 1;
+            self.dirty[q] = true;
         }
+        // Bound removals stay clean: Delay(q) excludes bound copies ([D8]).
         let bound = &mut self.bound[q];
         let mut i = 0;
         while i < bound.len() {
@@ -574,6 +728,16 @@ impl WorkerStore for WorkerSoA {
                 i += 1;
             }
         }
+    }
+
+    #[inline]
+    fn snapshot_dirty(&self, q: usize) -> bool {
+        self.dirty[q]
+    }
+
+    #[inline]
+    fn clear_snapshot_dirty(&mut self) {
+        self.dirty.fill(false);
     }
 
     fn assert_invariants(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) {
@@ -668,6 +832,30 @@ mod tests {
             }
         }
 
+        // Dirty bits agree after the identical script.
+        for q in 0..soa.len() {
+            assert_eq!(
+                soa.snapshot_dirty(q),
+                aos.snapshot_dirty(q),
+                "dirty bit {q}"
+            );
+        }
+
+        // tick_compute advances identically (worker 0 computes: w = 3,
+        // done = 1 → 2 → 3 completes; worker 2 computes nothing).
+        assert_eq!(soa.tick_compute(2), aos.tick_compute(2));
+        assert_eq!(soa.tick_compute(2), None);
+        for expect_finished in [false, true] {
+            let a = soa.tick_compute(0);
+            assert_eq!(a, aos.tick_compute(0));
+            let (c, finished) = a.expect("worker 0 is computing");
+            assert_eq!(c, copy(0, 0));
+            assert_eq!(finished, expect_finished);
+            assert_eq!(soa.computing(0), aos.computing(0));
+            assert_eq!(soa.pinned_count(0), aos.pinned_count(0));
+            assert!(soa.snapshot_dirty(0) && aos.snapshot_dirty(0));
+        }
+
         // Crash + cancel drain identically.
         let (mut la, mut lb) = (Vec::new(), Vec::new());
         soa.crash_into(0, &mut la);
@@ -678,6 +866,99 @@ mod tests {
         soa.cancel_task_into(2, TaskId(3), &mut la);
         aos.cancel_task_into(2, TaskId(3), &mut lb);
         assert_eq!(la, lb);
+    }
+
+    /// The trait-level dirty-bit contract, checked against both layouts:
+    /// snapshot-visible mutations set the bit, unobservable ones do not,
+    /// and resets (arena reuse across resizes) never leak stale bits.
+    fn check_dirty_contract<S: WorkerStore>(store: &mut S) {
+        store.reset_for(specs(&[1, 2, 3, 4]).into_iter());
+        assert!(
+            (0..4).all(|q| store.snapshot_dirty(q)),
+            "reset_for must mark everything dirty"
+        );
+        store.clear_snapshot_dirty();
+        assert!((0..4).all(|q| !store.snapshot_dirty(q)));
+
+        // Program progress dirties its worker alone; an identical rewrite
+        // stays clean.
+        store.set_prog_done(2, 1);
+        assert!(store.snapshot_dirty(2));
+        assert!(!store.snapshot_dirty(1));
+        store.clear_snapshot_dirty();
+        store.set_prog_done(2, 1);
+        assert!(!store.snapshot_dirty(2), "no-op prog write must stay clean");
+
+        // Changed states dirty; re-drawing the current state does not.
+        use ProcState::{Reclaimed, Up};
+        store.set_states(&[Up, Up, Reclaimed, Reclaimed]);
+        assert!(store.snapshot_dirty(0) && store.snapshot_dirty(1));
+        assert!(!store.snapshot_dirty(2) && !store.snapshot_dirty(3));
+
+        // Bound-list churn is not snapshot-visible (Delay(q) excludes
+        // bound copies, [D8]): the replica bind→dissolve cycle stays clean.
+        store.clear_snapshot_dirty();
+        store.bound_push(1, copy(7, 1));
+        store.bound_remove(1, copy(7, 1));
+        store.bound_push(1, copy(8, 1));
+        store.drain_bound(1, |_| {});
+        store.set_prog_began_at(1, 9);
+        assert!(!store.snapshot_dirty(1), "bound churn must stay clean");
+
+        // Crashing an already-empty worker (stays DOWN) is clean; crashing
+        // one with progress dirties it.
+        let mut lost = Vec::new();
+        store.crash_into(0, &mut lost);
+        assert!(!store.snapshot_dirty(0), "empty crash must stay clean");
+        store.crash_into(2, &mut lost);
+        assert!(store.snapshot_dirty(2), "crash with progress dirties");
+
+        // Pinned-pipeline mutations dirty; canceling a bound-only copy
+        // does not, canceling a pinned one does.
+        store.clear_snapshot_dirty();
+        store.set_computing(
+            3,
+            Some(ComputeState {
+                copy: copy(5, 0),
+                done: 0,
+            }),
+        );
+        assert!(store.snapshot_dirty(3));
+        store.clear_snapshot_dirty();
+        let mut removed = Vec::new();
+        store.bound_push(1, copy(6, 0));
+        store.cancel_task_into(1, TaskId(6), &mut removed);
+        assert!(!store.snapshot_dirty(1), "bound-only cancel stays clean");
+        store.cancel_task_into(3, TaskId(5), &mut removed);
+        assert!(store.snapshot_dirty(3), "pinned cancel dirties");
+
+        // tick_compute dirties the advanced worker.
+        store.clear_snapshot_dirty();
+        store.set_prog_done(3, 4);
+        store.set_computing(
+            3,
+            Some(ComputeState {
+                copy: copy(5, 0),
+                done: 0,
+            }),
+        );
+        store.clear_snapshot_dirty();
+        assert_eq!(store.tick_compute(3), Some((copy(5, 0), false)));
+        assert!(store.snapshot_dirty(3));
+
+        // Shrink then regrow: every reset re-marks the *current* workers
+        // and the grown tail cannot inherit a stale clean bit.
+        store.reset_for(specs(&[5]).into_iter());
+        assert!(store.snapshot_dirty(0));
+        store.clear_snapshot_dirty();
+        store.reset_for(specs(&[1, 2, 3, 4, 5, 6]).into_iter());
+        assert!((0..6).all(|q| store.snapshot_dirty(q)));
+    }
+
+    #[test]
+    fn dirty_bit_contract_holds_for_both_layouts() {
+        check_dirty_contract(&mut WorkerSoA::default());
+        check_dirty_contract(&mut AosWorkers::default());
     }
 
     /// Shared mutation script for the differential test.

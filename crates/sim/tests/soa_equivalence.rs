@@ -10,6 +10,15 @@
 //! every counter, and the bandwidth statistic — same pattern as PR 1's
 //! 1632-run pin of the zero-allocation slot loop.
 //!
+//! Since the incremental-snapshot change, the same grid also pins the
+//! **incremental vs. full-rebuild snapshot paths** against each other: the
+//! SoA engine patches a persistent snapshot buffer from per-worker dirty
+//! bits (`WorkerStore::INCREMENTAL_SNAPSHOTS = true`), while the AoS
+//! reference opts out and rebuilds every snapshot from scratch, exactly as
+//! before the change. A missed dirty bit therefore shows up here as a
+//! report divergence (and, in debug builds, as the engine's per-consult
+//! incremental-vs-full assertion firing first).
+//!
 //! The grid deliberately includes runs that hit the slot cap (the p = 1024
 //! cells): capped runs exercise crash/cancel/replica churn for the whole
 //! horizon and compare every counter, which is a stronger equivalence check
@@ -203,4 +212,84 @@ fn warmed_arena_matches_cold_engines_of_both_layouts_across_resizes() {
             assert_eq!(cold, reference, "round {round} {kind}: layout divergence");
         }
     }
+}
+
+#[test]
+fn capped_runs_leave_no_stale_dirty_bits_across_arena_resizes() {
+    // Incremental snapshots live off per-worker dirty bits and a persistent
+    // snapshot buffer, both retained by the arena across runs. A *capped*
+    // run aborts mid-iteration with pipelines full — every bit set, the
+    // buffer full of half-finished delays — which is the worst state to
+    // inherit. Drive one arena through grow → shrink → grow with tightly
+    // capped runs in between and pin each run against cold engines of both
+    // layouts: a leaked bit (or a snapshot patched from another platform's
+    // buffer) diverges here.
+    let mut arena = SimArena::new();
+    let plans: &[(usize, usize, u64)] = &[
+        (64, 96, 40),     // capped: aborts with every pipeline mid-flight
+        (8, 12, 50_000),  // shrink, runs to completion
+        (64, 96, 35),     // regrow onto the capped run's dirty buffers
+        (256, 256, 60),   // grow past every previous high-water mark
+        (64, 96, 50_000), // the capped shape again, now to completion
+    ];
+    let mut capped = 0usize;
+    for (round, &(p, m, max_slots)) in plans.iter().enumerate() {
+        let seed = (round * 1000 + p) as u64;
+        let platform = platform(p, (p / 10).max(2), seed);
+        let app = AppConfig {
+            tasks_per_iteration: m,
+            iterations: 2,
+            t_prog: 4,
+            t_data: 1,
+        };
+        let options = SimOptions {
+            max_slots,
+            replication: true,
+            max_extra_replicas: 2,
+            record_timeline: false,
+        };
+        for kind in [
+            HeuristicKind::EmctStar,
+            HeuristicKind::Ud,
+            HeuristicKind::Random2w,
+        ] {
+            let warm = arena
+                .run_seeded(
+                    &platform,
+                    &app,
+                    kind.build(SeedPath::root(seed).rng()),
+                    SeedPath::root(seed + 1),
+                    options,
+                )
+                .unwrap();
+            let cold = Simulation::run_seeded(
+                &platform,
+                &app,
+                kind.build(SeedPath::root(seed).rng()),
+                SeedPath::root(seed + 1),
+                options,
+            )
+            .unwrap();
+            let reference = ReferenceSimulation::run_seeded_in(
+                &platform,
+                &app,
+                kind.build(SeedPath::root(seed).rng()),
+                SeedPath::root(seed + 1),
+                options,
+            )
+            .unwrap();
+            assert_eq!(warm.makespan, cold.makespan, "round {round} {kind}");
+            assert_eq!(warm.slots_run, cold.slots_run, "round {round} {kind}");
+            assert_eq!(
+                warm.completed_iterations, cold.completed_iterations,
+                "round {round} {kind}"
+            );
+            assert_eq!(cold, reference, "round {round} {kind}: layout divergence");
+            capped += usize::from(!warm.finished());
+        }
+    }
+    assert!(
+        capped >= 6,
+        "only {capped} capped runs — the caps are too loose to leave dirty state"
+    );
 }
