@@ -1,23 +1,27 @@
 //! Bench-regression gate over `BENCH_slotloop.json` artifacts.
 //!
 //! ```text
-//! bench_guard <baseline.json> <candidate.json> [min_ratio]
+//! bench_guard <baseline.json> <candidate.json> [min_ratio] [min_small_ratio]
 //! ```
 //!
 //! Compares the freshly measured slot-loop throughput against a baseline
 //! measurement and **exits non-zero** if the candidate's slots/sec at
 //! `p = 1024` (either replication setting) drops below `min_ratio ×
 //! baseline` (default 0.85 — runners are noisy; a real regression from a
-//! hot-path change shows up far below that). Absolute slots/sec vary with
-//! hardware, so the baseline must come from the **same machine** — CI
-//! benches the merge-base revision in the same job and passes that file
-//! here (the committed `BENCH_slotloop.json` is a recorded trajectory, not
-//! a cross-machine gate). All shared cells are printed; only the p = 1024
-//! cells gate, since that is the scale the SoA layout and the lazy-heap
-//! placement exist for — and **both** p = 1024 cells (replication off AND
-//! on) must be present in both files: a cell silently missing from either
-//! artifact would otherwise un-gate itself, which is exactly how a
-//! replication-path regression slips through.
+//! hot-path change shows up far below that), or if any *other* cell
+//! (`p ≤ 256`) drops below `min_small_ratio × baseline` (default 0.95 —
+//! the selector work's acceptance bar: large-`p` wins must not tax the
+//! small platforms where the linear rescan still runs). Absolute
+//! slots/sec vary with hardware, so the baseline must come from the
+//! **same machine** — CI benches the merge-base revision in the same job
+//! and passes that file here (the committed `BENCH_slotloop.json` is a
+//! recorded trajectory, not a cross-machine gate). Every baseline cell is
+//! printed and gated, and a cell missing from where it must exist fails
+//! loudly instead of un-gating itself — **both** p = 1024 cells
+//! (replication off AND on) must be present in both files, and every
+//! baseline cell must still exist in the candidate (a dropped or
+//! truncated row is exactly how a regression slips through); only cells
+//! the *candidate* adds (a grown grid) pass ungated, having no baseline.
 //!
 //! The parser is deliberately tiny and fixed to the one-object-per-line
 //! format `slotloop` emits — no serde needed for a CI gate.
@@ -54,7 +58,12 @@ fn parse_cells(json: &str) -> Vec<CellPerf> {
         .collect()
 }
 
-fn run(baseline_path: &str, candidate_path: &str, min_ratio: f64) -> Result<(), String> {
+fn run(
+    baseline_path: &str,
+    candidate_path: &str,
+    min_ratio: f64,
+    min_small_ratio: f64,
+) -> Result<(), String> {
     let read =
         |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
     let baseline = parse_cells(&read(baseline_path)?);
@@ -87,35 +96,46 @@ fn run(baseline_path: &str, candidate_path: &str, min_ratio: f64) -> Result<(), 
             .iter()
             .find(|c| c.p == base.p && c.replication == base.replication)
         else {
-            continue;
+            // A cell the baseline measured but the candidate no longer
+            // emits must fail loudly, not un-gate itself — dropping a row
+            // from the bench grid (or a truncated artifact) is exactly how
+            // a small-cell regression would slip past its floor. (Cells
+            // only the candidate has — a grown grid — have no baseline to
+            // gate against and are fine.)
+            return Err(format!(
+                "candidate is missing the baseline cell p={} replication={}",
+                base.p, base.replication
+            ));
         };
         let ratio = cand.slots_per_sec / base.slots_per_sec;
-        let gates = base.p == 1024;
+        // p = 1024 is the scale the structured selectors exist for; the
+        // smaller cells gate at the wider small-cell floor so selector
+        // crossover changes cannot quietly tax the linear-scan band.
+        let floor = if base.p == 1024 {
+            min_ratio
+        } else {
+            min_small_ratio
+        };
         println!(
-            "p={:<5} replication={:<5} baseline={:>12.1} candidate={:>12.1} ratio={:.3}{}",
-            base.p,
-            base.replication,
-            base.slots_per_sec,
-            cand.slots_per_sec,
-            ratio,
-            if gates { "  [gated]" } else { "" }
+            "p={:<5} replication={:<5} baseline={:>12.1} candidate={:>12.1} ratio={:.3}  [floor {floor}]",
+            base.p, base.replication, base.slots_per_sec, cand.slots_per_sec, ratio,
         );
-        if gates {
+        if base.p == 1024 {
             gated += 1;
-            if ratio < min_ratio {
-                failures.push(format!(
-                    "p={} replication={}: {:.1} slots/sec is {:.3}× the committed {:.1} \
-                     (floor {min_ratio})",
-                    base.p, base.replication, cand.slots_per_sec, ratio, base.slots_per_sec
-                ));
-            }
+        }
+        if ratio < floor {
+            failures.push(format!(
+                "p={} replication={}: {:.1} slots/sec is {:.3}× the baseline {:.1} \
+                 (floor {floor})",
+                base.p, base.replication, cand.slots_per_sec, ratio, base.slots_per_sec
+            ));
         }
     }
-    if gated == 0 {
-        return Err("no shared p=1024 cells to gate on".into());
-    }
     if failures.is_empty() {
-        println!("bench guard OK ({gated} gated cells ≥ {min_ratio}× baseline)");
+        println!(
+            "bench guard OK ({gated} p=1024 cells ≥ {min_ratio}×, \
+             small cells ≥ {min_small_ratio}× baseline)"
+        );
         Ok(())
     } else {
         Err(format!(
@@ -127,15 +147,21 @@ fn run(baseline_path: &str, candidate_path: &str, min_ratio: f64) -> Result<(), 
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() < 3 || args.len() > 4 {
-        eprintln!("usage: bench_guard <baseline.json> <candidate.json> [min_ratio]");
+    if args.len() < 3 || args.len() > 5 {
+        eprintln!(
+            "usage: bench_guard <baseline.json> <candidate.json> [min_ratio] [min_small_ratio]"
+        );
         return ExitCode::FAILURE;
     }
     let min_ratio = args
         .get(3)
         .map(|s| s.parse::<f64>().expect("min_ratio must be a float"))
         .unwrap_or(0.85);
-    match run(&args[1], &args[2], min_ratio) {
+    let min_small_ratio = args
+        .get(4)
+        .map(|s| s.parse::<f64>().expect("min_small_ratio must be a float"))
+        .unwrap_or(0.95);
+    match run(&args[1], &args[2], min_ratio, min_small_ratio) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("bench_guard: {msg}");
@@ -181,8 +207,8 @@ mod tests {
         std::fs::write(&good, SAMPLE.replace("1600.0", "1700.0")).unwrap();
         std::fs::write(&bad, SAMPLE.replace("1600.0", "900.0")).unwrap();
         let b = base.to_str().unwrap();
-        assert!(run(b, good.to_str().unwrap(), 0.85).is_ok());
-        assert!(run(b, bad.to_str().unwrap(), 0.85).is_err());
+        assert!(run(b, good.to_str().unwrap(), 0.85, 0.90).is_ok());
+        assert!(run(b, bad.to_str().unwrap(), 0.85, 0.90).is_err());
         // Candidate faster than baseline on one gated cell but regressed on
         // the other must still fail.
         let mixed = dir.join("mixed.json");
@@ -193,7 +219,51 @@ mod tests {
                 .replace("1600.0", "100.0"),
         )
         .unwrap();
-        assert!(run(b, mixed.to_str().unwrap(), 0.85).is_err());
+        assert!(run(b, mixed.to_str().unwrap(), 0.85, 0.90).is_err());
+    }
+
+    #[test]
+    fn small_cells_gate_at_their_own_floor() {
+        // A p = 32 regression below min_small_ratio must fail even with
+        // both p = 1024 cells healthy — the selector crossover must not
+        // quietly tax the linear-scan band — while a small dip inside the
+        // noise margin passes.
+        let dir = std::env::temp_dir().join("vg_bench_guard_small_cells");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        let b = base.to_str().unwrap();
+        let dipped = dir.join("dipped.json");
+        std::fs::write(
+            &dipped,
+            SAMPLE.replace("\"slots_per_sec\": 1000.0", "\"slots_per_sec\": 930.0"),
+        )
+        .unwrap();
+        assert!(run(b, dipped.to_str().unwrap(), 0.85, 0.90).is_ok());
+        let regressed = dir.join("regressed.json");
+        std::fs::write(
+            &regressed,
+            SAMPLE.replace("\"slots_per_sec\": 1000.0", "\"slots_per_sec\": 500.0"),
+        )
+        .unwrap();
+        let err = run(b, regressed.to_str().unwrap(), 0.85, 0.90).unwrap_err();
+        assert!(err.contains("p=32"), "{err}");
+        // A small cell the candidate stopped emitting must fail loudly —
+        // un-gating by omission is the failure mode this guard exists
+        // for — while extra candidate-only cells (a grown grid) pass.
+        let dropped = dir.join("dropped.json");
+        std::fs::write(
+            &dropped,
+            SAMPLE
+                .lines()
+                .filter(|l| !l.contains("\"p\": 32"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+        .unwrap();
+        let err = run(b, dropped.to_str().unwrap(), 0.85, 0.90).unwrap_err();
+        assert!(err.contains("missing the baseline cell p=32"), "{err}");
+        assert!(run(dropped.to_str().unwrap(), b, 0.85, 0.90).is_ok());
     }
 
     #[test]
@@ -219,10 +289,10 @@ mod tests {
         ] {
             let cand = dir.join(name);
             std::fs::write(&cand, json).unwrap();
-            let err = run(base.to_str().unwrap(), cand.to_str().unwrap(), 0.85).unwrap_err();
+            let err = run(base.to_str().unwrap(), cand.to_str().unwrap(), 0.85, 0.90).unwrap_err();
             assert!(err.contains("missing the gated cell"), "{name}: {err}");
             // And a candidate baseline missing the cell fails symmetrically.
-            let err = run(cand.to_str().unwrap(), base.to_str().unwrap(), 0.85).unwrap_err();
+            let err = run(cand.to_str().unwrap(), base.to_str().unwrap(), 0.85, 0.90).unwrap_err();
             assert!(err.contains("missing the gated cell"), "{name}: {err}");
         }
     }

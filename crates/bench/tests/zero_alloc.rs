@@ -57,15 +57,19 @@ fn warmed_simulation(p: usize, replication: bool) -> Simulation {
 #[test]
 fn steady_state_slot_loop_is_allocation_free() {
     // p = 64 exercises the SoA column scans and the linear-scan side of the
-    // greedy selection; p = 256 pushes the post-barrier placement bursts
-    // (count ≈ 2p over ~p UP candidates) across the lazy-heap crossover, so
-    // the heap's backing storage is pinned as persistent scheduler scratch
-    // — warmed during the warm-up window, silent thereafter.
+    // greedy selection; p = 256 with replication pushes the post-barrier
+    // and replica placement bursts (count ≈ 2p over ~p UP candidates) far
+    // across the structured-selector crossover (`SelectorKind::choose`:
+    // count · u ≥ 4096), so every such round runs on the loser tree — its
+    // tournament storage (node, key and build-scratch vectors) is pinned
+    // as persistent scheduler scratch, warmed to the high-water platform
+    // size during the warm-up window and silent over all 5000 measured
+    // slots thereafter.
     for (p, replication) in [(64, false), (64, true), (256, true)] {
         let mut sim = warmed_simulation(p, replication);
         // Warm-up: scratch buffers, worker bound-lists and scheduler
-        // internals (including the placement heap) reach their high-water
-        // capacities.
+        // internals (including the loser tree and the per-candidate hot
+        // rows) reach their high-water capacities.
         for _ in 0..2_000 {
             sim.step();
             if sim.is_done() {

@@ -27,40 +27,45 @@
 //! rescan performed, so decisions — including the lowest-id tie-break
 //! \[D9\] — are bit-identical to the original implementation.
 //!
-//! ## The stale-tolerant lazy min-heap
+//! ## Pluggable argmin selectors
 //!
 //! Selecting each placement's argmin by rescanning every UP processor makes
 //! a `count`-task placement burst cost `O(count · p)` — the dominant slot
 //! cost at large `p` (the post-barrier burst places `m ≈ 2p` tasks, and the
-//! replica path re-places nearly every slot). `place_into` instead keeps a
-//! binary min-heap of `(score, pos)` entries, one per UP candidate, ordered
-//! by `f64::total_cmp` then position — so the heap minimum is exactly the
-//! linear scan's winner, *including the lowest-id tie-break* (`ups` is in
-//! ascending id order and the scan's strict `<` keeps the first minimum).
+//! replica path re-places nearly every slot). Winner selection therefore
+//! dispatches through the [`selector`](crate::selector) module: a dense
+//! linear rescan below the measured crossover, and above it a **loser
+//! tree** over `(score, pos)` keys — `O(1)` select, one `⌈log₂ u⌉`
+//! leaf-to-root path per winner re-score, one `O(u)` bottom-up rebuild per
+//! Equation-(2) ceiling step — with the stale-tolerant lazy 4-ary heap of
+//! the previous generation kept as a third, `force_selector`-reachable
+//! implementation and differential witness. All three produce bit-identical
+//! winner sequences (the proptest below drives every family through every
+//! selector against the cache-free naive model); see the selector module
+//! docs for the key order, the staleness contracts and the measured
+//! crossovers.
 //!
-//! The heap tolerates *stale* entries. The invariant making this sound is
-//! that **scores are monotone non-decreasing within a round** — every
-//! mutation (pipelining another task onto a processor, inflating effective
-//! `T_data` by enrolling one more) raises completion time, and all four
-//! objectives are normalized so larger `CT` means a larger score. A stale
-//! entry therefore always *under*-states its processor's current score, so
-//! the heap top is a lower bound on every candidate: if the top entry
-//! matches `scores[pos]` bit-for-bit it *is* the argmin; otherwise it is
-//! refreshed in place (sift-down) and the pop retried. An Equation-(2)
-//! ceiling step stales **every** entry at once, though, and paying that
-//! back one repair sift at a time was measured at hundreds of deep sifts
-//! per slot at `p = 1024` — so a ceiling step now rebuilds the heap
-//! wholesale instead (Floyd, ~2 comparisons per entry over sequential
-//! memory; see `Selector::refresh`), leaving pops between steps valid on
-//! the first try. The pop-validate loop remains as the correctness
-//! backstop. Each placement costs `O(log p)` amortized and a burst
-//! `O(p + count · log p + steps · p)` with tiny constants; the heap itself
-//! is 4-ary (`HEAP_ARITY`) because the workload is sift-down-heavy.
+//! Scores are **monotone non-decreasing within a round** — every mutation
+//! (pipelining another task onto a processor, inflating effective `T_data`
+//! by enrolling one more) raises completion time, and all four objectives
+//! are normalized so larger `CT` means a larger score. The lazy heap's
+//! pop-validate repair relies on that invariant; the loser tree does not
+//! need it (its entries are never stale), but the invariant is what makes
+//! the *round-batched* ceiling refresh cheap for both: one dense re-score
+//! pass over the row, then one `O(u)` rebuild.
 //!
-//! The winner's own score update reuses the just-popped top slot (its entry
-//! is by construction the heap minimum), so the heap holds exactly one
-//! entry per candidate at all times and its backing storage — persistent
-//! scratch, like the score caches — never grows past `p`.
+//! ## Division-free Equation-(2) bookkeeping
+//!
+//! A placement round at `p = 1024` re-scores the winner up to thousands of
+//! times, and the naive evaluation pays two integer divisions per re-score
+//! — `effective_t_data`'s `⌈n_active/ncom⌉` and the `ceiling_steps`
+//! enrollment check. Both ceilings move only when `n_active` crosses a
+//! multiple of `ncom`, so `place_into` maintains the enrolled and
+//! not-yet-enrolled Equation-(2) factors *incrementally* (one compare per
+//! enrollment, `f(n+1) = f(n) + [ncom divides n]`) and hands the resulting
+//! effective `T_data` to the score kernel ready-made. Debug builds assert
+//! the incremental factors against the closed forms at every enrollment;
+//! the values are identical, so decisions are untouched.
 //!
 //! ## The cross-slot Eq.-(2)/Theorem-2 score memo
 //!
@@ -88,8 +93,10 @@
 //! directly (`GreedyScheduler::memo_pays`).
 
 use crate::ct::{completion_time, effective_t_data};
+use crate::selector::{LoserTree, Selector, SelectorKind};
 use crate::traits::Scheduler;
 use crate::view::SchedView;
+use vg_des::SlotSpan;
 use vg_markov::{ChainScoreMemo, ScoreKernel};
 use vg_platform::ProcessorId;
 
@@ -127,16 +134,24 @@ pub struct GreedyScheduler {
     name: &'static str,
     /// Scratch: UP processor indices of the current call.
     ups: Vec<usize>,
-    /// Scratch: tasks assigned to each processor this round.
-    n_q: Vec<usize>,
+    /// Scratch: per-candidate hot rows (parallel to `ups`): everything a
+    /// winner re-score reads — `delay + w`, `w`, the per-round kernel
+    /// copy, the round's task count `n_q` and the processor id — packed
+    /// into one dense row so the hottest loop touches a single position-
+    /// indexed line instead of three `p`-wide arrays scattered by
+    /// processor index.
+    hot: Vec<HotRow>,
     /// Scratch: cached score of each UP processor (parallel to `ups`).
     scores: Vec<f64>,
-    /// Scratch: the lazy min-heap of `(score, pos)` entries (`pos` indexes
-    /// `ups`); see the module docs for the staleness invariant.
+    /// Scratch: the lazy heap selector's `(score, pos)` entries (`pos`
+    /// indexes `ups`); see the selector module for the staleness contract.
     heap: Vec<(f64, u32)>,
-    /// Test hook: route every selection through the heap regardless of the
-    /// size thresholds, so small hand-built views exercise the heap path.
-    force_heap: bool,
+    /// Scratch: the loser-tree selector's tournament storage.
+    tree: LoserTree,
+    /// Test hook: pin every selection to one selector implementation,
+    /// bypassing the size-threshold policy, so small hand-built views can
+    /// exercise any path. `None` follows [`SelectorKind::choose`].
+    force_selector: Option<SelectorKind>,
     /// Cross-slot Eq.-(2)/Theorem-2 score memo: one entry per (ceiling
     /// factor, processor), factor-major, keyed by `(delay, n_q)` — see the
     /// module docs. Subsumes the former initial-row cache (its entries are
@@ -168,22 +183,31 @@ impl GreedyScheduler {
             contention,
             name,
             ups: Vec::new(),
-            n_q: Vec::new(),
+            hot: Vec::new(),
             scores: Vec::new(),
             heap: Vec::new(),
-            force_heap: false,
+            tree: LoserTree::default(),
+            force_selector: None,
             memo: Vec::new(),
             memo_width: 0,
             kernels: Vec::new(),
         }
     }
 
-    /// Routes every selection through the heap, bypassing the size
-    /// thresholds — for differential tests on small views. Decisions are
-    /// identical either way; only the access pattern changes.
+    /// Pins every selection to `kind` (`None` restores the size-threshold
+    /// policy), so differential tests can exercise any selector on small
+    /// hand-built views. Decisions are identical for every kind; only the
+    /// access pattern changes.
+    #[doc(hidden)]
+    pub fn force_selector(&mut self, kind: Option<SelectorKind>) {
+        self.force_selector = kind;
+    }
+
+    /// Routes every selection through the lazy heap — the pre-loser-tree
+    /// test hook, kept as a shim over [`Self::force_selector`].
     #[doc(hidden)]
     pub fn force_heap(&mut self, on: bool) {
-        self.force_heap = on;
+        self.force_selector = on.then_some(SelectorKind::LazyHeap);
     }
 
     /// The objective.
@@ -199,8 +223,27 @@ impl GreedyScheduler {
     }
 
     /// Score of assigning one more task to processor `idx`; *smaller is
-    /// better* (maximizing objectives are negated).
+    /// better* (maximizing objectives are negated). Resolves the
+    /// Equation-(2) ceiling from first principles per call — the
+    /// specification [`Self::score_with_eff`] is measured against, and the
+    /// naive-model oracle's entry point (hot paths track the ceiling
+    /// incrementally instead).
+    #[cfg_attr(not(test), allow(dead_code))]
     fn score(&self, view: &SchedView<'_>, idx: usize, n_q: usize, n_active: usize) -> f64 {
+        // [D13]: the candidate counts itself when newly enrolled.
+        let n_active_incl = n_active + usize::from(n_q == 0);
+        let eff = effective_t_data(view.t_data, self.contention, n_active_incl, view.ncom);
+        self.score_with_eff(view, idx, n_q, eff)
+    }
+
+    /// [`Self::score`] with the Equation-(2) effective `T_data` already
+    /// resolved — the hot-path entry: `place_into` maintains the ceiling
+    /// factors incrementally (see the module docs) and hands `eff` in
+    /// ready-made, so a winner re-score performs no division. `eff` must
+    /// equal `effective_t_data(view.t_data, self.contention,
+    /// n_active_incl, view.ncom)` for the candidate's enrollment state;
+    /// callers that don't track it use [`Self::score`].
+    fn score_with_eff(&self, view: &SchedView<'_>, idx: usize, n_q: usize, eff: SlotSpan) -> f64 {
         let p = &view.procs[idx];
         // Hot path: the per-run dense kernel copy. Fall back to the view's
         // ChainStats (identical values — the copy's source) when the cache
@@ -210,9 +253,6 @@ impl GreedyScheduler {
             Some(k) => *k,
             None => view.chain(idx).kernel(),
         };
-        // [D13]: the candidate counts itself when newly enrolled.
-        let n_active_incl = n_active + usize::from(n_q == 0);
-        let eff = effective_t_data(view.t_data, self.contention, n_active_incl, view.ncom);
         let ct = completion_time(p, n_q + 1, eff);
         match self.objective {
             GreedyObjective::Mct => ct as f64,
@@ -241,15 +281,20 @@ impl GreedyScheduler {
         matches!(self.objective, GreedyObjective::Lw | GreedyObjective::Ud)
     }
 
-    /// [`Self::score`] through the cross-slot memo (see the module docs).
+    /// [`Self::score_with_eff`] through the cross-slot memo (see the
+    /// module docs).
     ///
     /// `memo` is the scheduler's factor-major table (taken out of `self`
     /// for the borrow), `factors` its row count — 0 when the memo is off
-    /// for this objective ([`Self::memo_pays`]). The memo key `(delay,
-    /// n_q)` plus the factor-indexed row capture every varying input of
-    /// `score` — chain, speed, `T_prog`, `T_data` and `ncom` are per-run
-    /// constants and `begin_run` drops the table — so a hit is
-    /// bit-identical to a recomputation.
+    /// for this objective ([`Self::memo_pays`]). `price` is the
+    /// candidate's Equation-(2) `(ceiling factor, effective T_data)` pair
+    /// — maintained incrementally by `place_into` ([`CeilingState`];
+    /// `(1, t_data)` for non-contended variants and for every initial-row
+    /// fill, where the first placement sees `n_active_incl = 1`). The memo
+    /// key `(delay, n_q)` plus the factor-indexed row capture every
+    /// varying input of `score` — chain, speed, `T_prog`, `T_data` and
+    /// `ncom` are per-run constants and `begin_run` drops the table — so
+    /// a hit is bit-identical to a recomputation.
     #[inline]
     fn memo_score(
         &self,
@@ -257,161 +302,176 @@ impl GreedyScheduler {
         factors: usize,
         view: &SchedView<'_>,
         idx: usize,
-        n_q: usize,
-        n_active: usize,
+        row: &HotRow,
+        (factor, eff): (usize, SlotSpan),
     ) -> f64 {
+        debug_assert_eq!(
+            eff,
+            view.t_data * factor as u64,
+            "effective T_data out of sync with the ceiling factor"
+        );
+        debug_assert_eq!(row.base - row.w, view.procs[idx].delay);
         if factors == 0 {
-            return self.score(view, idx, n_q, n_active);
+            return self.score_checked(view, idx, row, eff);
         }
-        let factor = if self.contention {
-            // [D13]: an unenrolled candidate counts itself.
-            let n_active_incl = n_active + usize::from(n_q == 0);
-            (n_active_incl.max(1) as u64).div_ceil(view.ncom as u64) as usize
-        } else {
-            1
-        };
         debug_assert!(
             (1..=factors).contains(&factor),
             "Equation-(2) factor {factor} outside the memo's {factors} rows"
         );
         if factor > factors {
             // Defensive: never alias another factor's entries.
-            return self.score(view, idx, n_q, n_active);
+            return self.score_checked(view, idx, row, eff);
         }
-        memo[(factor - 1) * view.p() + idx].get_or_eval(view.procs[idx].delay, n_q as u64, || {
-            self.score(view, idx, n_q, n_active)
+        // The memo key's delay is recovered from the dense row
+        // (`base − w`, exact in u64), so a consult touches no view array.
+        memo[(factor - 1) * view.p() + idx].get_or_eval(row.base - row.w, row.n_q as u64, || {
+            self.score_checked(view, idx, row, eff)
         })
     }
+
+    /// [`score_hot`] plus the debug-build bit-equality check against the
+    /// view-walking specification ([`Self::score_with_eff`]).
+    #[inline]
+    fn score_checked(&self, view: &SchedView<'_>, idx: usize, row: &HotRow, eff: SlotSpan) -> f64 {
+        let s = score_hot(self.objective, row, eff);
+        debug_assert_eq!(
+            s.to_bits(),
+            self.score_with_eff(view, idx, row.n_q as usize, eff)
+                .to_bits(),
+            "hot-row score diverged from the view-walking evaluation"
+        );
+        s
+    }
 }
 
-/// Heap order: by score via `total_cmp`, then by position — the unique key
-/// that reproduces the linear scan's lowest-id tie-break (for the non-NaN
-/// scores produced by validated chains, `total_cmp` agrees with `<`).
+/// One candidate's dense per-round scoring row: the winner re-score —
+/// executed once per placement, the hottest load in the slot loop — reads
+/// exactly these fields, so packing them per *position* turns three
+/// processor-indexed scattered loads (snapshot, kernel, task count) into
+/// one sequential row.
+#[derive(Debug, Clone, Copy)]
+struct HotRow {
+    /// `Delay(q) + w_q` — the n_q-independent part of Equation (1)/(2).
+    base: SlotSpan,
+    /// `w_q`, for the pipelining term's `max(T_data_eff, w_q)`.
+    w: SlotSpan,
+    /// Tasks assigned to this candidate in the current round.
+    n_q: u32,
+    /// The candidate's processor id (what `place_into` emits).
+    id: ProcessorId,
+    /// Copy of the per-run [`ScoreKernel`] (the copy's source is
+    /// `view.chains[idx].kernel()`, so evaluating against it is
+    /// bit-identical to evaluating through the view).
+    kernel: ScoreKernel,
+}
+
+/// [`GreedyScheduler::score_with_eff`] against a dense [`HotRow`]: the
+/// same Equation-(1)/(2) completion time — `row.n_q` is the candidate's
+/// already-assigned count, the evaluated task adds one, so the pipelining
+/// term is `n_q · max(eff, w)`; u64 addition is associative, so
+/// regrouping `delay + w` into `base` is exact — fed to the same kernel
+/// closed forms. Debug builds assert the bits against the view-walking
+/// evaluation at every call site.
 #[inline]
-fn heap_less(a: (f64, u32), b: (f64, u32)) -> bool {
-    match a.0.total_cmp(&b.0) {
-        std::cmp::Ordering::Less => true,
-        std::cmp::Ordering::Greater => false,
-        std::cmp::Ordering::Equal => a.1 < b.1,
+fn score_hot(objective: GreedyObjective, row: &HotRow, eff: SlotSpan) -> f64 {
+    let ct = row.base + eff + row.n_q as u64 * eff.max(row.w);
+    match objective {
+        GreedyObjective::Mct => ct as f64,
+        GreedyObjective::Emct => row.kernel.e_w(ct),
+        GreedyObjective::Lw => -(row.kernel.p_plus.powf(ct as f64)),
+        GreedyObjective::Ud => {
+            let k = row.kernel.e_w(ct).round().max(1.0) as u64;
+            -row.kernel.p_ud_approx(k)
+        }
     }
 }
 
-/// Heap arity. The workload is sift-down-heavy — every placement rescores
-/// the popped winner and every Equation-(2) refresh leaves repairs for the
-/// pops that follow — so a wide heap wins: with `d = 4` a sift touches
-/// `log₄ p` contiguous 64-byte child groups instead of `log₂ p` scattered
-/// cache lines (measured ~1.5× on the p = 1024 placement loop). Which
-/// valid heap shape stores the entries is unobservable: `heap_less` is a
-/// total order, its minimum is unique, so pops yield the same sequence at
-/// any arity.
-const HEAP_ARITY: usize = 4;
+/// Incrementally maintained Equation-(2) ceiling state of one placement
+/// round: the factors an enrolled (`f(n_active)`) and a not-yet-enrolled
+/// (`f(n_active + 1)`, \[D13\]) candidate see, the matching effective
+/// `T_data` values, and `n_active % ncom` — everything the round needs to
+/// (a) price any candidate and (b) detect a ceiling step, with one compare
+/// per enrollment and no division. Non-contended variants keep the
+/// constant factor-1 state.
+struct CeilingState {
+    contention: bool,
+    ncom: usize,
+    t_data: SlotSpan,
+    n_active: usize,
+    /// `n_active % ncom`, maintained incrementally.
+    rem: usize,
+    /// `f(n_active) = ⌈max(n_active, 1)/ncom⌉` — the enrolled factor.
+    factor_enrolled: usize,
+    /// `f(n_active + 1)` — the factor a newly enrolling candidate sees.
+    factor_unenrolled: usize,
+    /// `t_data · factor_enrolled`.
+    eff_enrolled: SlotSpan,
+    /// `t_data · factor_unenrolled`.
+    eff_unenrolled: SlotSpan,
+}
 
-/// Restores the min-heap property downward from slot `i`.
-fn sift_down(heap: &mut [(f64, u32)], mut i: usize) {
-    loop {
-        let first = HEAP_ARITY * i + 1;
-        if first >= heap.len() {
-            break;
+impl CeilingState {
+    fn new(contention: bool, t_data: SlotSpan, ncom: usize) -> Self {
+        // n_active = 0: both factors are ⌈1/ncom⌉ = 1 (f(0) uses
+        // max(n_active, 1), and the first candidate counts itself).
+        Self {
+            contention,
+            ncom,
+            t_data,
+            n_active: 0,
+            rem: 0,
+            factor_enrolled: 1,
+            factor_unenrolled: 1,
+            eff_enrolled: t_data,
+            eff_unenrolled: t_data,
         }
-        let last = (first + HEAP_ARITY).min(heap.len());
-        let mut child = first;
-        for c in first + 1..last {
-            if heap_less(heap[c], heap[child]) {
-                child = c;
-            }
+    }
+
+    /// Records one enrollment and reports whether either ceiling stepped —
+    /// exactly `ceiling_steps(n_active, ncom)` of the refresh condition,
+    /// computed by factor compares instead of four divisions.
+    fn enroll(&mut self) -> bool {
+        self.n_active += 1;
+        if !self.contention {
+            return false;
         }
-        if heap_less(heap[child], heap[i]) {
-            heap.swap(child, i);
-            i = child;
+        self.rem += 1;
+        if self.rem == self.ncom {
+            self.rem = 0;
+        }
+        let old_enrolled = self.factor_enrolled;
+        // f(n) for the just-reached n is what an unenrolled candidate saw
+        // at n − 1; f(n + 1) grows by one exactly when ncom divides n.
+        self.factor_enrolled = self.factor_unenrolled;
+        self.factor_unenrolled = self.factor_enrolled + usize::from(self.rem == 0);
+        self.eff_enrolled = self.t_data * self.factor_enrolled as u64;
+        self.eff_unenrolled = self.t_data * self.factor_unenrolled as u64;
+        debug_assert_eq!(self.rem, self.n_active % self.ncom);
+        debug_assert_eq!(
+            self.factor_enrolled as u64,
+            (self.n_active.max(1) as u64).div_ceil(self.ncom as u64),
+            "incremental enrolled factor diverged at n_active={}",
+            self.n_active
+        );
+        debug_assert_eq!(
+            self.factor_unenrolled as u64,
+            ((self.n_active + 1) as u64).div_ceil(self.ncom as u64),
+            "incremental unenrolled factor diverged at n_active={}",
+            self.n_active
+        );
+        let stepped =
+            self.factor_enrolled != old_enrolled || self.factor_unenrolled != self.factor_enrolled;
+        debug_assert_eq!(stepped, ceiling_steps(self.n_active, self.ncom));
+        stepped
+    }
+
+    /// `(factor, effective T_data)` for a candidate with `n_q` tasks.
+    #[inline]
+    fn price(&self, n_q: usize) -> (usize, SlotSpan) {
+        if n_q == 0 {
+            (self.factor_unenrolled, self.eff_unenrolled)
         } else {
-            break;
-        }
-    }
-}
-
-/// Floyd heap construction, `O(n)`.
-fn heapify(heap: &mut [(f64, u32)]) {
-    if heap.len() > 1 {
-        for i in (0..=(heap.len() - 2) / HEAP_ARITY).rev() {
-            sift_down(heap, i);
-        }
-    }
-}
-
-/// The argmin strategy of one placement round. Both variants return the
-/// exact same winner for the same score row (the proptest in this module
-/// pins it); they differ only in access pattern, so the placement loop in
-/// [`GreedyScheduler::place_into`] is shared and only winner selection and
-/// the winner's score write-back dispatch here.
-enum Selector {
-    /// Lazy min-heap of `(score, pos)` entries, one per UP candidate; owns
-    /// the scheduler's persistent backing storage for the round.
-    Heap(Vec<(f64, u32)>),
-    /// Dense strict-`<` rescan of the whole score row per placement.
-    Linear,
-}
-
-impl Selector {
-    /// Position (into `ups`/`scores`) of the current argmin. The heap
-    /// variant leaves the winner's entry at the top, where
-    /// [`Self::rescore_winner`] expects it.
-    fn select(&mut self, scores: &[f64]) -> usize {
-        match self {
-            // Pop-validate: a stale top (its score was raised by an
-            // Equation-(2) refresh after the entry was pushed) under-states
-            // its candidate — scores are monotone non-decreasing within a
-            // round — so refresh it in place and retry. A top that matches
-            // the score cache bit-for-bit is the exact argmin.
-            Self::Heap(heap) => loop {
-                let (s, pos) = heap[0];
-                let current = scores[pos as usize];
-                if s.to_bits() == current.to_bits() {
-                    break pos as usize;
-                }
-                heap[0].0 = current;
-                sift_down(heap, 0);
-            },
-            Self::Linear => {
-                let mut best_pos = 0usize;
-                let mut best_score = f64::INFINITY;
-                for (pos, &s) in scores.iter().enumerate() {
-                    // Strict `<` keeps the lowest processor id on ties
-                    // ([D9]); `ups` (and hence `scores`) is in ascending id
-                    // order.
-                    if s < best_score {
-                        best_score = s;
-                        best_pos = pos;
-                    }
-                }
-                best_pos
-            }
-        }
-    }
-
-    /// Records the winner's recomputed score. The winner's entry is still
-    /// the heap top, so it is updated in place and sifted — the heap keeps
-    /// exactly one entry per candidate. The linear variant is stateless.
-    fn rescore_winner(&mut self, s: f64) {
-        if let Self::Heap(heap) = self {
-            heap[0].0 = s;
-            sift_down(heap, 0);
-        }
-    }
-
-    /// Rebuilds the heap from a wholesale-refreshed score row. Leaving the
-    /// entries stale is *sound* (see the module docs) but not free: every
-    /// stale entry that reaches the top costs a full repair sift, and an
-    /// Equation-(2) refresh stales all of them at once — measured at
-    /// hundreds of repair sifts per slot at p = 1024. One Floyd rebuild is
-    /// ~2 comparisons per entry over sequential memory and leaves every
-    /// subsequent pop valid on first try. The heap minimum is the same
-    /// either way, so decisions are untouched. The linear variant is
-    /// stateless.
-    fn refresh(&mut self, scores: &[f64]) {
-        if let Self::Heap(heap) = self {
-            heap.clear();
-            heap.extend(scores.iter().enumerate().map(|(pos, &s)| (s, pos as u32)));
-            heapify(heap);
+            (self.factor_enrolled, self.eff_enrolled)
         }
     }
 }
@@ -435,12 +495,12 @@ impl Scheduler for GreedyScheduler {
             self.ups = ups;
             return;
         }
-        // Per-round bookkeeping: tasks assigned to each processor (n_q), the
-        // number of enrolled processors (n_active, for Equation (2)), and
+        // Per-round bookkeeping: one dense hot row per candidate (task
+        // count, score inputs — by position), the Equation-(2) ceiling
+        // state (n_active and the incrementally maintained factors), and
         // the cached score of each UP candidate.
-        let mut n_q = std::mem::take(&mut self.n_q);
-        n_q.clear();
-        n_q.resize(view.p(), 0);
+        let mut hot = std::mem::take(&mut self.hot);
+        hot.clear();
         // One memo row per Equation-(2) ceiling factor reachable *this
         // round*: `n_active` counts enrolled UP processors, each placement
         // enrolls at most one, and an unenrolled candidate sees
@@ -472,65 +532,72 @@ impl Scheduler for GreedyScheduler {
         let mut memo = std::mem::take(&mut self.memo);
         let mut scores = std::mem::take(&mut self.scores);
         scores.clear();
+        // Initial-row fill: every candidate is unenrolled and n_active is
+        // 0, so each sees n_active_incl = 1 and the Equation-(2) factor is
+        // identically 1 — one constant effective T_data for the whole row,
+        // no per-candidate ceiling arithmetic. The hot rows are packed in
+        // the same pass (their inputs are being read anyway).
         for &i in &ups {
-            scores.push(self.memo_score(&mut memo, factors, view, i, 0, 0));
+            let p = &view.procs[i];
+            let row = HotRow {
+                base: p.delay + p.w,
+                w: p.w,
+                n_q: 0,
+                id: p.id,
+                kernel: self.kernels[i],
+            };
+            scores.push(self.memo_score(&mut memo, factors, view, i, &row, (1, view.t_data)));
+            hot.push(row);
         }
-        // Pick the selection strategy: a dense, branch-predictable linear
-        // rescan costing O(u) per placement, or the lazy heap costing an
-        // O(u) build plus O(log u) amortized per placement. The scan wins
-        // while `count·u` is small (its loop vectorizes; sift chains do
-        // not); the heap wins on large bursts over large platforms — the
-        // post-barrier burst and the replica path at p ≥ 256. Crossover
-        // measured on the slotloop bench; it is flat between 2¹¹ and 2¹³.
-        let mut selector = if self.force_heap || (count >= 4 && count * ups.len() >= 4096) {
-            // One heap entry per UP candidate; positions index `ups`, which
-            // is in ascending id order, so the (score, pos) heap order
-            // reproduces the linear scan's strict-`<` lowest-id tie-break.
-            let mut heap = std::mem::take(&mut self.heap);
-            heap.clear();
-            heap.extend(scores.iter().enumerate().map(|(pos, &s)| (s, pos as u32)));
-            heapify(&mut heap);
-            Selector::Heap(heap)
-        } else {
-            Selector::Linear
-        };
-        let mut n_active = 0usize;
+        // Pick the selection strategy (see `SelectorKind::choose` for the
+        // measured crossover policy): the dense vectorized linear rescan on
+        // small rounds, the loser tree above — with the lazy heap pinned
+        // only through the `force_selector` hook. Positions index `ups`,
+        // which is in ascending id order, so every selector's
+        // `(score, pos)` key order reproduces the linear scan's strict-`<`
+        // lowest-id tie-break.
+        let kind = self
+            .force_selector
+            .unwrap_or_else(|| SelectorKind::choose(ups.len(), count));
+        let mut selector = Selector::build(kind, &scores, &mut self.heap, &mut self.tree);
+        let mut ceiling = CeilingState::new(self.contention, view.t_data, view.ncom);
         for _ in 0..count {
             let best_pos = selector.select(&scores);
-            let best_idx = ups[best_pos];
-            let newly_enrolled = n_q[best_idx] == 0;
-            if newly_enrolled {
-                n_active += 1;
-            }
-            n_q[best_idx] += 1;
-            out.push(view.procs[best_idx].id);
-            if self.contention && newly_enrolled && ceiling_steps(n_active, view.ncom) {
+            let row = &mut hot[best_pos];
+            let newly_enrolled = row.n_q == 0;
+            row.n_q += 1;
+            out.push(row.id);
+            if newly_enrolled && ceiling.enroll() {
                 // Equation (2): the new enrollee bumped a ⌈n_active/ncom⌉
-                // ceiling, inflating effective T_data — refresh the whole
-                // cache, through the cross-slot memo (most candidates'
-                // (delay, n_q) keys repeat slot over slot, so the refresh
-                // is mostly single-compare hits). Heap entries go stale
-                // and `select` repairs them lazily.
+                // ceiling, inflating effective T_data — a round-batched
+                // refresh re-prices the whole row in one dense pass,
+                // through the cross-slot memo (most candidates' (delay,
+                // n_q) keys repeat slot over slot, so the refresh is
+                // mostly single-compare hits), then rebuilds the selector
+                // bottom-up so each entry is touched exactly once.
                 for (pos, &i) in ups.iter().enumerate() {
-                    scores[pos] = self.memo_score(&mut memo, factors, view, i, n_q[i], n_active);
+                    let row = &hot[pos];
+                    let (factor, eff) = ceiling.price(row.n_q as usize);
+                    scores[pos] = self.memo_score(&mut memo, factors, view, i, row, (factor, eff));
                 }
                 selector.refresh(&scores);
             } else {
                 // Winner rescores bypass the memo: overwriting the winner's
                 // entry with a transient n_q would evict the refresh-keyed
-                // value the next slot's replay wants.
-                let s = self.score(view, best_idx, n_q[best_idx], n_active);
+                // value the next slot's replay wants. The winner is
+                // enrolled by construction, so it prices at the enrolled
+                // factor — division-free, against its dense hot row.
+                let s =
+                    self.score_checked(view, ups[best_pos], &hot[best_pos], ceiling.eff_enrolled);
                 scores[best_pos] = s;
-                selector.rescore_winner(s);
+                selector.rescore_winner(best_pos, &scores);
             }
         }
-        if let Selector::Heap(heap) = selector {
-            // Return the backing storage to the persistent scratch.
-            self.heap = heap;
-        }
+        // Return the backing storage to the persistent scratch.
+        selector.into_storage(&mut self.heap, &mut self.tree);
         self.memo = memo;
         self.ups = ups;
-        self.n_q = n_q;
+        self.hot = hot;
         self.scores = scores;
     }
 }
@@ -879,14 +946,14 @@ mod tests {
 
             /// Random score-mutation/placement sequences: per round the
             /// processors' delays and states mutate and a random batch is
-            /// placed. A *persistent* heap scheduler (its `score0` cache
-            /// warm across rounds) and a persistent linear-scan scheduler
-            /// must both reproduce the stateless naive model's winners —
-            /// and tie-break order — for every greedy family, including
-            /// the `*` variants whose Equation-(2) coupling invalidates
-            /// neighbors mid-round.
+            /// placed. *Persistent* schedulers pinned to each selector —
+            /// the lazy heap, the loser tree, and the linear rescan, all
+            /// with their caches warm across rounds — must reproduce the
+            /// stateless naive model's winners — and tie-break order — for
+            /// every greedy family, including the `*` variants whose
+            /// Equation-(2) coupling invalidates neighbors mid-round.
             #[test]
-            fn heap_and_linear_match_naive_model(
+            fn all_selectors_match_naive_model(
                 ncom in 1usize..5,
                 t_prog in 0u64..8,
                 t_data in 0u64..5,
@@ -901,11 +968,17 @@ mod tests {
                 ),
             ) {
                 for (obj, star) in FAMILIES {
-                    let mut heap = GreedyScheduler::new(obj, star, "heap");
-                    heap.force_heap(true);
-                    let mut linear = GreedyScheduler::new(obj, star, "linear");
-                    heap.begin_run();
-                    linear.begin_run();
+                    let mut pinned: Vec<(GreedyScheduler, &str)> = vec![
+                        (GreedyScheduler::new(obj, star, "heap"), "heap"),
+                        (GreedyScheduler::new(obj, star, "loser"), "loser tree"),
+                        (GreedyScheduler::new(obj, star, "linear"), "linear"),
+                    ];
+                    pinned[0].0.force_selector(Some(SelectorKind::LazyHeap));
+                    pinned[1].0.force_selector(Some(SelectorKind::LoserTree));
+                    pinned[2].0.force_selector(Some(SelectorKind::Linear));
+                    for (s, _) in &mut pinned {
+                        s.begin_run();
+                    }
                     for (count, delays, states) in &rounds {
                         let mut b = SchedViewBuilder::new(t_prog, t_data, ncom);
                         for (i, &(w, chain_idx, prog)) in procs.iter().enumerate() {
@@ -921,22 +994,17 @@ mod tests {
                         let view = owned.view();
                         let probe = GreedyScheduler::new(obj, star, "probe");
                         let expected = naive_placements(&probe, &view, *count);
-                        prop_assert_eq!(
-                            heap.place(&view, *count),
-                            expected.clone(),
-                            "heap vs naive: {:?} star={} count={}",
-                            obj,
-                            star,
-                            count
-                        );
-                        prop_assert_eq!(
-                            linear.place(&view, *count),
-                            expected,
-                            "linear vs naive: {:?} star={} count={}",
-                            obj,
-                            star,
-                            count
-                        );
+                        for (s, label) in &mut pinned {
+                            prop_assert_eq!(
+                                s.place(&view, *count),
+                                expected.clone(),
+                                "{} vs naive: {:?} star={} count={}",
+                                label,
+                                obj,
+                                star,
+                                count
+                            );
+                        }
                     }
                 }
             }
@@ -944,9 +1012,10 @@ mod tests {
     }
 
     #[test]
-    fn forced_heap_matches_hybrid_on_unit_views() {
-        // Deterministic spot-check below the proptest: the heap path must
-        // reproduce the linear path on the existing hand-built scenarios.
+    fn forced_selectors_match_hybrid_on_unit_views() {
+        // Deterministic spot-check below the proptest: every forced
+        // selector must reproduce the policy-driven path on the existing
+        // hand-built scenarios.
         let owned = SchedViewBuilder::new(5, 3, 2)
             .proc(ProcState::Up, 2, true, 0, reliable())
             .proc(ProcState::Up, 2, true, 0, reliable())
@@ -955,13 +1024,81 @@ mod tests {
             .build();
         for (obj, star) in FAMILIES {
             let mut plain = GreedyScheduler::new(obj, star, "plain");
-            let mut forced = GreedyScheduler::new(obj, star, "forced");
-            forced.force_heap(true);
+            let expected = plain.place(&owned.view(), 10);
+            for kind in [
+                SelectorKind::Linear,
+                SelectorKind::LazyHeap,
+                SelectorKind::LoserTree,
+            ] {
+                let mut forced = GreedyScheduler::new(obj, star, "forced");
+                forced.force_selector(Some(kind));
+                assert_eq!(
+                    forced.place(&owned.view(), 10),
+                    expected,
+                    "{obj:?} star={star} {kind:?}"
+                );
+            }
+            // The legacy hook still pins the heap.
+            let mut legacy = GreedyScheduler::new(obj, star, "legacy");
+            legacy.force_heap(true);
             assert_eq!(
-                plain.place(&owned.view(), 10),
-                forced.place(&owned.view(), 10),
+                legacy.place(&owned.view(), 10),
+                expected,
                 "{obj:?} star={star}"
             );
+        }
+    }
+
+    #[test]
+    fn policy_crossovers_leave_decisions_unchanged() {
+        // Explicit boundary coverage at the linear / loser-tree crossover:
+        // p = 300 UP processors place counts straddling
+        // `count · u = LINEAR_MAX_WORK` (300 · 13 = 3900 < 4096 ≤ 300 ·
+        // 14) and the `count ≥ 4` floor, so consecutive counts flip the
+        // policy's selector choice. Decisions must not move — each count
+        // is checked against a forced-linear scheduler — and the policy
+        // must agree with the forced loser tree on the far side.
+        use crate::selector::{LINEAR_MAX_WORK, STRUCTURED_MIN_COUNT};
+        let u = 300usize;
+        let mut b = SchedViewBuilder::new(5, 3, 4);
+        for i in 0..u {
+            let chain = if i % 2 == 0 { reliable() } else { flaky() };
+            b = b.proc(
+                ProcState::Up,
+                1 + (i as u64 % 7),
+                i % 3 != 0,
+                (i as u64) % 5,
+                chain,
+            );
+        }
+        let owned = b.build();
+        let boundary = LINEAR_MAX_WORK / u; // 13: count 13 → linear, 14 → tree
+        assert!(boundary * u < LINEAR_MAX_WORK && (boundary + 1) * u >= LINEAR_MAX_WORK);
+        for (obj, star) in FAMILIES {
+            for count in [
+                STRUCTURED_MIN_COUNT - 1, // below the round-length floor
+                STRUCTURED_MIN_COUNT,     // at the floor, still linear by work
+                boundary,                 // last linear round
+                boundary + 1,             // first loser-tree round
+                2 * boundary,             // comfortably structured
+            ] {
+                let mut policy = GreedyScheduler::new(obj, star, "policy");
+                let mut linear = GreedyScheduler::new(obj, star, "linear");
+                linear.force_selector(Some(SelectorKind::Linear));
+                let mut loser = GreedyScheduler::new(obj, star, "loser");
+                loser.force_selector(Some(SelectorKind::LoserTree));
+                let expected = linear.place(&owned.view(), count);
+                assert_eq!(
+                    policy.place(&owned.view(), count),
+                    expected,
+                    "{obj:?} star={star} count={count}"
+                );
+                assert_eq!(
+                    loser.place(&owned.view(), count),
+                    expected,
+                    "{obj:?} star={star} count={count} (forced loser tree)"
+                );
+            }
         }
     }
 

@@ -45,10 +45,12 @@ pub mod catalog;
 pub mod ct;
 pub mod greedy;
 pub mod random;
+pub mod selector;
 pub mod traits;
 pub mod view;
 
 pub use catalog::HeuristicKind;
+pub use selector::SelectorKind;
 pub use traits::Scheduler;
 pub use view::{OwnedSchedView, ProcSnapshot, SchedView, SchedViewBuilder};
 

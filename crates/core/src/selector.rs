@@ -1,0 +1,692 @@
+//! Pluggable argmin selectors for the greedy placement loop.
+//!
+//! Every greedy family (Section 6.3) repeats the same *replace-top* access
+//! pattern per placement round: pick the candidate with the smallest
+//! `(score, position)` key, re-score exactly that candidate (pipelining one
+//! more task onto it raises its completion time), and repeat — with an
+//! occasional *wholesale* re-score when an Equation-(2) ceiling step
+//! re-prices every candidate at once. This module isolates the data
+//! structure answering those queries behind [`Selector`], with three
+//! implementations that produce **bit-identical decision sequences** and
+//! differ only in access pattern:
+//!
+//! | selector | select | winner re-score | wholesale refresh |
+//! |---|---|---|---|
+//! | [`SelectorKind::Linear`]    | `O(u)` dense scan | free | free |
+//! | [`SelectorKind::LazyHeap`]  | `O(1)` + validate | sift `O(log₄ u)` fan-out | Floyd `O(u)` |
+//! | [`SelectorKind::LoserTree`] | `O(1)` read | one leaf-to-root path, `⌈log₂ u⌉` | bottom-up `O(u)` |
+//!
+//! The **loser tree** is the large-`p` default. A tournament tree over the
+//! candidate positions stores, at each internal node, the *loser* of that
+//! match (the winner keeps ascending); the overall winner sits at the root.
+//! `select` is a single read. Re-scoring the winner replays exactly the
+//! matches the winner won — one leaf-to-root path of `⌈log₂ u⌉`
+//! comparisons against the stored losers, with **no sift-down fan-out**:
+//! unlike a `d`-ary heap, no step examines `d` children to find a minimum,
+//! so the comparison count is both smaller and branch-predictable. An
+//! Equation-(2) ceiling step re-prices every leaf, so the refresh is
+//! *round-batched*: the caller re-evaluates all scores in one dense pass
+//! first, then one `O(u)` bottom-up rebuild touches each leaf once —
+//! instead of each changed entry paying a later pop-validate retry (the
+//! lazy heap's repair discipline).
+//!
+//! ## Exactness
+//!
+//! All three selectors order candidates by the same key: `(score, pos)`
+//! under [`f64::total_cmp`] then position. Positions are unique, so the key
+//! order is total and the minimum is unique — which tree shape stores the
+//! entries is unobservable. The position tie-break applies in the loser
+//! tree's **internal nodes** too (every match compares full keys, never
+//! bare scores), reproducing the linear scan's strict-`<` lowest-id rule
+//! even when duplicate scores land in different subtrees of a padded,
+//! non-power-of-two tournament. The differential tests below and the
+//! greedy proptest (all 8 families × all 3 selectors vs a cache-free naive
+//! model) pin this.
+//!
+//! ## Staleness contracts
+//!
+//! The lazy heap stores `(score, pos)` *copies* and tolerates stale ones
+//! (scores are monotone non-decreasing within a round, so a stale entry
+//! under-states its candidate and the pop-validate loop is sound — see
+//! `vg_core::greedy`). The loser tree stores *positions only* and reads
+//! scores live from the caller's dense row, so it must never be stale: the
+//! caller re-score protocol — [`Selector::rescore_winner`] after each
+//! placement, [`Selector::refresh`] after each wholesale re-price — is a
+//! hard contract, debug-asserted where cheap.
+//!
+//! ## Storage
+//!
+//! Selector storage ([`LoserTree`], the heap's entry vector) lives in the
+//! owning scheduler's persistent scratch and is moved in and out of the
+//! round-scoped [`Selector`] by value, so steady-state rounds allocate
+//! nothing once the backing vectors reach their high-water capacity (the
+//! zero-allocation test in `vg-bench` pins this through the engine).
+
+/// Which argmin structure a placement round uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// Dense strict-`<` rescan of the whole score row per placement.
+    Linear,
+    /// Stale-tolerant lazy 4-ary min-heap with pop-validate repair.
+    LazyHeap,
+    /// Loser (tournament) tree with replace-top path replay.
+    LoserTree,
+}
+
+/// Below this `count · u` product the dense linear rescan wins: it
+/// vectorizes, the structured selectors' builds do not. Measured on the
+/// slotloop and selector benches; flat between 2¹¹ and 2¹³ (unchanged
+/// since the lazy heap landed).
+pub const LINEAR_MAX_WORK: usize = 4096;
+
+/// Rounds shorter than this stay linear regardless of `u`: the `O(u)`
+/// build cannot amortize over so few placements.
+pub const STRUCTURED_MIN_COUNT: usize = 4;
+
+impl SelectorKind {
+    /// The measured crossover policy for a round placing `count` tasks over
+    /// `u` UP candidates.
+    ///
+    /// * `count < 4` or `count · u < 4096` — **linear**: the dense scan's
+    ///   vectorized `O(count · u)` beats any build cost.
+    /// * otherwise — **loser tree**. On the selector micro-benchmark
+    ///   (`BENCH_selector.json`) it beats the lazy heap on every cell at
+    ///   and above the linear crossover — the heap's extra cost is the
+    ///   child-group minimum at each sift level plus pop-validate traffic,
+    ///   neither of which the path replay pays — so the former heap band
+    ///   is empty and the heap remains reachable only through
+    ///   `force_selector` (kept as a differential witness and fallback).
+    #[must_use]
+    pub fn choose(u: usize, count: usize) -> Self {
+        if count < STRUCTURED_MIN_COUNT || count * u < LINEAR_MAX_WORK {
+            Self::Linear
+        } else {
+            Self::LoserTree
+        }
+    }
+}
+
+/// Key order shared by every selector: score via `total_cmp`, then
+/// position — the unique total order that reproduces the linear scan's
+/// lowest-id tie-break (for the non-NaN scores produced by validated
+/// chains, `total_cmp` agrees with `<`).
+#[inline]
+pub(crate) fn key_less(a: (f64, u32), b: (f64, u32)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Heap arity of the lazy-heap selector. The workload is sift-down-heavy —
+/// every placement re-scores the popped winner — so a wide heap beats a
+/// binary one: with `d = 4` a sift touches `log₄ u` contiguous 64-byte
+/// child groups instead of `log₂ u` scattered cache lines. (The loser tree
+/// beats both; see the module docs.) Which valid heap shape stores the
+/// entries is unobservable: `key_less` is a total order, its minimum is
+/// unique, so pops yield the same sequence at any arity.
+const HEAP_ARITY: usize = 4;
+
+/// Restores the min-heap property downward from slot `i`.
+fn sift_down(heap: &mut [(f64, u32)], mut i: usize) {
+    loop {
+        let first = HEAP_ARITY * i + 1;
+        if first >= heap.len() {
+            break;
+        }
+        let last = (first + HEAP_ARITY).min(heap.len());
+        let mut child = first;
+        for c in first + 1..last {
+            if key_less(heap[c], heap[child]) {
+                child = c;
+            }
+        }
+        if key_less(heap[child], heap[i]) {
+            heap.swap(child, i);
+            i = child;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Floyd heap construction, `O(n)`.
+fn heapify(heap: &mut [(f64, u32)]) {
+    if heap.len() > 1 {
+        for i in (0..=(heap.len() - 2) / HEAP_ARITY).rev() {
+            sift_down(heap, i);
+        }
+    }
+}
+
+/// Packs a `(score, pos)` key into one `u128` whose integer order is the
+/// lexicographic `(total_cmp, pos)` order: the score's bits are mapped
+/// through the standard sign-magnitude fold (negative values bit-inverted,
+/// positive values sign-flipped), which is strictly monotone with respect
+/// to `total_cmp` over **all** bit patterns — every number, both zeros,
+/// both infinity signs, every NaN payload — then the position occupies the
+/// low 32 bits to break score ties toward the lower position. Tournament
+/// matches thus cost one integer compare instead of a `total_cmp`
+/// branch chain, with bit-identical outcomes (the unit tests below pin
+/// the map against `key_less` exhaustively over crafted bit patterns).
+#[inline]
+fn packed_key(score: f64, pos: u32) -> u128 {
+    let b = score.to_bits();
+    let mapped = if b >> 63 == 1 { !b } else { b | (1 << 63) };
+    ((mapped as u128) << 32) | pos as u128
+}
+
+/// Sentinel key of the loser tree's padding leaves: larger than every real
+/// leaf's packed key. The score half is the all-ones pattern (the maximum
+/// of the mapped order — the only score folding there is the
+/// maximal-payload *positive* NaN, `0x7FFF_FFFF_FFFF_FFFF`, the top of
+/// the `total_cmp` order) and the position half is `u32::MAX`, which no
+/// real leaf carries, so a real candidate always wins its match against
+/// padding — by score half for every other value, by position half even
+/// in the adversarial case of a real score carrying that exact payload.
+const SENTINEL_KEY: u128 = ((u64::MAX as u128) << 32) | u32::MAX as u128;
+
+/// Marker for "runner-up unknown" — forces the next winner re-score to
+/// replay its path (no key is ever strictly below it). The only real key
+/// that can collide with it is position 0 holding the maximal-payload
+/// *negative* NaN — unreachable from validated chains, and the collision
+/// merely disables the shortcut (the replay path is always correct).
+const RUNNER_UP_UNKNOWN: u128 = 0;
+
+/// The loser-tree selector's persistent storage: a tournament over leaf
+/// positions `0..u`, padded with sentinel leaves to the next power of two
+/// `m`. `nodes[0]` is the overall winner's leaf, `nodes[1..m]` the *loser*
+/// leaf of each internal match (children of node `i` are `2i`/`2i+1` in
+/// the implicit complete tree whose leaves `m..2m` map to positions
+/// `0..m`); `keys` caches each leaf's [`packed_key`], refreshed whenever
+/// the caller re-prices that leaf. A node is 4 bytes and a key 16, so the
+/// whole `p = 1024` structure is cache-resident.
+///
+/// The replace-top fast path: after every full path replay that keeps the
+/// winner, the minimum of the losers along the winner's path — exactly the
+/// tournament's **runner-up** (the second-best candidate must have lost
+/// directly to the winner, so it sits on that path) — is remembered. As
+/// long as the re-scored winner's new key still beats the cached
+/// runner-up, the winner is unchanged, no node moved, and the re-score is
+/// a single integer compare; the `⌈log₂ m⌉` path is replayed only when
+/// the winner's key crosses the runner-up's. Greedy rounds place long
+/// same-winner streaks (a fast processor absorbs tasks until its
+/// pipelined completion time passes the field), so most placements take
+/// the one-compare path.
+#[derive(Debug, Clone, Default)]
+pub struct LoserTree {
+    /// Real leaf count `u` of the current round.
+    leaves: usize,
+    /// Padded leaf count: `u.next_power_of_two()`.
+    m: usize,
+    /// `nodes[0]` winner leaf; `nodes[1..m]` per-match loser leaves.
+    nodes: Vec<u32>,
+    /// Packed key per leaf (sentinel beyond `leaves`).
+    keys: Vec<u128>,
+    /// Bottom-up build scratch: the winner of each subtree (`win[m + j] =
+    /// j` for leaves, then upward). Persistent so rebuilds allocate
+    /// nothing at steady state.
+    win: Vec<u32>,
+    /// Packed key of the tournament's second-best leaf, or
+    /// [`RUNNER_UP_UNKNOWN`] right after a rebuild or a winner change.
+    runner_up: u128,
+}
+
+impl LoserTree {
+    /// Rebuilds the tournament bottom-up over `scores`, `O(m)` — the
+    /// round-batched refresh: after a wholesale re-price the caller calls
+    /// this once, touching each leaf exactly once, instead of paying one
+    /// repair per stale entry. Also the per-round build.
+    pub fn rebuild(&mut self, scores: &[f64]) {
+        self.leaves = scores.len();
+        self.m = self.leaves.next_power_of_two().max(1);
+        self.nodes.clear();
+        self.nodes.resize(self.m, 0);
+        self.keys.clear();
+        self.keys.extend(
+            scores
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| packed_key(s, j as u32)),
+        );
+        self.keys.resize(self.m, SENTINEL_KEY);
+        self.win.clear();
+        self.win.resize(2 * self.m, 0);
+        self.runner_up = RUNNER_UP_UNKNOWN;
+        if self.m == 1 {
+            // Single candidate: it is the winner, there are no matches.
+            self.nodes[0] = 0;
+            return;
+        }
+        for j in 0..self.m {
+            self.win[self.m + j] = j as u32;
+        }
+        for i in (1..self.m).rev() {
+            let a = self.win[2 * i];
+            let b = self.win[2 * i + 1];
+            // Strict key order: the right child must strictly beat the
+            // left to win; packed keys are unique (positions differ), so
+            // there is exactly one order.
+            let (w, l) = if self.keys[b as usize] < self.keys[a as usize] {
+                (b, a)
+            } else {
+                (a, b)
+            };
+            self.win[i] = w;
+            self.nodes[i] = l;
+        }
+        self.nodes[0] = self.win[1];
+    }
+
+    /// The current winner's position. `O(1)`; exact provided the re-score
+    /// contract (module docs) was honored.
+    #[inline]
+    #[must_use]
+    pub fn winner(&self) -> usize {
+        self.nodes[0] as usize
+    }
+
+    /// Re-prices the winner's leaf after *its* score changed and restores
+    /// the tournament. Fast path: the new key still beats the cached
+    /// runner-up, so nothing moved — one compare. Slow path: replay the
+    /// winner's leaf-to-root path — the stored losers along it are exactly
+    /// the opponents the winner beat, so re-running those `⌈log₂ m⌉`
+    /// matches (demoting the ascending key whenever a stored loser beats
+    /// it) restores every invariant, and the minimum loser seen along the
+    /// way is the new runner-up whenever the winner defends its title.
+    /// Only valid for the winner's leaf (other leaves' paths store losers
+    /// the changed key never played), hence the debug assert.
+    pub fn replay_winner(&mut self, leaf: usize, scores: &[f64]) {
+        debug_assert_eq!(
+            leaf, self.nodes[0] as usize,
+            "path replay is only sound for the current winner's leaf"
+        );
+        let key = packed_key(scores[leaf], leaf as u32);
+        self.keys[leaf] = key;
+        if key < self.runner_up {
+            // Still strictly better than the whole field (the runner-up is
+            // the minimum over every other leaf): the winner defends, no
+            // node changes. RUNNER_UP_UNKNOWN (0) never satisfies this.
+            return;
+        }
+        let mut w = leaf as u32;
+        let mut wk = key;
+        // Minimum of the losers along the path = the field's best
+        // non-winner key.
+        let mut field_min = SENTINEL_KEY;
+        let mut node = (self.m + leaf) >> 1;
+        while node >= 1 {
+            let l = self.nodes[node];
+            let lk = self.keys[l as usize];
+            field_min = field_min.min(lk);
+            if lk < wk {
+                self.nodes[node] = w;
+                w = l;
+                wk = lk;
+            }
+            node >>= 1;
+        }
+        self.nodes[0] = w;
+        // If the old winner defended its title, the path losers are still
+        // the whole non-winner field and their minimum is the runner-up;
+        // if the title changed hands, the new winner's opponents live on a
+        // different path, so the shortcut re-arms at its next re-score.
+        self.runner_up = if w as usize == leaf {
+            field_min
+        } else {
+            RUNNER_UP_UNKNOWN
+        };
+    }
+}
+
+/// The argmin strategy of one placement round. Every variant returns the
+/// exact same winner sequence for the same score-row trajectory (the
+/// differential tests and the greedy proptest pin it); they differ only in
+/// access pattern, so the placement loop in `GreedyScheduler::place_into`
+/// is shared and only winner selection, the winner's score write-back and
+/// the wholesale refresh dispatch here.
+pub(crate) enum Selector {
+    /// Dense strict-`<` rescan of the whole score row per placement.
+    Linear,
+    /// Lazy min-heap of `(score, pos)` entries, one per UP candidate; owns
+    /// the scheduler's persistent backing storage for the round.
+    Heap(Vec<(f64, u32)>),
+    /// Loser tree over candidate positions; owns the scheduler's
+    /// persistent tree storage for the round.
+    Loser(LoserTree),
+}
+
+impl Selector {
+    /// Builds the round's selector of `kind` over the initial score row,
+    /// taking ownership of the matching persistent storage (returned to
+    /// the scheduler by `Self::into_storage`).
+    pub(crate) fn build(
+        kind: SelectorKind,
+        scores: &[f64],
+        heap_storage: &mut Vec<(f64, u32)>,
+        tree_storage: &mut LoserTree,
+    ) -> Self {
+        match kind {
+            SelectorKind::Linear => Self::Linear,
+            SelectorKind::LazyHeap => {
+                let mut heap = std::mem::take(heap_storage);
+                heap.clear();
+                heap.extend(scores.iter().enumerate().map(|(pos, &s)| (s, pos as u32)));
+                heapify(&mut heap);
+                Self::Heap(heap)
+            }
+            SelectorKind::LoserTree => {
+                let mut tree = std::mem::take(tree_storage);
+                tree.rebuild(scores);
+                Self::Loser(tree)
+            }
+        }
+    }
+
+    /// Returns the backing storage to the scheduler's persistent scratch.
+    pub(crate) fn into_storage(
+        self,
+        heap_storage: &mut Vec<(f64, u32)>,
+        tree_storage: &mut LoserTree,
+    ) {
+        match self {
+            Self::Linear => {}
+            Self::Heap(heap) => *heap_storage = heap,
+            Self::Loser(tree) => *tree_storage = tree,
+        }
+    }
+
+    /// Position (into the candidate row) of the current argmin. The heap
+    /// variant leaves the winner's entry at the top, where
+    /// [`Self::rescore_winner`] expects it; the loser tree's winner is
+    /// already at the root.
+    pub(crate) fn select(&mut self, scores: &[f64]) -> usize {
+        match self {
+            // Pop-validate: a stale top (its score was raised by an
+            // Equation-(2) refresh after the entry was pushed) under-states
+            // its candidate — scores are monotone non-decreasing within a
+            // round — so refresh it in place and retry. A top that matches
+            // the score cache bit-for-bit is the exact argmin.
+            Self::Heap(heap) => loop {
+                let (s, pos) = heap[0];
+                let current = scores[pos as usize];
+                if s.to_bits() == current.to_bits() {
+                    break pos as usize;
+                }
+                heap[0].0 = current;
+                sift_down(heap, 0);
+            },
+            Self::Loser(tree) => tree.winner(),
+            Self::Linear => {
+                let mut best_pos = 0usize;
+                let mut best_score = f64::INFINITY;
+                for (pos, &s) in scores.iter().enumerate() {
+                    // Strict `<` keeps the lowest processor id on ties
+                    // ([D9]); candidates are in ascending id order.
+                    if s < best_score {
+                        best_score = s;
+                        best_pos = pos;
+                    }
+                }
+                best_pos
+            }
+        }
+    }
+
+    /// Records that the winner at `pos` was re-scored (the caller already
+    /// wrote `scores[pos]`). The heap updates its top entry in place and
+    /// sifts — it keeps exactly one entry per candidate; the loser tree
+    /// replays the winner's path; the linear variant is stateless.
+    pub(crate) fn rescore_winner(&mut self, pos: usize, scores: &[f64]) {
+        match self {
+            Self::Heap(heap) => {
+                debug_assert_eq!(
+                    heap[0].1 as usize, pos,
+                    "the winner's entry must be the top"
+                );
+                heap[0].0 = scores[pos];
+                sift_down(heap, 0);
+            }
+            Self::Loser(tree) => tree.replay_winner(pos, scores),
+            Self::Linear => {}
+        }
+    }
+
+    /// Round-batched wholesale refresh after every score changed at once
+    /// (an Equation-(2) ceiling step): the caller has re-evaluated the
+    /// whole row in one dense pass; the structured selectors then rebuild
+    /// bottom-up in `O(u)` — touching each entry exactly once — instead of
+    /// paying one lazy repair per stale entry as it surfaces. The minimum
+    /// is the same either way, so decisions are untouched. The linear
+    /// variant is stateless.
+    pub(crate) fn refresh(&mut self, scores: &[f64]) {
+        match self {
+            Self::Heap(heap) => {
+                heap.clear();
+                heap.extend(scores.iter().enumerate().map(|(pos, &s)| (s, pos as u32)));
+                heapify(heap);
+            }
+            Self::Loser(tree) => tree.rebuild(scores),
+            Self::Linear => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives one selector through a scripted round and returns the winner
+    /// sequence; `bumps` gives the score the winner is re-scored to after
+    /// each placement.
+    fn run_round(kind: SelectorKind, scores: &mut [f64], bumps: &[f64]) -> Vec<usize> {
+        let mut heap_storage = Vec::new();
+        let mut tree_storage = LoserTree::default();
+        let mut sel = Selector::build(kind, scores, &mut heap_storage, &mut tree_storage);
+        let mut picks = Vec::new();
+        for &bump in bumps {
+            let w = sel.select(scores);
+            picks.push(w);
+            scores[w] = bump;
+            sel.rescore_winner(w, scores);
+        }
+        sel.into_storage(&mut heap_storage, &mut tree_storage);
+        picks
+    }
+
+    /// All three selectors must agree with each other (and hence with the
+    /// linear reference) on every scripted round.
+    fn assert_all_agree(scores: &[f64], bumps: &[f64]) {
+        let linear = run_round(SelectorKind::Linear, &mut scores.to_vec(), bumps);
+        let heap = run_round(SelectorKind::LazyHeap, &mut scores.to_vec(), bumps);
+        let loser = run_round(SelectorKind::LoserTree, &mut scores.to_vec(), bumps);
+        assert_eq!(linear, heap, "heap diverged on {scores:?} / {bumps:?}");
+        assert_eq!(
+            linear, loser,
+            "loser tree diverged on {scores:?} / {bumps:?}"
+        );
+    }
+
+    #[test]
+    fn loser_tree_basic_argmin() {
+        let scores = [5.0, 3.0, 9.0, 4.0, 8.0];
+        let mut tree = LoserTree::default();
+        tree.rebuild(&scores);
+        assert_eq!(tree.winner(), 1);
+    }
+
+    #[test]
+    fn duplicate_scores_resolve_to_lowest_position_in_internal_nodes() {
+        // The tie-break audit of the heap → loser-tree translation: the
+        // duplicates land in *different subtrees* of the padded
+        // tournament (u = 5 pads to m = 8: leaves {0..3} and {4..7} are
+        // the two top-level subtrees), so the lowest-position rule must
+        // hold in internal matches, not just at the leaves. A bare-score
+        // comparison would let either duplicate through depending on
+        // shape; the full-key comparison cannot.
+        let scores = [7.0, 3.0, 9.0, 8.0, 3.0];
+        let mut tree = LoserTree::default();
+        tree.rebuild(&scores);
+        assert_eq!(tree.winner(), 1, "3.0 appears at positions 1 and 4");
+
+        // And across every subtree split of a non-power-of-two row: place
+        // the duplicate pair at all position pairs and check the lower one
+        // always wins, in the tree and in the full replace-top round.
+        for u in [5usize, 6, 7, 11, 13] {
+            for i in 0..u {
+                for j in i + 1..u {
+                    let mut scores = vec![10.0; u];
+                    scores[i] = 1.0;
+                    scores[j] = 1.0;
+                    let mut tree = LoserTree::default();
+                    tree.rebuild(&scores);
+                    assert_eq!(tree.winner(), i, "u={u} duplicates at ({i},{j})");
+                    // Re-score the winner above the duplicate: its twin
+                    // must surface next, then the winner's path replay
+                    // must keep ordering full keys.
+                    let bumps = [2.0, 3.0, 4.0];
+                    assert_all_agree(&scores, &bumps);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_scores_drain_in_position_order() {
+        // Every score identical: the selectors must pick positions
+        // 0, 1, 2, … as each winner is re-scored upward — the pure
+        // tie-break ordering, exercised across both subtree shapes of
+        // every non-power-of-two size.
+        for u in [3usize, 5, 6, 7, 9, 12] {
+            let scores = vec![1.0; u];
+            let bumps: Vec<f64> = (0..u).map(|k| 2.0 + k as f64).collect();
+            let linear = run_round(SelectorKind::Linear, &mut scores.clone(), &bumps);
+            assert_eq!(linear, (0..u).collect::<Vec<_>>(), "u={u}");
+            assert_all_agree(&scores, &bumps);
+        }
+    }
+
+    #[test]
+    fn replay_winner_restores_the_tournament() {
+        let mut scores = vec![5.0, 3.0, 9.0, 4.0, 8.0, 2.0, 7.0];
+        let mut tree = LoserTree::default();
+        tree.rebuild(&scores);
+        let expected_order = [5usize, 1, 3, 0, 6, 4, 2];
+        for &expect in &expected_order {
+            assert_eq!(tree.winner(), expect);
+            let w = tree.winner();
+            scores[w] += 100.0; // push the winner to the back of the pack
+            tree.replay_winner(w, &scores);
+        }
+    }
+
+    #[test]
+    fn wholesale_refresh_reprices_every_leaf() {
+        let mut scores = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut tree = LoserTree::default();
+        tree.rebuild(&scores);
+        assert_eq!(tree.winner(), 0);
+        // Invert the row — the old tournament is wholly wrong; one
+        // round-batched rebuild must re-price everything.
+        for (i, s) in scores.iter_mut().enumerate() {
+            *s = -(i as f64);
+        }
+        tree.rebuild(&scores);
+        assert_eq!(tree.winner(), 5);
+    }
+
+    #[test]
+    fn single_candidate_and_power_of_two_shapes() {
+        for u in [1usize, 2, 4, 8] {
+            let scores: Vec<f64> = (0..u).map(|k| 10.0 - k as f64).collect();
+            let mut tree = LoserTree::default();
+            tree.rebuild(&scores);
+            assert_eq!(tree.winner(), u - 1, "u={u}: smallest score is last");
+        }
+    }
+
+    #[test]
+    fn scripted_rounds_agree_across_selectors() {
+        // Deterministic pseudo-random rounds over assorted sizes,
+        // including re-scores that create fresh duplicates mid-round.
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 97) as f64
+        };
+        for u in [2usize, 3, 5, 8, 13, 21, 64, 100] {
+            let scores: Vec<f64> = (0..u).map(|_| next()).collect();
+            let bumps: Vec<f64> = (0..2 * u).map(|_| 100.0 + next()).collect();
+            assert_all_agree(&scores, &bumps);
+        }
+    }
+
+    #[test]
+    fn infinite_and_extreme_scores_still_beat_padding() {
+        // Real leaves with +∞ scores must still win their matches against
+        // the sentinel padding (position tie-break), so a row of
+        // overflowed scores drains in position order instead of selecting
+        // a padding leaf.
+        let scores = vec![f64::INFINITY; 5];
+        let mut tree = LoserTree::default();
+        tree.rebuild(&scores);
+        assert_eq!(tree.winner(), 0);
+    }
+
+    #[test]
+    fn packed_key_order_matches_total_cmp_then_pos() {
+        // The integer fold must agree with (total_cmp, pos) over every
+        // class of bit pattern — numbers, both zeros, both infinities,
+        // subnormals, NaNs of either sign — so tournament matches on
+        // packed keys are bit-identical to `key_less` matches.
+        let specimens = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -f64::MIN_POSITIVE / 2.0, // negative subnormal
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE / 2.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF0_0000_0000_0001), // minimal positive NaN payload
+            f64::from_bits(0x7FFF_FFFF_FFFF_FFFF), // maximal positive NaN payload
+            f64::from_bits(0xFFFF_FFFF_FFFF_FFFF), // maximal negative NaN payload
+        ];
+        for &a in &specimens {
+            for &b in &specimens {
+                for (pa, pb) in [(0u32, 1u32), (1, 0), (3, 3)] {
+                    assert_eq!(
+                        packed_key(a, pa) < packed_key(b, pb),
+                        key_less((a, pa), (b, pb)),
+                        "a={a:?}({:#x}) pa={pa} b={b:?}({:#x}) pb={pb}",
+                        a.to_bits(),
+                        b.to_bits(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_policy_boundaries() {
+        use SelectorKind::*;
+        // Short rounds stay linear regardless of platform size.
+        assert_eq!(SelectorKind::choose(100_000, 3), Linear);
+        // The count·u product gates the structured selector exactly at
+        // LINEAR_MAX_WORK.
+        assert_eq!(SelectorKind::choose(1023, 4), Linear); // 4092 < 4096
+        assert_eq!(SelectorKind::choose(1024, 4), LoserTree); // 4096
+        assert_eq!(SelectorKind::choose(1025, 4), LoserTree);
+        assert_eq!(SelectorKind::choose(256, 15), Linear); // 3840
+        assert_eq!(SelectorKind::choose(256, 16), LoserTree); // 4096
+                                                              // Large-p default is the loser tree.
+        assert_eq!(SelectorKind::choose(1024, 2048), LoserTree);
+    }
+}

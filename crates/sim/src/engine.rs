@@ -163,15 +163,27 @@ pub mod phase_profile {
 
     /// Display names of the schedule sub-phases, index-aligned with
     /// [`SUB`].
-    pub const SUB_NAMES: [&str; 4] = ["snapshot", "pool_place", "mask+cands", "replica_place"];
+    pub const SUB_NAMES: [&str; 6] = [
+        "snapshot",
+        "pool_place",
+        "pool_bind",
+        "mask+cands",
+        "replica_place",
+        "replica_bind",
+    ];
 
     /// Cumulative nanoseconds of the schedule phase's sub-parts: the
-    /// snapshot consult, the pool (originals) placement, the free-mask +
-    /// replica-candidate scans, and the replica placement. Together they
-    /// partition (almost all of) the `schedule` entry of [`NANOS`] — the
-    /// split that told this codebase the Eq.-(2)/Theorem-2 score
-    /// evaluations, not the snapshot walk, dominated at `p = 1024`.
-    pub static SUB: [AtomicU64; 4] = [
+    /// snapshot consult, the pool (originals) placement and its bind
+    /// loop, the free-mask + replica-candidate scans, and the replica
+    /// placement and its bind/mint loop. Together they partition (almost
+    /// all of) the `schedule` entry of [`NANOS`] — the split that told
+    /// this codebase the Eq.-(2)/Theorem-2 score evaluations, not the
+    /// snapshot walk, dominated at `p = 1024`, and the one that now
+    /// separates selector cost (the `*_place` entries) from bind
+    /// bookkeeping.
+    pub static SUB: [AtomicU64; 6] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
@@ -196,7 +208,7 @@ pub mod phase_profile {
 
     /// Reads the schedule sub-phase accumulators.
     #[must_use]
-    pub fn sub_snapshot() -> [u64; 4] {
+    pub fn sub_snapshot() -> [u64; 6] {
         std::array::from_fn(|i| SUB[i].load(Ordering::Relaxed))
     }
 }
@@ -1037,22 +1049,24 @@ impl<S: WorkerStore> Simulation<S> {
                 scratch.placements.clear();
                 scheduler.place_into(&view, count, &mut scratch.placements);
             });
-            let placed = self.scratch.placements.len().min(count);
-            for k in 0..placed {
-                let task = self.scratch.pool[k];
-                let pid = self.scratch.placements[k];
-                debug_assert!(
-                    self.workers.state(pid.idx()) == ProcState::Up,
-                    "scheduler placed a task on a non-UP processor"
-                );
-                let _ = self.try_bind(pid.idx(), CopyId::original(task));
-            }
+            sub!(2, {
+                let placed = self.scratch.placements.len().min(count);
+                for k in 0..placed {
+                    let task = self.scratch.pool[k];
+                    let pid = self.scratch.placements[k];
+                    debug_assert!(
+                        self.workers.state(pid.idx()) == ProcState::Up,
+                        "scheduler placed a task on a non-UP processor"
+                    );
+                    let _ = self.try_bind(pid.idx(), CopyId::original(task));
+                }
+            });
         }
 
         // Replication: idle UP workers receive replicas of the least
         // replicated unfinished tasks (≤ max_extra_replicas each).
         if self.options.replication && !self.iter.is_complete() {
-            let n_free = sub!(2, {
+            let n_free = sub!(3, {
                 let Self {
                     workers, scratch, ..
                 } = self;
@@ -1067,7 +1081,7 @@ impl<S: WorkerStore> Simulation<S> {
             });
             if n_free > 0 {
                 sub!(
-                    2,
+                    3,
                     self.iter.replica_candidates_into(
                         self.options.max_extra_replicas,
                         &mut self.scratch.cands,
@@ -1087,7 +1101,7 @@ impl<S: WorkerStore> Simulation<S> {
                         // remainder.
                         sub!(0, self.snapshot_procs());
                     }
-                    sub!(3, {
+                    sub!(4, {
                         let Self {
                             scratch,
                             scheduler,
@@ -1123,15 +1137,17 @@ impl<S: WorkerStore> Simulation<S> {
                         placements.clear();
                         scheduler.place_into(&view, k, placements);
                     });
-                    let placed = self.scratch.placements.len().min(k);
-                    for j in 0..placed {
-                        let task = self.scratch.cands[j];
-                        let pid = self.scratch.placements[j];
-                        let copy = self.iter.mint_replica(task);
-                        if !self.try_bind(pid.idx(), copy) {
-                            self.iter.drop_replica(task);
+                    sub!(5, {
+                        let placed = self.scratch.placements.len().min(k);
+                        for j in 0..placed {
+                            let task = self.scratch.cands[j];
+                            let pid = self.scratch.placements[j];
+                            let copy = self.iter.mint_replica(task);
+                            if !self.try_bind(pid.idx(), copy) {
+                                self.iter.drop_replica(task);
+                            }
                         }
-                    }
+                    });
                 }
             }
         }
