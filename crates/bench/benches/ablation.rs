@@ -15,7 +15,7 @@ use std::time::Duration;
 use vg_bench::{paper_app, paper_platform};
 use vg_core::HeuristicKind;
 use vg_des::rng::SeedPath;
-use vg_sim::{SimOptions, Simulation};
+use vg_sim::{PlacementBudget, SimOptions, Simulation};
 
 fn bench_replication_cap(c: &mut Criterion) {
     let platform = paper_platform(20, 5, 3, 31);
@@ -41,6 +41,7 @@ fn bench_replication_cap(c: &mut Criterion) {
                         replication,
                         max_extra_replicas: cap,
                         record_timeline: false,
+                        placement_budget: PlacementBudget::Uncapped,
                     },
                 )
                 .expect("valid");

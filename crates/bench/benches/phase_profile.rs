@@ -30,11 +30,22 @@ fn main() {
     use vg_des::rng::SeedPath;
     use vg_platform::source::AvailabilitySource;
     use vg_sim::engine::phase_profile;
-    use vg_sim::{SimOptions, Simulation};
+    use vg_sim::{PlacementBudget, SimOptions, Simulation};
 
     let quick = std::env::args().any(|a| a == "--quick");
     let mut rows: Vec<String> = Vec::new();
-    for p in [20usize, 32, 256, 1024] {
+    // The uncapped sweep carries the historical split; the capped p = 1024
+    // cell shows where the slot budget goes once demand-driven placement
+    // has collapsed the pool_place bucket.
+    let grid = [
+        (20usize, PlacementBudget::Uncapped),
+        (32, PlacementBudget::Uncapped),
+        (256, PlacementBudget::Uncapped),
+        (1024, PlacementBudget::Uncapped),
+        (1024, PlacementBudget::BindCapacity),
+    ];
+    for (p, placement) in grid {
+        let capped = placement == PlacementBudget::BindCapacity;
         let platform = paper_platform(p, (p / 10).max(2), 2, 11);
         let budget: u64 = if quick { 100_000 } else { 1_000_000 };
         let max_slots = (budget / p as u64).max(100);
@@ -58,6 +69,7 @@ fn main() {
                 replication: true,
                 max_extra_replicas: 2,
                 record_timeline: false,
+                placement_budget: placement,
             },
         )
         .expect("valid configuration");
@@ -73,7 +85,7 @@ fn main() {
         let sub = phase_profile::sub_snapshot();
         let total: u64 = nanos.iter().sum();
         let pct = |n: u64| 100.0 * n as f64 / total.max(1) as f64;
-        print!("phase_profile p={p:<5}");
+        print!("phase_profile p={p:<5} capped={capped:<5}");
         for (name, n) in phase_profile::NAMES.iter().zip(nanos) {
             print!(" {name}={:.1}%", pct(n));
         }
@@ -89,7 +101,7 @@ fn main() {
         println!();
 
         let mut row = format!(
-            "    {{\"p\": {p}, \"slots\": {}, \"total_seconds\": {:.6}",
+            "    {{\"p\": {p}, \"capped\": {capped}, \"slots\": {}, \"total_seconds\": {:.6}",
             sim.slots_run(),
             total as f64 / 1e9
         );

@@ -11,11 +11,12 @@ use std::time::Instant;
 use vg_bench::{paper_app, paper_platform};
 use vg_core::HeuristicKind;
 use vg_des::rng::SeedPath;
-use vg_sim::{SimOptions, Simulation};
+use vg_sim::{PlacementBudget, SimOptions, Simulation};
 
 struct Cell {
     p: usize,
     replication: bool,
+    capped: bool,
     slots: u64,
     seconds: f64,
 }
@@ -26,7 +27,7 @@ impl Cell {
     }
 }
 
-fn run_cell(p: usize, replication: bool, max_slots: u64) -> Cell {
+fn run_cell(p: usize, replication: bool, budget: PlacementBudget, max_slots: u64) -> Cell {
     let ncom = (p / 10).max(2);
     let platform = paper_platform(p, ncom, 2, 11);
     // Enough work to keep the scheduler busy for the whole horizon: an
@@ -38,6 +39,7 @@ fn run_cell(p: usize, replication: bool, max_slots: u64) -> Cell {
         replication,
         max_extra_replicas: 2,
         record_timeline: false,
+        placement_budget: budget,
     };
     // One warm-up run (allocator warm, branch predictors settled).
     let warm = Simulation::run_seeded(
@@ -66,6 +68,7 @@ fn run_cell(p: usize, replication: bool, max_slots: u64) -> Cell {
     Cell {
         p,
         replication,
+        capped: budget == PlacementBudget::BindCapacity,
         slots: report.slots_run,
         seconds,
     }
@@ -79,17 +82,23 @@ fn main() {
         // wall time regardless of platform size.
         let budget: u64 = if quick { 200_000 } else { 4_000_000 };
         let max_slots = (budget / p as u64).max(100);
+        // Each (p, replication) point runs under both placement budgets:
+        // the uncapped cells carry the historical trajectory, the capped
+        // ones track the demand-driven placement win.
         for replication in [false, true] {
-            let cell = run_cell(p, replication, max_slots);
-            println!(
-                "slotloop p={:<5} replication={:<5} {:>12.0} slots/sec ({} slots in {:.3}s)",
-                cell.p,
-                cell.replication,
-                cell.slots_per_sec(),
-                cell.slots,
-                cell.seconds,
-            );
-            cells.push(cell);
+            for placement in [PlacementBudget::Uncapped, PlacementBudget::BindCapacity] {
+                let cell = run_cell(p, replication, placement, max_slots);
+                println!(
+                    "slotloop p={:<5} replication={:<5} capped={:<5} {:>12.0} slots/sec ({} slots in {:.3}s)",
+                    cell.p,
+                    cell.replication,
+                    cell.capped,
+                    cell.slots_per_sec(),
+                    cell.slots,
+                    cell.seconds,
+                );
+                cells.push(cell);
+            }
         }
     }
 
@@ -97,9 +106,10 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"p\": {}, \"replication\": {}, \"slots\": {}, \"seconds\": {:.6}, \"slots_per_sec\": {:.1}}}{}",
+            "    {{\"p\": {}, \"replication\": {}, \"capped\": {}, \"slots\": {}, \"seconds\": {:.6}, \"slots_per_sec\": {:.1}}}{}",
             c.p,
             c.replication,
+            c.capped,
             c.slots,
             c.seconds,
             c.slots_per_sec(),

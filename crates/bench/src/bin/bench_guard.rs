@@ -1,7 +1,7 @@
 //! Bench-regression gate over `BENCH_slotloop.json` artifacts.
 //!
 //! ```text
-//! bench_guard <baseline.json> <candidate.json> [min_ratio] [min_small_ratio]
+//! bench_guard <baseline.json> <candidate.json> [min_ratio] [min_small_ratio] [phase_profile.json]
 //! ```
 //!
 //! Compares the freshly measured slot-loop throughput against a baseline
@@ -23,6 +23,18 @@
 //! truncated row is exactly how a regression slips through); only cells
 //! the *candidate* adds (a grown grid) pass ungated, having no baseline.
 //!
+//! Since the demand-driven placement work the grid also carries **capped**
+//! cells (`"capped": true` — the `PlacementBudget::BindCapacity` engine
+//! mode); cells are matched on `(p, replication, capped)` and a row
+//! without the field is uncapped (pre-cap artifacts stay parseable). The
+//! *candidate* must contain both capped `p = 1024` cells — dropping them
+//! from the bench grid would silently retire the optimisation's
+//! regression gate — while a baseline from a pre-cap revision is exempt
+//! (its capped cells simply pass ungated until the grid lands). When a
+//! phase-profile artifact path is given, it too must contain a capped
+//! `p = 1024` row, so the sub-split trajectory of the capped slot loop
+//! cannot quietly vanish from CI.
+//!
 //! The parser is deliberately tiny and fixed to the one-object-per-line
 //! format `slotloop` emits — no serde needed for a CI gate.
 
@@ -33,6 +45,7 @@ use std::process::ExitCode;
 struct CellPerf {
     p: u64,
     replication: bool,
+    capped: bool,
     slots_per_sec: f64,
 }
 
@@ -45,17 +58,36 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
-/// Parses every benchmark cell out of a `BENCH_slotloop.json` body.
+/// Parses every benchmark cell out of a `BENCH_slotloop.json` body. A line
+/// without a `"capped"` field is an uncapped cell (artifacts recorded
+/// before the placement-budget grid remain parseable).
 fn parse_cells(json: &str) -> Vec<CellPerf> {
     json.lines()
         .filter_map(|line| {
             Some(CellPerf {
                 p: field(line, "p")?.parse().ok()?,
                 replication: field(line, "replication")? == "true",
+                capped: field(line, "capped") == Some("true"),
                 slots_per_sec: field(line, "slots_per_sec")?.parse().ok()?,
             })
         })
         .collect()
+}
+
+/// Requires the phase-profile artifact to carry a capped `p = 1024` row
+/// (the sub-split trajectory of the capped slot loop).
+fn check_phase_profile(path: &str, json: &str) -> Result<(), String> {
+    let has = json.lines().any(|line| {
+        field(line, "p").and_then(|v| v.parse::<u64>().ok()) == Some(1024)
+            && field(line, "capped") == Some("true")
+    });
+    if has {
+        Ok(())
+    } else {
+        Err(format!(
+            "{path} is missing the capped p=1024 phase-profile row"
+        ))
+    }
 }
 
 fn run(
@@ -63,6 +95,7 @@ fn run(
     candidate_path: &str,
     min_ratio: f64,
     min_small_ratio: f64,
+    phase_profile_path: Option<&str>,
 ) -> Result<(), String> {
     let read =
         |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
@@ -81,21 +114,35 @@ fn run(
         for (file, cells) in [(baseline_path, &baseline), (candidate_path, &candidate)] {
             if !cells
                 .iter()
-                .any(|c| c.p == 1024 && c.replication == replication)
+                .any(|c| c.p == 1024 && c.replication == replication && !c.capped)
             {
                 return Err(format!(
                     "{file} is missing the gated cell p=1024 replication={replication}"
                 ));
             }
         }
+        // The capped grid is required of the *candidate* only: a baseline
+        // from a pre-cap merge-base cannot have measured it, but current
+        // code dropping the capped cells would silently retire the
+        // placement-budget regression gate.
+        if !candidate
+            .iter()
+            .any(|c| c.p == 1024 && c.replication == replication && c.capped)
+        {
+            return Err(format!(
+                "{candidate_path} is missing the capped cell p=1024 replication={replication}"
+            ));
+        }
+    }
+    if let Some(path) = phase_profile_path {
+        check_phase_profile(path, &read(path)?)?;
     }
     let mut gated = 0usize;
     let mut failures = Vec::new();
     for base in &baseline {
-        let Some(cand) = candidate
-            .iter()
-            .find(|c| c.p == base.p && c.replication == base.replication)
-        else {
+        let Some(cand) = candidate.iter().find(|c| {
+            c.p == base.p && c.replication == base.replication && c.capped == base.capped
+        }) else {
             // A cell the baseline measured but the candidate no longer
             // emits must fail loudly, not un-gate itself — dropping a row
             // from the bench grid (or a truncated artifact) is exactly how
@@ -103,8 +150,8 @@ fn run(
             // only the candidate has — a grown grid — have no baseline to
             // gate against and are fine.)
             return Err(format!(
-                "candidate is missing the baseline cell p={} replication={}",
-                base.p, base.replication
+                "candidate is missing the baseline cell p={} replication={} capped={}",
+                base.p, base.replication, base.capped
             ));
         };
         let ratio = cand.slots_per_sec / base.slots_per_sec;
@@ -117,17 +164,22 @@ fn run(
             min_small_ratio
         };
         println!(
-            "p={:<5} replication={:<5} baseline={:>12.1} candidate={:>12.1} ratio={:.3}  [floor {floor}]",
-            base.p, base.replication, base.slots_per_sec, cand.slots_per_sec, ratio,
+            "p={:<5} replication={:<5} capped={:<5} baseline={:>12.1} candidate={:>12.1} ratio={:.3}  [floor {floor}]",
+            base.p, base.replication, base.capped, base.slots_per_sec, cand.slots_per_sec, ratio,
         );
         if base.p == 1024 {
             gated += 1;
         }
         if ratio < floor {
             failures.push(format!(
-                "p={} replication={}: {:.1} slots/sec is {:.3}× the baseline {:.1} \
+                "p={} replication={} capped={}: {:.1} slots/sec is {:.3}× the baseline {:.1} \
                  (floor {floor})",
-                base.p, base.replication, cand.slots_per_sec, ratio, base.slots_per_sec
+                base.p,
+                base.replication,
+                base.capped,
+                cand.slots_per_sec,
+                ratio,
+                base.slots_per_sec
             ));
         }
     }
@@ -147,9 +199,10 @@ fn run(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() < 3 || args.len() > 5 {
+    if args.len() < 3 || args.len() > 6 {
         eprintln!(
-            "usage: bench_guard <baseline.json> <candidate.json> [min_ratio] [min_small_ratio]"
+            "usage: bench_guard <baseline.json> <candidate.json> \
+             [min_ratio] [min_small_ratio] [phase_profile.json]"
         );
         return ExitCode::FAILURE;
     }
@@ -161,7 +214,13 @@ fn main() -> ExitCode {
         .get(4)
         .map(|s| s.parse::<f64>().expect("min_small_ratio must be a float"))
         .unwrap_or(0.95);
-    match run(&args[1], &args[2], min_ratio, min_small_ratio) {
+    match run(
+        &args[1],
+        &args[2],
+        min_ratio,
+        min_small_ratio,
+        args.get(5).map(String::as_str),
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("bench_guard: {msg}");
@@ -176,24 +235,46 @@ mod tests {
 
     const SAMPLE: &str = r#"{
   "benchmarks": [
-    {"p": 32, "replication": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1000.0},
-    {"p": 1024, "replication": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 3000.0},
-    {"p": 1024, "replication": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0}
+    {"p": 32, "replication": false, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1000.0},
+    {"p": 1024, "replication": false, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 3000.0},
+    {"p": 1024, "replication": true, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0},
+    {"p": 1024, "replication": false, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 5000.0},
+    {"p": 1024, "replication": true, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 2600.0}
   ]
 }"#;
 
     #[test]
     fn parses_the_slotloop_format() {
         let cells = parse_cells(SAMPLE);
-        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.len(), 5);
         assert_eq!(
             cells[2],
             CellPerf {
                 p: 1024,
                 replication: true,
+                capped: false,
                 slots_per_sec: 1600.0
             }
         );
+        assert_eq!(
+            cells[4],
+            CellPerf {
+                p: 1024,
+                replication: true,
+                capped: true,
+                slots_per_sec: 2600.0
+            }
+        );
+    }
+
+    #[test]
+    fn rows_without_a_capped_field_parse_as_uncapped() {
+        // Pre-cap artifacts (e.g. a merge-base baseline) have no "capped"
+        // field; they must keep parsing as uncapped cells, not be dropped.
+        let legacy = r#"{"p": 1024, "replication": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0}"#;
+        let cells = parse_cells(legacy);
+        assert_eq!(cells.len(), 1);
+        assert!(!cells[0].capped);
     }
 
     #[test]
@@ -207,8 +288,8 @@ mod tests {
         std::fs::write(&good, SAMPLE.replace("1600.0", "1700.0")).unwrap();
         std::fs::write(&bad, SAMPLE.replace("1600.0", "900.0")).unwrap();
         let b = base.to_str().unwrap();
-        assert!(run(b, good.to_str().unwrap(), 0.85, 0.90).is_ok());
-        assert!(run(b, bad.to_str().unwrap(), 0.85, 0.90).is_err());
+        assert!(run(b, good.to_str().unwrap(), 0.85, 0.90, None).is_ok());
+        assert!(run(b, bad.to_str().unwrap(), 0.85, 0.90, None).is_err());
         // Candidate faster than baseline on one gated cell but regressed on
         // the other must still fail.
         let mixed = dir.join("mixed.json");
@@ -219,7 +300,12 @@ mod tests {
                 .replace("1600.0", "100.0"),
         )
         .unwrap();
-        assert!(run(b, mixed.to_str().unwrap(), 0.85, 0.90).is_err());
+        assert!(run(b, mixed.to_str().unwrap(), 0.85, 0.90, None).is_err());
+        // A capped-cell regression gates exactly like an uncapped one.
+        let capped_bad = dir.join("capped_bad.json");
+        std::fs::write(&capped_bad, SAMPLE.replace("2600.0", "1000.0")).unwrap();
+        let err = run(b, capped_bad.to_str().unwrap(), 0.85, 0.90, None).unwrap_err();
+        assert!(err.contains("capped=true"), "{err}");
     }
 
     #[test]
@@ -239,14 +325,14 @@ mod tests {
             SAMPLE.replace("\"slots_per_sec\": 1000.0", "\"slots_per_sec\": 930.0"),
         )
         .unwrap();
-        assert!(run(b, dipped.to_str().unwrap(), 0.85, 0.90).is_ok());
+        assert!(run(b, dipped.to_str().unwrap(), 0.85, 0.90, None).is_ok());
         let regressed = dir.join("regressed.json");
         std::fs::write(
             &regressed,
             SAMPLE.replace("\"slots_per_sec\": 1000.0", "\"slots_per_sec\": 500.0"),
         )
         .unwrap();
-        let err = run(b, regressed.to_str().unwrap(), 0.85, 0.90).unwrap_err();
+        let err = run(b, regressed.to_str().unwrap(), 0.85, 0.90, None).unwrap_err();
         assert!(err.contains("p=32"), "{err}");
         // A small cell the candidate stopped emitting must fail loudly —
         // un-gating by omission is the failure mode this guard exists
@@ -261,9 +347,9 @@ mod tests {
                 .join("\n"),
         )
         .unwrap();
-        let err = run(b, dropped.to_str().unwrap(), 0.85, 0.90).unwrap_err();
+        let err = run(b, dropped.to_str().unwrap(), 0.85, 0.90, None).unwrap_err();
         assert!(err.contains("missing the baseline cell p=32"), "{err}");
-        assert!(run(dropped.to_str().unwrap(), b, 0.85, 0.90).is_ok());
+        assert!(run(dropped.to_str().unwrap(), b, 0.85, 0.90, None).is_ok());
     }
 
     #[test]
@@ -275,7 +361,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("base.json");
         std::fs::write(&base, SAMPLE).unwrap();
-        let rep_line = r#"    {"p": 1024, "replication": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0}"#;
+        let rep_line = r#"    {"p": 1024, "replication": true, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0}"#;
         for (name, json) in [
             ("norep.json", SAMPLE.replace(rep_line, "")),
             (
@@ -289,11 +375,86 @@ mod tests {
         ] {
             let cand = dir.join(name);
             std::fs::write(&cand, json).unwrap();
-            let err = run(base.to_str().unwrap(), cand.to_str().unwrap(), 0.85, 0.90).unwrap_err();
+            let err = run(
+                base.to_str().unwrap(),
+                cand.to_str().unwrap(),
+                0.85,
+                0.90,
+                None,
+            )
+            .unwrap_err();
             assert!(err.contains("missing the gated cell"), "{name}: {err}");
             // And a candidate baseline missing the cell fails symmetrically.
-            let err = run(cand.to_str().unwrap(), base.to_str().unwrap(), 0.85, 0.90).unwrap_err();
+            let err = run(
+                cand.to_str().unwrap(),
+                base.to_str().unwrap(),
+                0.85,
+                0.90,
+                None,
+            )
+            .unwrap_err();
             assert!(err.contains("missing the gated cell"), "{name}: {err}");
         }
+    }
+
+    #[test]
+    fn capped_cells_required_of_the_candidate_only() {
+        // A merge-base baseline predating the placement-budget grid has no
+        // capped cells: that must pass (its cells gate ungated). The
+        // *candidate* dropping a capped p = 1024 cell must fail loudly.
+        let dir = std::env::temp_dir().join("vg_bench_guard_capped_cells");
+        std::fs::create_dir_all(&dir).unwrap();
+        let precap: String = SAMPLE
+            .lines()
+            .filter(|l| !l.contains("\"capped\": true"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"slots_per_sec\": 1600.0},", "\"slots_per_sec\": 1600.0}");
+        let base = dir.join("precap_base.json");
+        let cand = dir.join("cand.json");
+        std::fs::write(&base, &precap).unwrap();
+        std::fs::write(&cand, SAMPLE).unwrap();
+        assert!(run(
+            base.to_str().unwrap(),
+            cand.to_str().unwrap(),
+            0.85,
+            0.90,
+            None
+        )
+        .is_ok());
+        // Symmetric direction: the candidate without capped cells fails.
+        let err = run(
+            cand.to_str().unwrap(),
+            base.to_str().unwrap(),
+            0.85,
+            0.90,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("missing the capped cell p=1024"), "{err}");
+    }
+
+    #[test]
+    fn phase_profile_artifact_must_carry_the_capped_row() {
+        let dir = std::env::temp_dir().join("vg_bench_guard_phase_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        let b = base.to_str().unwrap();
+        let with = dir.join("profile_with.json");
+        std::fs::write(
+            &with,
+            r#"{"p": 1024, "capped": true, "slots": 1, "total_seconds": 1.0}"#,
+        )
+        .unwrap();
+        assert!(run(b, b, 0.85, 0.90, Some(with.to_str().unwrap())).is_ok());
+        let without = dir.join("profile_without.json");
+        std::fs::write(
+            &without,
+            r#"{"p": 1024, "capped": false, "slots": 1, "total_seconds": 1.0}"#,
+        )
+        .unwrap();
+        let err = run(b, b, 0.85, 0.90, Some(without.to_str().unwrap())).unwrap_err();
+        assert!(err.contains("capped p=1024 phase-profile row"), "{err}");
     }
 }

@@ -18,12 +18,12 @@ use vg_bench::{paper_app, paper_platform};
 use vg_core::HeuristicKind;
 use vg_des::rng::SeedPath;
 use vg_platform::source::AvailabilitySource;
-use vg_sim::{SimOptions, Simulation};
+use vg_sim::{PlacementBudget, SimOptions, Simulation};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-fn warmed_simulation(p: usize, replication: bool) -> Simulation {
+fn warmed_simulation(p: usize, replication: bool, placement_budget: PlacementBudget) -> Simulation {
     let platform = paper_platform(p, (p / 10).max(2), 2, 11);
     // Many iterations keep the workload alive for the whole measured
     // window. Iteration barriers are themselves allocation-free
@@ -49,6 +49,7 @@ fn warmed_simulation(p: usize, replication: bool) -> Simulation {
             replication,
             max_extra_replicas: 2,
             record_timeline: false,
+            placement_budget,
         },
     )
     .expect("valid configuration")
@@ -65,8 +66,20 @@ fn steady_state_slot_loop_is_allocation_free() {
     // as persistent scheduler scratch, warmed to the high-water platform
     // size during the warm-up window and silent over all 5000 measured
     // slots thereafter.
-    for (p, replication) in [(64, false), (64, true), (256, true)] {
-        let mut sim = warmed_simulation(p, replication);
+    // The final config re-runs the heaviest cell under the BindCapacity
+    // placement budget: at iteration starts its pool (2p tasks) dwarfs the
+    // bindable capacity (≤ p workers), so the capped branch and its top-up
+    // loop — pending-list seeding, per-round re-requests, in-place
+    // compaction — run on most measured slots and must be exactly as
+    // silent as the uncapped path (the `pending` buffer lives in the
+    // persistent SlotScratch, warmed like every other column).
+    for (p, replication, budget) in [
+        (64, false, PlacementBudget::Uncapped),
+        (64, true, PlacementBudget::Uncapped),
+        (256, true, PlacementBudget::Uncapped),
+        (256, true, PlacementBudget::BindCapacity),
+    ] {
+        let mut sim = warmed_simulation(p, replication, budget);
         // Warm-up: scratch buffers, worker bound-lists and scheduler
         // internals (including the loser tree and the per-candidate hot
         // rows) reach their high-water capacities.
@@ -86,7 +99,7 @@ fn steady_state_slot_loop_is_allocation_free() {
         let delta = snapshot().delta(before);
         assert!(
             delta.is_quiet(),
-            "steady-state slots allocated (p={p} replication={replication}): \
+            "steady-state slots allocated (p={p} replication={replication} {budget:?}): \
              {} allocs, {} reallocs, {} bytes over {} measured slots",
             delta.allocs,
             delta.reallocs,

@@ -537,6 +537,11 @@ impl Scheduler for GreedyScheduler {
         // identically 1 — one constant effective T_data for the whole row,
         // no per-candidate ceiling arithmetic. The hot rows are packed in
         // the same pass (their inputs are being read anyway).
+        // Room-constrained rounds (demand-driven placement) mark an
+        // already-full candidate unselectable up front: +inf sorts after
+        // every finite score in each selector, and the memo is not
+        // consulted for a row that can never win.
+        let room = view.room;
         for &i in &ups {
             let p = &view.procs[i];
             let row = HotRow {
@@ -546,7 +551,11 @@ impl Scheduler for GreedyScheduler {
                 id: p.id,
                 kernel: self.kernels[i],
             };
-            scores.push(self.memo_score(&mut memo, factors, view, i, &row, (1, view.t_data)));
+            scores.push(if room.is_some_and(|r| r[i] == 0) {
+                f64::INFINITY
+            } else {
+                self.memo_score(&mut memo, factors, view, i, &row, (1, view.t_data))
+            });
             hot.push(row);
         }
         // Pick the selection strategy (see `SelectorKind::choose` for the
@@ -561,6 +570,8 @@ impl Scheduler for GreedyScheduler {
             .unwrap_or_else(|| SelectorKind::choose(ups.len(), count));
         let mut selector = Selector::build(kind, &scores, &mut self.heap, &mut self.tree);
         let mut ceiling = CeilingState::new(self.contention, view.t_data, view.ncom);
+        let spent =
+            |room: Option<&[u8]>, i: usize, n_q: u32| room.is_some_and(|r| n_q >= u32::from(r[i]));
         for _ in 0..count {
             let best_pos = selector.select(&scores);
             let row = &mut hot[best_pos];
@@ -577,10 +588,22 @@ impl Scheduler for GreedyScheduler {
                 // bottom-up so each entry is touched exactly once.
                 for (pos, &i) in ups.iter().enumerate() {
                     let row = &hot[pos];
+                    if spent(room, i, row.n_q) {
+                        // A room-exhausted candidate must stay unselectable
+                        // through the dense re-price (the winner included —
+                        // this pick may just have spent its last copy).
+                        scores[pos] = f64::INFINITY;
+                        continue;
+                    }
                     let (factor, eff) = ceiling.price(row.n_q as usize);
                     scores[pos] = self.memo_score(&mut memo, factors, view, i, row, (factor, eff));
                 }
                 selector.refresh(&scores);
+            } else if spent(room, ups[best_pos], hot[best_pos].n_q) {
+                // The winner spent its last bindable copy: retire it from
+                // the round instead of re-pricing it.
+                scores[best_pos] = f64::INFINITY;
+                selector.rescore_winner(best_pos, &scores);
             } else {
                 // Winner rescores bypass the memo: overwriting the winner's
                 // entry with a transient n_q would evict the refresh-keyed

@@ -31,6 +31,15 @@ pub trait Scheduler: Send {
     /// choices to `out` (which the engine has already cleared). The engine
     /// owns `out` and reuses it across slots, so a warmed-up buffer makes
     /// this call allocation-free.
+    ///
+    /// When [`SchedView::room`] is `Some`, the engine is running a
+    /// demand-driven round and the column is an *advisory* per-worker bind
+    /// budget: implementations should avoid assigning a worker more
+    /// instances than its room, because the engine's `try_bind` will
+    /// reject the excess (the engine still tolerates overfull output — see
+    /// the field's contract). When it is `None`, nothing about per-worker
+    /// capacity is promised and implementations must not change behavior —
+    /// that is what keeps historical trajectories bit-identical.
     fn place_into(&mut self, view: &SchedView<'_>, count: usize, out: &mut Vec<ProcessorId>);
 
     /// Allocating shim over [`Self::place_into`] for callers that predate

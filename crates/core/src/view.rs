@@ -67,6 +67,23 @@ pub struct SchedView<'a> {
     pub t_data: SlotSpan,
     /// `ncom`: the master's channel capacity.
     pub ncom: usize,
+    /// Per-processor bind room for this placement round (`room[i]` copies
+    /// can still bind on processor `i` this slot), or `None` for an
+    /// unconstrained round.
+    ///
+    /// `None` is the historical contract: the scheduler requests whatever
+    /// it likes and the engine's bind step rejects what cannot bind (the
+    /// rejects dissolve under \[D5\]). Under a demand-driven placement
+    /// budget the engine passes `Some`: schedulers SHOULD then treat a
+    /// processor whose room is exhausted (0, or depleted by this round's
+    /// own picks) as unselectable, so placements land on processors that
+    /// can actually bind. Respecting `room` is advisory — the engine
+    /// tolerates overfill either way (the bind step still rejects) — but
+    /// a scheduler must never let `Some` change its choices relative to
+    /// `None` when the room never binds fewer copies than it would have
+    /// requested anyway; the engine only passes `Some` on rounds whose
+    /// trajectory is already allowed to diverge.
+    pub room: Option<&'a [u8]>,
 }
 
 impl<'a> SchedView<'a> {
@@ -122,6 +139,8 @@ pub struct OwnedSchedView {
     pub t_data: SlotSpan,
     /// `ncom`.
     pub ncom: usize,
+    /// Per-processor bind room (`None` = unconstrained round).
+    pub room: Option<Vec<u8>>,
 }
 
 impl OwnedSchedView {
@@ -134,6 +153,7 @@ impl OwnedSchedView {
             t_prog: self.t_prog,
             t_data: self.t_data,
             ncom: self.ncom,
+            room: self.room.as_deref(),
         }
     }
 }
@@ -155,6 +175,7 @@ impl SchedViewBuilder {
                 t_prog,
                 t_data,
                 ncom,
+                room: None,
             },
         }
     }
@@ -178,6 +199,15 @@ impl SchedViewBuilder {
             delay,
         });
         self.view.chains.push(ChainStats::new(chain));
+        self
+    }
+
+    /// Constrains the round to the given per-processor bind room
+    /// (length-matched to the processors added so far).
+    #[must_use]
+    pub fn room(mut self, room: Vec<u8>) -> Self {
+        assert_eq!(room.len(), self.view.procs.len(), "room length != p");
+        self.view.room = Some(room);
         self
     }
 

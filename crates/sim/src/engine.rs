@@ -108,6 +108,26 @@ use crate::task::{CopyId, IterationState, OriginalState, TaskId};
 use crate::timeline::{Activity, SlotMarks, Timeline};
 use crate::worker::{ComputeState, TransferState};
 
+/// How many placements the engine requests from the scheduler per slot
+/// (see `docs/placement_budget.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementBudget {
+    /// Paper-literal: request a placement for **every** pool task, every
+    /// slot. Placements that cannot bind dissolve at slot end (\[D5\]) and
+    /// are recomputed from scratch next slot — at `p = 1024` that is
+    /// hundreds of discarded score evaluations per slot.
+    #[default]
+    Uncapped,
+    /// Demand-driven: cap each pool request at the slot's **bindable
+    /// capacity** (workers that are `UP` with bind room), topping up with
+    /// bounded re-requests when `try_bind` rejects a placement. Slots where
+    /// the pool fits under the capacity take the exact `Uncapped` code
+    /// path, so runs in which the cap never *engages* are bit-identical to
+    /// `Uncapped` (pinned by `cap_equivalence.rs`); engaging slots may
+    /// place differently — the `cap_fidelity` study measures that delta.
+    BindCapacity,
+}
+
 /// Engine options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
@@ -119,6 +139,8 @@ pub struct SimOptions {
     pub max_extra_replicas: u8,
     /// Record a per-slot activity [`Timeline`] (one byte per worker-slot).
     pub record_timeline: bool,
+    /// Per-slot placement-request budget (default [`PlacementBudget::Uncapped`]).
+    pub placement_budget: PlacementBudget,
 }
 
 impl Default for SimOptions {
@@ -128,6 +150,7 @@ impl Default for SimOptions {
             replication: true,
             max_extra_replicas: 2,
             record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         }
     }
 }
@@ -162,26 +185,32 @@ pub mod phase_profile {
     ];
 
     /// Display names of the schedule sub-phases, index-aligned with
-    /// [`SUB`].
-    pub const SUB_NAMES: [&str; 6] = [
+    /// [`SUB`] and listed in slot execution order.
+    pub const SUB_NAMES: [&str; 8] = [
         "snapshot",
         "pool_place",
         "pool_bind",
-        "mask+cands",
+        "cands",
+        "free_scan",
+        "mask",
         "replica_place",
         "replica_bind",
     ];
 
     /// Cumulative nanoseconds of the schedule phase's sub-parts: the
     /// snapshot consult, the pool (originals) placement and its bind
-    /// loop, the free-mask + replica-candidate scans, and the replica
-    /// placement and its bind/mint loop. Together they partition (almost
-    /// all of) the `schedule` entry of [`NANOS`] — the split that told
-    /// this codebase the Eq.-(2)/Theorem-2 score evaluations, not the
-    /// snapshot walk, dominated at `p = 1024`, and the one that now
-    /// separates selector cost (the `*_place` entries) from bind
-    /// bookkeeping.
-    pub static SUB: [AtomicU64; 6] = [
+    /// loop, the replica-candidate generation, the free-worker scan, the
+    /// snapshot masking pass, and the replica placement and its bind/mint
+    /// loop. Together they partition (almost all of) the `schedule` entry
+    /// of [`NANOS`] — the split that told this codebase the
+    /// Eq.-(2)/Theorem-2 score evaluations, not the snapshot walk,
+    /// dominated at `p = 1024`, the one that separates selector cost (the
+    /// `*_place` entries) from bind bookkeeping, and — since the
+    /// free-scan/mask/cands split — the one that shows what the replica
+    /// phase's candidates-first early-out actually skips.
+    pub static SUB: [AtomicU64; 8] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
         AtomicU64::new(0),
@@ -208,7 +237,7 @@ pub mod phase_profile {
 
     /// Reads the schedule sub-phase accumulators.
     #[must_use]
-    pub fn sub_snapshot() -> [u64; 6] {
+    pub fn sub_snapshot() -> [u64; 8] {
         std::array::from_fn(|i| SUB[i].load(Ordering::Relaxed))
     }
 }
@@ -260,9 +289,19 @@ struct SlotScratch {
     cands: Vec<TaskId>,
     /// Scheduler placement output (phase 3).
     placements: Vec<ProcessorId>,
+    /// Pool tasks still awaiting a bind inside the [`PlacementBudget::
+    /// BindCapacity`] top-up loop (phase 3); compacted in place as binds
+    /// succeed, untouched on the uncapped path.
+    pending: Vec<TaskId>,
     /// Free-worker bitmask for the replica path (phase 3): `free[q]` iff
     /// worker `q` is UP and completely idle.
     free: Vec<bool>,
+    /// Per-worker remaining bind room for a capped pool round (phase 3):
+    /// `2 - occupancy` for UP workers, 0 otherwise, decremented as binds
+    /// land. Passed to the scheduler as [`SchedView::room`] so an engaged
+    /// round never stacks placements past what `try_bind` can accept.
+    /// Untouched on the uncapped path.
+    room: Vec<u8>,
     /// In-flight transfer continuations, sorted by (began_at, widx).
     continuations: Vec<(Slot, usize, Request)>,
     /// The channel request queue in grant priority order (phase 4).
@@ -291,7 +330,9 @@ impl SlotScratch {
             pool: Vec::with_capacity(m),
             cands: Vec::with_capacity(m),
             placements: Vec::with_capacity(m.max(p)),
+            pending: Vec::with_capacity(m),
             free: Vec::with_capacity(p),
+            room: Vec::with_capacity(p),
             continuations: Vec::with_capacity(p),
             requests: Vec::with_capacity(2 * p),
             prog_requested: Vec::with_capacity(p),
@@ -568,6 +609,7 @@ impl SimArena {
             iteration_completed_at: std::mem::take(&mut self.iteration_completed_at),
             counters: Counters::default(),
             bind_order: std::mem::take(&mut self.bind_order),
+            cap_engagements: 0,
             scratch: std::mem::take(&mut self.scratch),
             timeline: None,
             slot_marks: std::mem::take(&mut self.slot_marks),
@@ -648,6 +690,12 @@ pub struct Simulation<S: WorkerStore = WorkerSoA> {
     counters: Counters,
     /// Bind order of this slot: (worker, copy), originals before replicas.
     bind_order: Vec<(usize, CopyId)>,
+    /// Slots where the [`PlacementBudget::BindCapacity`] cap actually
+    /// clipped the pool request (pool larger than the bindable capacity).
+    /// Always 0 under [`PlacementBudget::Uncapped`]. Deliberately **not**
+    /// part of [`SimReport`]/[`Counters`]: a capped run that never engages
+    /// must stay byte-identical to its uncapped twin, counter for counter.
+    cap_engagements: u64,
     scratch: SlotScratch,
     timeline: Option<Timeline>,
     slot_marks: Vec<SlotMarks>,
@@ -731,6 +779,7 @@ impl<S: WorkerStore> Simulation<S> {
             iteration_completed_at: Vec::with_capacity(app.iterations as usize),
             counters: Counters::default(),
             bind_order: Vec::with_capacity(platform.p()),
+            cap_engagements: 0,
             scratch: SlotScratch::with_capacity(platform.p(), app.tasks_per_iteration),
             timeline: options.record_timeline.then(|| Timeline::new(platform.p())),
             slot_marks: vec![SlotMarks::default(); platform.p()],
@@ -775,6 +824,16 @@ impl<S: WorkerStore> Simulation<S> {
     #[must_use]
     pub fn slots_run(&self) -> Slot {
         self.slot
+    }
+
+    /// Slots where the [`PlacementBudget::BindCapacity`] cap actually
+    /// clipped the pool request. Always 0 under
+    /// [`PlacementBudget::Uncapped`]; a capped run reporting 0 here took
+    /// the uncapped code path on every slot and is therefore byte-identical
+    /// to its uncapped twin (the `cap_equivalence` grid pins this).
+    #[must_use]
+    pub fn cap_engagements(&self) -> u64 {
+        self.cap_engagements
     }
 
     /// Finishes a (possibly partial) run into its report.
@@ -1027,66 +1086,224 @@ impl<S: WorkerStore> Simulation<S> {
         // Originals first (strict priority, Section 6.1).
         self.iter.pool_tasks_into(&mut self.scratch.pool);
         if !self.scratch.pool.is_empty() {
-            sub!(0, self.snapshot_procs());
-            have_snapshot = true;
-            let count = self.scratch.pool.len();
-            sub!(1, {
-                let Self {
-                    scratch,
-                    scheduler,
-                    chains,
-                    app,
-                    ledger,
-                    ..
-                } = self;
-                let view = SchedView {
-                    procs: &scratch.procs,
-                    chains,
-                    t_prog: app.t_prog,
-                    t_data: app.t_data,
-                    ncom: ledger.ncom(),
-                };
-                scratch.placements.clear();
-                scheduler.place_into(&view, count, &mut scratch.placements);
-            });
-            sub!(2, {
-                let placed = self.scratch.placements.len().min(count);
-                for k in 0..placed {
-                    let task = self.scratch.pool[k];
-                    let pid = self.scratch.placements[k];
-                    debug_assert!(
-                        self.workers.state(pid.idx()) == ProcState::Up,
-                        "scheduler placed a task on a non-UP processor"
+            // Under `BindCapacity`, a pool that fits inside the slot's
+            // bindable capacity takes the exact uncapped code path below —
+            // that branch equality is what makes never-engaging capped runs
+            // bit-identical to uncapped ones.
+            let capacity = match self.options.placement_budget {
+                PlacementBudget::Uncapped => usize::MAX,
+                PlacementBudget::BindCapacity => {
+                    let cap = self.workers.bindable_count();
+                    // Engagement detector: the dense-column count must agree
+                    // with a from-scratch accessor rescan, or an occupancy
+                    // mutator drifted.
+                    debug_assert_eq!(
+                        cap,
+                        (0..self.workers.len())
+                            .filter(|&q| {
+                                self.workers.state(q) == ProcState::Up
+                                    && self.workers.has_bind_room(q)
+                            })
+                            .count(),
+                        "bindable_count diverged from a naive accessor rescan"
                     );
-                    let _ = self.try_bind(pid.idx(), CopyId::original(task));
+                    cap
                 }
-            });
+            };
+            if self.scratch.pool.len() <= capacity {
+                sub!(0, self.snapshot_procs());
+                have_snapshot = true;
+                let count = self.scratch.pool.len();
+                sub!(1, {
+                    let Self {
+                        scratch,
+                        scheduler,
+                        chains,
+                        app,
+                        ledger,
+                        ..
+                    } = self;
+                    let view = SchedView {
+                        procs: &scratch.procs,
+                        chains,
+                        t_prog: app.t_prog,
+                        t_data: app.t_data,
+                        ncom: ledger.ncom(),
+                        room: None,
+                    };
+                    scratch.placements.clear();
+                    scheduler.place_into(&view, count, &mut scratch.placements);
+                });
+                sub!(2, {
+                    let placed = self.scratch.placements.len().min(count);
+                    for k in 0..placed {
+                        let task = self.scratch.pool[k];
+                        let pid = self.scratch.placements[k];
+                        debug_assert!(
+                            self.workers.state(pid.idx()) == ProcState::Up,
+                            "scheduler placed a task on a non-UP processor"
+                        );
+                        let _ = self.try_bind(pid.idx(), CopyId::original(task));
+                    }
+                });
+            } else {
+                // The cap engages: the pool exceeds what the platform can
+                // bind this slot, so the request is clipped to `capacity`
+                // and topped up below. The placement trajectory may now
+                // differ from `Uncapped` — `cap_engagements` records that
+                // this run left the bit-identical regime (the
+                // `cap_fidelity` study measures the statistical effect).
+                self.cap_engagements += 1;
+                if capacity > 0 {
+                    sub!(0, self.snapshot_procs());
+                    have_snapshot = true;
+                    // Mask the snapshot down to the bindable workers (the
+                    // same in-place idiom as the replica path): a worker
+                    // without bind room could only soak up placements that
+                    // `try_bind` must reject, and — more importantly —
+                    // every masked worker drops out of `place_into`'s
+                    // per-candidate row fill, so the placement round costs
+                    // O(capacity), not O(p). States are rewritten from the
+                    // store at the next snapshot consult, so no restore
+                    // pass is needed.
+                    sub!(5, {
+                        let Self {
+                            workers, scratch, ..
+                        } = self;
+                        workers.room_into(&mut scratch.room);
+                        debug_assert!(scratch.room.iter().enumerate().all(|(q, &r)| {
+                            (r > 0)
+                                == (workers.state(q) == ProcState::Up && workers.has_bind_room(q))
+                        }));
+                        for (pr, &room) in scratch.procs.iter_mut().zip(scratch.room.iter()) {
+                            if room == 0 {
+                                pr.state = ProcState::Reclaimed;
+                            }
+                        }
+                    });
+                    self.scratch.pending.clear();
+                    self.scratch.pending.extend_from_slice(&self.scratch.pool);
+                    // Top-up loop: `try_bind` can reject a placed worker
+                    // (it filled up from an earlier bind this slot, or
+                    // already holds a copy of the task), so one round can
+                    // under-fill the capacity. Re-request placements for
+                    // the still-pending tasks until the capacity is spent,
+                    // the pending list drains, or a round binds nothing —
+                    // every continuing round binds at least one copy, so
+                    // the loop runs at most `capacity + 1` rounds. The
+                    // snapshot is *not* refreshed between rounds: bound
+                    // copies are invisible to `Delay(q)` (\[D8\]), and a
+                    // worker that filled up anyway is rejected by
+                    // `try_bind` and retried.
+                    let mut remaining = capacity;
+                    loop {
+                        let want = self.scratch.pending.len().min(remaining);
+                        if want == 0 {
+                            break;
+                        }
+                        let placed = sub!(1, {
+                            let Self {
+                                scratch,
+                                scheduler,
+                                chains,
+                                app,
+                                ledger,
+                                ..
+                            } = self;
+                            let view = SchedView {
+                                procs: &scratch.procs,
+                                chains,
+                                t_prog: app.t_prog,
+                                t_data: app.t_data,
+                                ncom: ledger.ncom(),
+                                // Advisory bind-room column: lets the
+                                // scheduler retire a worker once its room is
+                                // spent instead of stacking placements that
+                                // `try_bind` must bounce back into the
+                                // top-up loop. Only this engaged branch —
+                                // already outside the bit-identical regime —
+                                // passes `Some`.
+                                room: Some(&scratch.room),
+                            };
+                            scratch.placements.clear();
+                            scheduler.place_into(&view, want, &mut scratch.placements);
+                            scratch.placements.len().min(want)
+                        });
+                        if placed == 0 {
+                            break;
+                        }
+                        let bound = sub!(2, {
+                            let mut bound = 0usize;
+                            let mut write = 0usize;
+                            for k in 0..self.scratch.pending.len() {
+                                let task = self.scratch.pending[k];
+                                if k < placed {
+                                    let pid = self.scratch.placements[k];
+                                    debug_assert!(
+                                        self.workers.state(pid.idx()) == ProcState::Up,
+                                        "scheduler placed a task on a non-UP processor"
+                                    );
+                                    if self.try_bind(pid.idx(), CopyId::original(task)) {
+                                        bound += 1;
+                                        debug_assert!(self.scratch.room[pid.idx()] > 0);
+                                        self.scratch.room[pid.idx()] -= 1;
+                                        continue;
+                                    }
+                                }
+                                self.scratch.pending[write] = task;
+                                write += 1;
+                            }
+                            self.scratch.pending.truncate(write);
+                            bound
+                        });
+                        if bound == 0 {
+                            // Nothing placed survived `try_bind` and the
+                            // view is unchanged: a deterministic scheduler
+                            // would repeat itself verbatim. Stop rather
+                            // than spin.
+                            break;
+                        }
+                        remaining -= bound;
+                    }
+                }
+            }
         }
 
         // Replication: idle UP workers receive replicas of the least
         // replicated unfinished tasks (≤ max_extra_replicas each).
+        //
+        // Candidates first: near an iteration barrier every unfinished task
+        // already carries its full replica set, so the candidate list — an
+        // O(m′) scan over the few unfinished tasks — empties long before
+        // the platform runs out of idle workers. Generating it before the
+        // free-worker scan turns those slots' O(p) full-platform pass into
+        // an early-out. (`replica_candidates_into` reads only iteration
+        // state, so the reorder is unobservable when both run.) The free
+        // count doubles as the replica path's bind capacity, so this path
+        // is demand-driven under *both* placement budgets — `k` below
+        // never exceeds what can actually bind.
         if self.options.replication && !self.iter.is_complete() {
-            let n_free = sub!(3, {
-                let Self {
-                    workers, scratch, ..
-                } = self;
-                scratch.free.clear();
-                let mut n = 0usize;
-                scratch.free.extend((0..workers.len()).map(|q| {
-                    let free = workers.state(q) == ProcState::Up && workers.is_idle(q);
-                    n += usize::from(free);
-                    free
-                }));
-                n
-            });
-            if n_free > 0 {
-                sub!(
-                    3,
-                    self.iter.replica_candidates_into(
-                        self.options.max_extra_replicas,
-                        &mut self.scratch.cands,
-                    )
-                );
+            sub!(
+                3,
+                self.iter.replica_candidates_into(
+                    self.options.max_extra_replicas,
+                    &mut self.scratch.cands,
+                )
+            );
+            if !self.scratch.cands.is_empty() {
+                let n_free = sub!(4, {
+                    let Self {
+                        workers, scratch, ..
+                    } = self;
+                    scratch.free.clear();
+                    let mut n = 0usize;
+                    scratch.free.extend((0..workers.len()).map(|q| {
+                        let free = workers.state(q) == ProcState::Up && workers.is_idle(q);
+                        n += usize::from(free);
+                        free
+                    }));
+                    n
+                });
                 let k = self.scratch.cands.len().min(n_free);
                 if k > 0 {
                     if !have_snapshot {
@@ -1101,7 +1318,21 @@ impl<S: WorkerStore> Simulation<S> {
                         // remainder.
                         sub!(0, self.snapshot_procs());
                     }
-                    sub!(4, {
+                    sub!(5, {
+                        let SlotScratch { procs, free, .. } = &mut self.scratch;
+                        // Restrict the heuristic's choice to the free
+                        // workers by masking everyone else as non-UP — in
+                        // place: states are rewritten from the store at the
+                        // next consult, so no restore pass is needed, and
+                        // masked workers' delays are unread (schedulers
+                        // only score UP processors).
+                        for (pr, &f) in procs.iter_mut().zip(free.iter()) {
+                            if !f {
+                                pr.state = ProcState::Reclaimed;
+                            }
+                        }
+                    });
+                    sub!(6, {
                         let Self {
                             scratch,
                             scheduler,
@@ -1110,34 +1341,21 @@ impl<S: WorkerStore> Simulation<S> {
                             ledger,
                             ..
                         } = self;
-                        let SlotScratch {
-                            procs,
-                            free,
-                            placements,
-                            ..
-                        } = scratch;
-                        // Restrict the heuristic's choice to the free
-                        // workers by masking everyone else as non-UP — in
-                        // place: states are rewritten from the store at the
-                        // next consult, so no restore pass is needed, and
-                        // masked workers' delays are unread (schedulers
-                        // only score UP processors).
-                        for (i, pr) in procs.iter_mut().enumerate() {
-                            if !free[i] {
-                                pr.state = ProcState::Reclaimed;
-                            }
-                        }
                         let view = SchedView {
-                            procs,
+                            procs: &scratch.procs,
                             chains,
                             t_prog: app.t_prog,
                             t_data: app.t_data,
                             ncom: ledger.ncom(),
+                            // Free workers have full room by construction;
+                            // the historical contract (`None`) keeps this
+                            // path bit-identical under both budgets.
+                            room: None,
                         };
-                        placements.clear();
-                        scheduler.place_into(&view, k, placements);
+                        scratch.placements.clear();
+                        scheduler.place_into(&view, k, &mut scratch.placements);
                     });
-                    sub!(5, {
+                    sub!(7, {
                         let placed = self.scratch.placements.len().min(k);
                         for j in 0..placed {
                             let task = self.scratch.cands[j];
@@ -1583,6 +1801,7 @@ mod tests {
         replication: false,
         max_extra_replicas: 2,
         record_timeline: false,
+        placement_budget: PlacementBudget::Uncapped,
     };
 
     #[test]
@@ -1616,6 +1835,98 @@ mod tests {
         };
         let r = run(&platform, &app, HeuristicKind::Mct, NO_REP);
         assert_eq!(r.makespan, Some(6));
+    }
+
+    /// Step-wise driver that also reports how often the placement cap
+    /// engaged (the consuming `run()` drops the engine before it can be
+    /// asked).
+    fn run_counting(
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        kind: HeuristicKind,
+        opts: SimOptions,
+    ) -> (SimReport, u64) {
+        let sched = kind.build(SeedPath::root(999).rng());
+        let sources = sources_for(platform, 7);
+        let mut sim = Simulation::new(platform, app, sched, sources, opts).unwrap();
+        while !sim.is_done() {
+            sim.step();
+        }
+        let engagements = sim.cap_engagements();
+        (sim.into_report(), engagements)
+    }
+
+    const CAPPED_NO_REP: SimOptions = SimOptions {
+        max_slots: 100_000,
+        replication: false,
+        max_extra_replicas: 2,
+        record_timeline: false,
+        placement_budget: PlacementBudget::BindCapacity,
+    };
+
+    #[test]
+    fn bind_capacity_defers_excess_placements_without_losing_throughput() {
+        // p=1, m=2: the uncapped engine requests placements for both tasks
+        // every slot until their data transfers start; the capped engine
+        // sees bindable capacity 1 (one idle worker) and requests one. An
+        // unstarted binding dissolves back into the pool at slot end
+        // ([D5]), so the full pool {T0, T1} re-engages the cap on slots
+        // 0–2 — exactly until data(T0) starts mid-slot 2 and pins T0. The
+        // deferred T1 bind is absorbed by the channel serialization, so
+        // the analytic makespan of
+        // `single_worker_pipeline_analytic_makespan` still holds.
+        let platform = always_up(1, 3, 1);
+        let app = AppConfig {
+            tasks_per_iteration: 2,
+            iterations: 1,
+            t_prog: 2,
+            t_data: 1,
+        };
+        let (r, engagements) = run_counting(&platform, &app, HeuristicKind::Mct, CAPPED_NO_REP);
+        assert_eq!(
+            engagements, 3,
+            "slots 0-2 re-offer the dissolved pool (2) against capacity 1"
+        );
+        assert_eq!(r.makespan, Some(9));
+        assert_eq!(r.counters.tasks_completed, 2);
+    }
+
+    #[test]
+    fn bind_capacity_that_never_engages_is_bit_identical_to_uncapped() {
+        // Capacity (4 idle workers) always covers the pool (2 tasks), so
+        // the capped engine takes the uncapped code path on every slot and
+        // the reports must match byte for byte.
+        let platform = always_up(4, 3, 2);
+        let app = AppConfig {
+            tasks_per_iteration: 2,
+            iterations: 3,
+            t_prog: 2,
+            t_data: 1,
+        };
+        let (capped, engagements) =
+            run_counting(&platform, &app, HeuristicKind::Mct, CAPPED_NO_REP);
+        assert_eq!(engagements, 0, "pool of 2 can never exceed capacity of 4");
+        let (uncapped, zero) = run_counting(&platform, &app, HeuristicKind::Mct, NO_REP);
+        assert_eq!(zero, 0, "Uncapped never counts engagements");
+        assert_eq!(capped, uncapped);
+    }
+
+    #[test]
+    fn bind_capacity_engages_under_pressure_and_still_completes() {
+        // m = 4·p: the first slots of every iteration overwhelm the
+        // platform, so the cap engages repeatedly; the top-up loop must
+        // still feed every task through and finish both iterations.
+        let platform = always_up(2, 3, 2);
+        let app = AppConfig {
+            tasks_per_iteration: 8,
+            iterations: 2,
+            t_prog: 2,
+            t_data: 1,
+        };
+        let (r, engagements) = run_counting(&platform, &app, HeuristicKind::Mct, CAPPED_NO_REP);
+        assert!(engagements > 0, "a 4x oversubscribed pool must engage");
+        assert!(r.finished());
+        assert_eq!(r.counters.tasks_completed, 16);
     }
 
     #[test]
@@ -1841,6 +2152,7 @@ mod tests {
                             replication,
                             max_extra_replicas: 2,
                             record_timeline: false,
+                            placement_budget: PlacementBudget::Uncapped,
                         },
                     )
                     .unwrap()
@@ -1903,6 +2215,7 @@ mod tests {
                 replication,
                 max_extra_replicas: 2,
                 record_timeline: false,
+                placement_budget: PlacementBudget::Uncapped,
             };
             for kind in [HeuristicKind::EmctStar, HeuristicKind::Random2w] {
                 let seed = (round * 10 + p) as u64;

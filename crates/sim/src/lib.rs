@@ -106,7 +106,8 @@ pub mod timeline;
 pub mod worker;
 
 pub use engine::{
-    platform_chain_stats, ReferenceSimulation, RunOutcome, SimArena, SimOptions, Simulation,
+    platform_chain_stats, PlacementBudget, ReferenceSimulation, RunOutcome, SimArena, SimOptions,
+    Simulation,
 };
 pub use report::{Counters, SimReport};
 pub use store::{AosWorkers, WorkerSoA, WorkerStore};

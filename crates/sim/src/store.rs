@@ -195,6 +195,41 @@ pub trait WorkerStore: Default + Send {
     /// Room for one more bound copy on worker `q` (pipeline capacity 2).
     fn has_bind_room(&self, q: usize) -> bool;
 
+    /// Number of workers that could accept one more bound copy this slot:
+    /// `UP` with bind room. This is the **bindable capacity** the
+    /// `PlacementBudget::BindCapacity` engine mode clips each pool request
+    /// to — asking the scheduler for more placements than this can never
+    /// yield more binds. The default is an O(p) accessor scan; dense-column
+    /// layouts override it with a branch-light column walk (the engine
+    /// cross-checks the override against this scan in debug builds).
+    fn bindable_count(&self) -> usize {
+        (0..self.len())
+            .filter(|&q| self.state(q) == ProcState::Up && self.has_bind_room(q))
+            .count()
+    }
+
+    /// Fills `out[q]` with worker `q`'s remaining bind room this slot:
+    /// `2 − occupancy` for `UP` workers, 0 otherwise. The dense per-worker
+    /// companion of [`Self::bindable_count`] — the capped placement round
+    /// hands the column to the scheduler (as `SchedView::room`) so it can
+    /// retire a worker the moment its room is spent. The default is an
+    /// O(p) accessor scan; dense-column layouts override it with the same
+    /// two-column walk as `bindable_count`.
+    fn room_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend((0..self.len()).map(|q| {
+            if self.state(q) != ProcState::Up {
+                0
+            } else if self.is_idle(q) {
+                2
+            } else if self.has_bind_room(q) {
+                1
+            } else {
+                0
+            }
+        }));
+    }
+
     /// `Delay(q)` — see [`WorkerRuntime::delay_estimate`].
     fn delay_estimate(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) -> SlotSpan;
 
@@ -651,6 +686,30 @@ impl WorkerStore for WorkerSoA {
     #[inline]
     fn has_bind_room(&self, q: usize) -> bool {
         self.occupancy[q] < 2
+    }
+
+    fn bindable_count(&self) -> usize {
+        // One pass over the two hot byte-wide columns — the same
+        // two-column walk the replica path's free scan does, without the
+        // per-worker accessor dispatch of the default implementation.
+        self.state
+            .iter()
+            .zip(&self.occupancy)
+            .filter(|&(&s, &occ)| s == ProcState::Up && occ < 2)
+            .count()
+    }
+
+    fn room_into(&self, out: &mut Vec<u8>) {
+        // Same two-column walk as `bindable_count`, emitting the per-worker
+        // remainder instead of the population count.
+        out.clear();
+        out.extend(self.state.iter().zip(&self.occupancy).map(|(&s, &occ)| {
+            if s == ProcState::Up {
+                2u8.saturating_sub(occ)
+            } else {
+                0
+            }
+        }));
     }
 
     #[inline]

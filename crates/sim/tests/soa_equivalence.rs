@@ -29,7 +29,7 @@ use vg_des::rng::SeedPath;
 use vg_markov::availability::AvailabilityChain;
 use vg_platform::source::StartPolicy;
 use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig};
-use vg_sim::{ReferenceSimulation, SimArena, SimOptions, Simulation};
+use vg_sim::{PlacementBudget, ReferenceSimulation, SimArena, SimOptions, Simulation};
 
 /// Paper-style platform: Markov chains with diagonals in `[0.90, 0.99]`,
 /// speeds in `[2, 20]`.
@@ -103,6 +103,7 @@ fn soa_engine_is_bit_identical_to_aos_reference_across_the_grid() {
                     replication,
                     max_extra_replicas: 2,
                     record_timeline: false,
+                    placement_budget: PlacementBudget::Uncapped,
                 };
                 for kind in HeuristicKind::ALL {
                     let soa = Simulation::run_seeded(
@@ -172,6 +173,7 @@ fn warmed_arena_matches_cold_engines_of_both_layouts_across_resizes() {
             replication,
             max_extra_replicas: 2,
             record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         };
         for kind in [
             HeuristicKind::EmctStar,
@@ -247,6 +249,7 @@ fn capped_runs_leave_no_stale_dirty_bits_across_arena_resizes() {
             replication: true,
             max_extra_replicas: 2,
             record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         };
         for kind in [
             HeuristicKind::EmctStar,

@@ -36,6 +36,7 @@ fn main() {
         SeedPath::root(4),
         SimOptions {
             record_timeline: true,
+            placement_budget: PlacementBudget::Uncapped,
             ..SimOptions::default()
         },
     )

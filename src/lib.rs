@@ -69,5 +69,5 @@ pub mod prelude {
         AppConfig, AvailabilityModelConfig, PlatformConfig, ProcessorConfig, ProcessorId,
         StartPolicy, TailBehavior, Trace,
     };
-    pub use vg_sim::{SimOptions, SimReport, Simulation};
+    pub use vg_sim::{PlacementBudget, SimOptions, SimReport, Simulation};
 }

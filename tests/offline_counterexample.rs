@@ -74,6 +74,7 @@ fn online_mct_fails_the_counterexample() {
             replication: false,
             max_extra_replicas: 0,
             record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         },
     )
     .unwrap();
@@ -125,6 +126,7 @@ fn replication_rescues_online_mct() {
             replication: false,
             max_extra_replicas: 0,
             record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         },
     )
     .unwrap();
@@ -138,6 +140,7 @@ fn replication_rescues_online_mct() {
             replication: true,
             max_extra_replicas: 2,
             record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         },
     )
     .unwrap();

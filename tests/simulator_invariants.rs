@@ -37,6 +37,7 @@ fn run(
             replication,
             max_extra_replicas: 2,
             record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         },
     )
     .expect("valid configuration")
