@@ -26,23 +26,34 @@ static BYTES: AtomicU64 = AtomicU64::new(0);
 /// A `#[global_allocator]` wrapper around [`System`] that counts calls.
 pub struct CountingAllocator;
 
-// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
-// contract; the counters are side effects only.
+// SAFETY: every method delegates directly to `System`, which upholds the
+// full `GlobalAlloc` contract (alignment, provenance, non-aliasing); the
+// added counter updates are lock-free atomics with no allocation of their
+// own, so they cannot reenter the allocator or unwind across it.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, who per
+        // the `GlobalAlloc` contract guarantees it has non-zero size.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` are forwarded unchanged; our caller
+        // guarantees `ptr` came from this allocator (which always handed
+        // out `System` blocks) with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         REALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: arguments forwarded unchanged; our caller guarantees
+        // `ptr` is a live `System` block of `layout`, and that `new_size`
+        // is non-zero and does not overflow when rounded up to the layout's
+        // alignment.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -108,6 +108,7 @@ impl Scheduler for RandomScheduler {
             return;
         }
         if self.weight_cache.len() != view.p() {
+            // tidy:allow(hot_alloc): cache filled once per run (weights are static per view width).
             self.weight_cache = (0..view.p()).map(|i| self.weight_of(view, i)).collect();
         }
         let mut weights = std::mem::take(&mut self.weights);

@@ -6,7 +6,7 @@
 //! more task onto it raises its completion time), and repeat — with an
 //! occasional *wholesale* re-score when an Equation-(2) ceiling step
 //! re-prices every candidate at once. This module isolates the data
-//! structure answering those queries behind [`Selector`], with three
+//! structure answering those queries behind `Selector`, with three
 //! implementations that produce **bit-identical decision sequences** and
 //! differ only in access pattern:
 //!
@@ -50,15 +50,15 @@
 //! under-states its candidate and the pop-validate loop is sound — see
 //! `vg_core::greedy`). The loser tree stores *positions only* and reads
 //! scores live from the caller's dense row, so it must never be stale: the
-//! caller re-score protocol — [`Selector::rescore_winner`] after each
-//! placement, [`Selector::refresh`] after each wholesale re-price — is a
+//! caller re-score protocol — `Selector::rescore_winner` after each
+//! placement, `Selector::refresh` after each wholesale re-price — is a
 //! hard contract, debug-asserted where cheap.
 //!
 //! ## Storage
 //!
 //! Selector storage ([`LoserTree`], the heap's entry vector) lives in the
 //! owning scheduler's persistent scratch and is moved in and out of the
-//! round-scoped [`Selector`] by value, so steady-state rounds allocate
+//! round-scoped `Selector` by value, so steady-state rounds allocate
 //! nothing once the backing vectors reach their high-water capacity (the
 //! zero-allocation test in `vg-bench` pins this through the engine).
 
@@ -199,7 +199,7 @@ const RUNNER_UP_UNKNOWN: u128 = 0;
 /// `m`. `nodes[0]` is the overall winner's leaf, `nodes[1..m]` the *loser*
 /// leaf of each internal match (children of node `i` are `2i`/`2i+1` in
 /// the implicit complete tree whose leaves `m..2m` map to positions
-/// `0..m`); `keys` caches each leaf's [`packed_key`], refreshed whenever
+/// `0..m`); `keys` caches each leaf's `packed_key`, refreshed whenever
 /// the caller re-prices that leaf. A node is 4 bytes and a key 16, so the
 /// whole `p = 1024` structure is cache-resident.
 ///

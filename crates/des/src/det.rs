@@ -1,0 +1,144 @@
+//! Deterministic hash collections.
+//!
+//! `std`'s default `RandomState` seeds SipHash from process-global entropy,
+//! so `HashMap`/`HashSet` iteration order — and anything order-dependent
+//! downstream of it — varies from run to run. That is exactly the class of
+//! nondeterminism this workspace bans (bit-identical `SimReport`s across
+//! runs, layouts, and parallelism), and the `vg-tidy` `default_hasher` rule
+//! rejects the std types in library code at the source level.
+//!
+//! This module provides the sanctioned replacement: [`DetHashMap`] /
+//! [`DetHashSet`] over a fixed-seed FxHash-style hasher ([`DetHasher`]).
+//! Same asymptotics as std's, byte-for-byte reproducible across processes
+//! and platforms (the mixing is pure 64-bit arithmetic, no host entropy).
+//!
+//! FxHash (rustc's internal hasher) is *not* DoS-resistant — that is a
+//! deliberate trade: these collections key simulation-internal state
+//! (memoization tables, visited sets), never attacker-controlled input.
+
+// tidy:allow(default_hasher): imported to re-export with the fixed-seed hasher below.
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash64 multiplier: `2^64 / φ`, an odd constant with good bit
+/// dispersion under multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fixed-seed, entropy-free [`Hasher`] (FxHash-style): each word is
+/// folded in with a rotate-xor-multiply. Identical input always produces
+/// an identical hash, in every process, on every platform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetHasher(u64);
+
+impl DetHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Fixed-seed `BuildHasher` for [`DetHashMap`] / [`DetHashSet`].
+pub type DetState = BuildHasherDefault<DetHasher>;
+
+/// A `HashMap` with a deterministic, fixed-seed hasher.
+// tidy:allow(default_hasher): this alias IS the sanctioned deterministic replacement.
+pub type DetHashMap<K, V> = HashMap<K, V, DetState>;
+
+/// A `HashSet` with a deterministic, fixed-seed hasher.
+// tidy:allow(default_hasher): this alias IS the sanctioned deterministic replacement.
+pub type DetHashSet<T> = HashSet<T, DetState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        DetState::default().hash_one(v)
+    }
+
+    #[test]
+    fn hashes_are_stable_across_builders() {
+        // Two independently constructed states agree — no per-instance or
+        // per-process entropy anywhere.
+        let a = DetState::default().hash_one(("abc", 7u64, [1u16, 2, 3]));
+        let b = DetState::default().hash_one(("abc", 7u64, [1u16, 2, 3]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pinned_hash_values() {
+        // Golden values: if these move, every persisted artifact or test
+        // relying on DetHash iteration order silently changes meaning.
+        assert_eq!(hash_of(&0u64), 0);
+        assert_eq!(hash_of(&1u64), SEED);
+        assert_eq!(hash_of(&"slot"), 10_683_801_592_150_947_110);
+    }
+
+    #[test]
+    fn tail_bytes_disambiguate() {
+        // The length fold keeps short prefixes from colliding trivially.
+        assert_ne!(hash_of(&[1u8, 0]), hash_of(&[1u8]));
+        assert_ne!(hash_of(b"ab".as_slice()), hash_of(b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn det_set_iteration_is_reproducible() {
+        let mk = || {
+            let mut s: DetHashSet<u64> = DetHashSet::default();
+            for v in [9, 1, 52, 3, 17, 1000, 4] {
+                s.insert(v);
+            }
+            s.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

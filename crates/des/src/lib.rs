@@ -14,6 +14,9 @@
 //! * [`par`] — a small scoped thread pool (`std::thread::scope` +
 //!   crossbeam channels) used to fan out independent simulation instances
 //!   across cores while keeping each instance fully deterministic.
+//! * [`det`] — fixed-seed hash collections ([`det::DetHashMap`] /
+//!   [`det::DetHashSet`]): the sanctioned replacement for std's
+//!   randomly-seeded maps wherever iteration order could leak into results.
 //!
 //! The simulation model of the paper is *slot based* (discretized time,
 //! Section 3.2 of Casanova et al.), so most of the workspace only needs the
@@ -21,6 +24,7 @@
 //! natural (e.g. trace run-lengths) and by downstream users of the library.
 
 pub mod calendar;
+pub mod det;
 pub mod par;
 pub mod rng;
 pub mod stats;

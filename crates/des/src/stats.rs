@@ -253,7 +253,10 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     }
     assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
     let mut xs: Vec<f64> = samples.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    // total_cmp keeps this total (NaN sorts above +inf) instead of panicking
+    // mid-report; a NaN sample then surfaces as a NaN quantile, which is the
+    // honest answer.
+    xs.sort_by(f64::total_cmp);
     let h = (xs.len() as f64 - 1.0) * q;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

@@ -229,6 +229,7 @@ impl AvailabilityChain {
     /// Converts to the generic [`MarkovChain`].
     #[must_use]
     pub fn to_chain(&self) -> MarkovChain {
+        // tidy:allow(hot_alloc): one-off conversion helper, not on the sampling path.
         let rows: Vec<Vec<f64>> = self.p.iter().map(|r| r.to_vec()).collect();
         MarkovChain::new(SquareMatrix::from_rows(&rows)).expect("validated at construction")
     }
@@ -336,7 +337,9 @@ impl AvailabilityChain {
             return 1.0;
         }
         let m = SquareMatrix::from_rows(&[
+            // tidy:allow(hot_alloc): exact-analysis path (Section 6.3.3 study), not simulation-hot.
             vec![self.p_uu(), self.p_ur()],
+            // tidy:allow(hot_alloc): exact-analysis path (Section 6.3.3 study), not simulation-hot.
             vec![self.p_ru(), self.p_rr()],
         ]);
         let mk = m.pow(k - 1);
@@ -718,6 +721,7 @@ impl AvailabilityStream {
 
     /// Emits `len` states into a vector.
     pub fn take_vec(&mut self, len: usize) -> Vec<ProcState> {
+        // tidy:allow(hot_alloc): the whole point of this API is to materialize a trace.
         (0..len).map(|_| self.next_state()).collect()
     }
 }

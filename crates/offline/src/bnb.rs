@@ -14,7 +14,7 @@
 //! are memoized; an upper bound from the incumbent prunes.
 
 use crate::instance::OfflineInstance;
-use std::collections::HashSet;
+use vg_des::det::DetHashSet;
 use vg_des::Slot;
 use vg_markov::ProcState;
 
@@ -70,6 +70,26 @@ impl std::error::Error for BnbError {}
 /// within the horizon. `state_budget` caps explored states (to keep tests
 /// bounded); exceeding it returns `Err(BudgetExceeded)`.
 pub fn min_makespan(inst: &OfflineInstance, state_budget: usize) -> Result<Option<Slot>, BnbError> {
+    Ok(explore(inst, state_budget)?.makespan)
+}
+
+/// Exploration statistics of one exact solve, alongside the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BnbStats {
+    /// Exact minimum completion time (`None`: infeasible within horizon).
+    pub makespan: Option<Slot>,
+    /// Number of search states expanded.
+    ///
+    /// Deterministic for a fixed instance and budget: branching enumerates
+    /// channel subsets in index order and the memo set is only ever probed
+    /// for membership (and hashed with a fixed-seed hasher — see
+    /// [`vg_des::det`]), so no iteration order can leak into the search.
+    /// Regression tests pin this count.
+    pub states: usize,
+}
+
+/// [`min_makespan`] with exploration statistics.
+pub fn explore(inst: &OfflineInstance, state_budget: usize) -> Result<BnbStats, BnbError> {
     inst.validate().map_err(|_| BnbError::InvalidInstance)?;
     if !inst.is_two_state() {
         return Err(BnbError::ContainsDown);
@@ -78,13 +98,16 @@ pub fn min_makespan(inst: &OfflineInstance, state_budget: usize) -> Result<Optio
         inst,
         ncom: inst.ncom.unwrap_or(inst.p()),
         best: None,
-        seen: HashSet::new(),
+        seen: DetHashSet::default(),
         states: 0,
         budget: state_budget,
     };
     let start = vec![ProcPipeline::default(); inst.p()];
     solver.dfs(0, &start, 0)?;
-    Ok(solver.best)
+    Ok(BnbStats {
+        makespan: solver.best,
+        states: solver.states,
+    })
 }
 
 /// Decision version: can one iteration complete within `deadline` slots?
@@ -102,7 +125,7 @@ struct Solver<'a> {
     inst: &'a OfflineInstance,
     ncom: usize,
     best: Option<Slot>,
-    seen: HashSet<(Slot, Vec<ProcPipeline>, usize)>,
+    seen: DetHashSet<(Slot, Vec<ProcPipeline>, usize)>,
     states: usize,
     budget: usize,
 }
@@ -320,6 +343,22 @@ mod tests {
         // compute(0): prog 0, data0 1, comp0 2-3 (+data1 at 2), comp1 4-5 → 6.
         let inst = OfflineInstance::uniform(2, 1, 1, 2, Some(1), 10, vec![t("uuuuuuuuuu")]);
         assert_eq!(min_makespan(&inst, BUDGET), Ok(Some(6)));
+    }
+
+    #[test]
+    fn exploration_count_is_pinned() {
+        // Regression pin for search determinism: the Section-4
+        // counter-example must expand exactly this many states, run after
+        // run. Drift here means exploration order became environment
+        // dependent (the hazard the fixed-seed `DetHashSet` memo
+        // forecloses) or that branching/pruning changed semantics — either
+        // way, a deliberate review, not noise.
+        let inst =
+            OfflineInstance::uniform(2, 2, 2, 2, Some(1), 9, vec![t("uuuuuurrr"), t("ruuuuuuuu")]);
+        let run = explore(&inst, BUDGET).unwrap();
+        assert_eq!(run.makespan, Some(9));
+        assert_eq!(run.states, 53);
+        assert_eq!(explore(&inst, BUDGET).unwrap(), run);
     }
 
     #[test]

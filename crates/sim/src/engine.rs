@@ -44,7 +44,7 @@
 //!   placement output, the free-worker bitmask, the channel request queue,
 //!   per-worker request flags, the completion list, crash/cancel spill
 //!   buffers and the timeline activity row — lives in a persistent
-//!   [`SlotScratch`] owned by the engine. Buffers are `clear()`ed and
+//!   `SlotScratch` owned by the engine. Buffers are `clear()`ed and
 //!   refilled in place; after the first few slots every buffer has reached
 //!   its high-water capacity and the loop stops touching the allocator.
 //!   Sorting uses `sort_unstable_by_key` on keys made unique by the worker
@@ -376,7 +376,7 @@ impl RunOutcome {
 
 /// A **warmed simulation arena**: every per-run buffer of the engine —
 /// worker runtimes (including their `bound` vectors), chain statistics,
-/// the source vector, iteration bookkeeping, the whole [`SlotScratch`],
+/// the source vector, iteration bookkeeping, the whole `SlotScratch`,
 /// slot marks and the bind-order queue — kept alive across runs so that
 /// back-to-back simulations stop paying the ~25-allocation construction
 /// cost of [`Simulation::new`].
@@ -491,6 +491,7 @@ impl SimArena {
             ));
         }
         if chains.len() != platform.p() {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
             return Err(ConfigError(format!(
                 "{} chain stats for {} processors",
                 chains.len(),
@@ -500,6 +501,7 @@ impl SimArena {
         self.sources.clear();
         self.sources.extend(sources);
         if self.sources.len() != platform.p() {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
             return Err(ConfigError(format!(
                 "{} sources for {} processors",
                 self.sources.len(),
@@ -538,6 +540,7 @@ impl SimArena {
             ));
         }
         if chains.len() != platform.p() || trace.p() != platform.p() {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
             return Err(ConfigError(format!(
                 "{} chain stats / {}-wide trace for {} processors",
                 chains.len(),
@@ -649,7 +652,7 @@ pub fn platform_chain_stats(platform: &PlatformConfig) -> Vec<ChainStats> {
         .processors
         .iter()
         .map(|pc| ChainStats::new(pc.believed_chain()))
-        .collect()
+        .collect() // tidy:allow(hot_alloc): once-per-platform precompute, shared across all runs.
 }
 
 /// Where a run's availability states come from.
@@ -750,6 +753,7 @@ impl<S: WorkerStore> Simulation<S> {
         platform.validate()?;
         app.validate()?;
         if sources.len() != platform.p() {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
             return Err(ConfigError(format!(
                 "{} sources for {} processors",
                 sources.len(),
@@ -764,7 +768,7 @@ impl<S: WorkerStore> Simulation<S> {
             .processors
             .iter()
             .map(|pc| ChainStats::new(pc.believed_chain()))
-            .collect();
+            .collect(); // tidy:allow(hot_alloc): engine construction, before the first slot.
         Ok(Self {
             app: *app,
             workers,
@@ -782,7 +786,7 @@ impl<S: WorkerStore> Simulation<S> {
             cap_engagements: 0,
             scratch: SlotScratch::with_capacity(platform.p(), app.tasks_per_iteration),
             timeline: options.record_timeline.then(|| Timeline::new(platform.p())),
-            slot_marks: vec![SlotMarks::default(); platform.p()],
+            slot_marks: vec![SlotMarks::default(); platform.p()], // tidy:allow(hot_alloc): engine construction, before the first slot.
         })
     }
 
@@ -800,7 +804,7 @@ impl<S: WorkerStore> Simulation<S> {
             .iter()
             .enumerate()
             .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng()))
-            .collect();
+            .collect(); // tidy:allow(hot_alloc): per-run source construction, before the first slot.
         Ok(Self::new_in(platform, app, scheduler, sources, options)?.run())
     }
 
@@ -870,6 +874,7 @@ impl<S: WorkerStore> Simulation<S> {
         #[cfg(feature = "phase-profile")]
         macro_rules! timed {
             ($idx:expr, $e:expr) => {{
+                // tidy:allow(wall_clock): phase-profile instrumentation, cfg-gated and never read by simulation logic.
                 let t = std::time::Instant::now();
                 $e;
                 phase_profile::NANOS[$idx].fetch_add(
@@ -1061,6 +1066,7 @@ impl<S: WorkerStore> Simulation<S> {
         #[cfg(feature = "phase-profile")]
         macro_rules! sub {
             ($idx:expr, $e:expr) => {{
+                // tidy:allow(wall_clock): phase-profile instrumentation, cfg-gated and never read by simulation logic.
                 let t = std::time::Instant::now();
                 let r = $e;
                 phase_profile::SUB[$idx].fetch_add(
@@ -1470,10 +1476,9 @@ impl<S: WorkerStore> Simulation<S> {
                 }
                 Request::DataCont { widx } => {
                     if self.ledger.try_grant(TransferKind::Data) {
-                        let mut tr = self
-                            .workers
-                            .transfer(widx)
-                            .expect("continuation implies transfer");
+                        let mut tr = self.workers.transfer(widx).expect(
+                            "DataCont is only enqueued for a worker with an in-flight transfer",
+                        );
                         tr.done += 1;
                         self.workers.set_transfer(widx, Some(tr));
                         self.counters.data_channel_slots += 1;

@@ -17,12 +17,12 @@
 //! ## Warmed arenas for campaign-scale fan-out
 //!
 //! Campaigns run hundreds of thousands of short simulations; building each
-//! [`Simulation`](engine::Simulation) from scratch pays ~25 allocations
+//! [`Simulation`] from scratch pays ~25 allocations
 //! (worker runtimes, chain statistics, the whole slot scratch) before the
-//! first slot executes. A [`SimArena`](engine::SimArena) keeps all of those
+//! first slot executes. A [`SimArena`] keeps all of those
 //! buffers warm across runs — one arena per worker thread — and
 //! [`SimArena::run_seeded`](engine::SimArena::run_seeded) returns a lean
-//! [`RunOutcome`](engine::RunOutcome) (no strings, no vectors) whose results
+//! [`RunOutcome`] (no strings, no vectors) whose results
 //! are **bit-identical** to [`Simulation::run_seeded`](engine::Simulation::run_seeded):
 //!
 //! ```

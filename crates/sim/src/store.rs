@@ -283,8 +283,8 @@ impl WorkerStore for AosWorkers {
         let p = specs.len();
         self.workers.truncate(p);
         let mut specs = specs;
-        for w in self.workers.iter_mut() {
-            w.reset(specs.next().expect("len checked"));
+        for (w, spec) in self.workers.iter_mut().zip(specs.by_ref()) {
+            w.reset(spec);
         }
         for spec in specs {
             self.workers.push(WorkerRuntime::new(spec));
@@ -761,18 +761,18 @@ impl WorkerStore for WorkerSoA {
         if self.occupancy[q] == 0 {
             return; // nothing pinned or bound — nothing to cancel
         }
-        if self.computing[q].is_some_and(|c| c.copy.task == task) {
-            removed.push(self.computing[q].take().expect("checked").copy);
+        if let Some(c) = self.computing[q].take_if(|c| c.copy.task == task) {
+            removed.push(c.copy);
             self.occupancy[q] -= 1;
             self.dirty[q] = true;
         }
-        if self.buffered[q].is_some_and(|b| b.task == task) {
-            removed.push(self.buffered[q].take().expect("checked"));
+        if let Some(b) = self.buffered[q].take_if(|b| b.task == task) {
+            removed.push(b);
             self.occupancy[q] -= 1;
             self.dirty[q] = true;
         }
-        if self.transfer[q].is_some_and(|t| t.copy.task == task) {
-            removed.push(self.transfer[q].take().expect("checked").copy);
+        if let Some(t) = self.transfer[q].take_if(|t| t.copy.task == task) {
+            removed.push(t.copy);
             self.occupancy[q] -= 1;
             self.dirty[q] = true;
         }
@@ -821,7 +821,7 @@ impl WorkerStore for WorkerSoA {
             transfer: self.transfer[q],
             buffered: self.buffered[q],
             computing: self.computing[q],
-            bound: self.bound[q].clone(),
+            bound: self.bound[q].clone(), // tidy:allow(hot_alloc): debug-build invariant check only.
         };
         w.assert_invariants(t_prog, t_data);
     }

@@ -199,16 +199,16 @@ impl WorkerRuntime {
     /// leaves scheduler snapshots untouched and need not dirty the worker.
     pub fn cancel_task_into(&mut self, task: TaskId, removed: &mut Vec<CopyId>) -> bool {
         let mut pinned_changed = false;
-        if self.computing.as_ref().is_some_and(|c| c.copy.task == task) {
-            removed.push(self.computing.take().expect("checked").copy);
+        if let Some(c) = self.computing.take_if(|c| c.copy.task == task) {
+            removed.push(c.copy);
             pinned_changed = true;
         }
-        if self.buffered.is_some_and(|b| b.task == task) {
-            removed.push(self.buffered.take().expect("checked"));
+        if let Some(b) = self.buffered.take_if(|b| b.task == task) {
+            removed.push(b);
             pinned_changed = true;
         }
-        if self.transfer.as_ref().is_some_and(|t| t.copy.task == task) {
-            removed.push(self.transfer.take().expect("checked").copy);
+        if let Some(t) = self.transfer.take_if(|t| t.copy.task == task) {
+            removed.push(t.copy);
             pinned_changed = true;
         }
         let mut i = 0;

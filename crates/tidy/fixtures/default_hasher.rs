@@ -1,0 +1,18 @@
+//! Fixture: the `default_hasher` rule must fire on both lines below —
+//! and only on them (the string, comment, and test-mod mentions are noise).
+
+use std::collections::HashMap;
+
+pub fn build() -> HashSet<u32> {
+    // HashMap in a comment does not count.
+    let _doc = "a HashSet in a string does not count";
+    HashSet::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: the `float_cmp` rule must fire on the two literal comparisons
+//! below; integer comparisons and ranges must not fire.
+
+pub fn checks(x: f64, n: u64) -> bool {
+    let a = x == 1.0; // fires
+    let b = 0.5 != x; // fires
+    let c = n == 1; // integer: no finding
+    let d = (1..2).contains(&(n as usize)); // range dots are not floats
+    a || b || c || d
+}

@@ -1,0 +1,24 @@
+//! Fixture: with this file declared hot, every allocation idiom below must
+//! fire once — except the waived one and the test-mod one.
+
+pub fn churn(xs: &[u64]) -> Vec<u64> {
+    let v = vec![0u64; xs.len()];
+    let w: Vec<u64> = xs.iter().copied().collect();
+    let s = format!("{}", xs.len());
+    let b = Box::new(xs.len());
+    let t = String::from("hot");
+    let c = v.clone();
+    let y = xs.to_vec();
+    // tidy:allow(hot_alloc): waived on purpose — the self-test counts this as used.
+    let z = y.clone();
+    drop((w, s, b, t, c, z));
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = vec![1, 2, 3].clone();
+    }
+}

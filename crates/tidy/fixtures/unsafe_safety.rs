@@ -1,0 +1,23 @@
+//! Fixture: the `unsafe_safety` rule must fire on the bare block and the
+//! bare impl, and stay quiet on the commented ones and on `unsafe fn`.
+
+pub unsafe fn caller_beware() {} // declaration: obligation is on callers
+
+pub fn bad(p: *const u8) -> u8 {
+    unsafe { *p } // fires: no SAFETY comment
+}
+
+pub fn good(p: *const u8) -> u8 {
+    // SAFETY: fixture pretends `p` is valid for reads; the point is the
+    // comment shape, spanning two lines, directly above the block.
+    unsafe { *p }
+}
+
+pub struct Marker;
+
+unsafe impl Send for Marker {} // fires: no SAFETY comment
+
+pub struct Marker2;
+
+// SAFETY: Marker2 holds no data at all.
+unsafe impl Send for Marker2 {}

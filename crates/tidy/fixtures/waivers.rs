@@ -1,0 +1,11 @@
+//! Fixture: waiver hygiene — malformed, unknown-rule, reason-less, and
+//! unused waivers are all findings in their own right.
+
+// tidy:allow(no_such_rule): unknown rule name — fires
+pub fn a() {}
+
+// tidy:allow(wall_clock)
+pub fn missing_reason() {}
+
+// tidy:allow(wall_clock): nothing on the next line uses a clock — unused, fires
+pub fn c() {}

@@ -1,0 +1,11 @@
+//! Fixture: the `wall_clock` rule must fire on both uses below.
+
+pub fn now() -> std::time::Instant {
+    // "Instant" in a comment or string is fine.
+    let _s = "std::time::Instant";
+    std::time::Instant::now()
+}
+
+pub fn stamp() {
+    let _ = std::time::SystemTime::now();
+}

@@ -1,0 +1,547 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! source-level lint rules in this crate, with **no external dependencies**
+//! (the workspace builds offline, so `syn`/`proc-macro2` are not options).
+//!
+//! The lexer's one job is to be *right about what is code and what is not*:
+//! comments (line, block — including nesting), string literals (plain, raw
+//! with any `#` count, byte, C), char literals vs. lifetimes, and float vs.
+//! integer literals. Rules then scan the token stream and can never
+//! false-fire on an identifier that only appears inside a comment or a
+//! string.
+//!
+//! It is *not* a full lexer: it does not validate escapes, reject invalid
+//! programs, or track every multi-character operator — only the operators a
+//! rule needs as a unit (`==`, `!=`, `::`, ranges). Input is assumed to be
+//! code that `rustc` accepts (everything scanned is a compiling workspace
+//! file); on malformed input it degrades by consuming to end of file rather
+//! than failing.
+
+/// Token classification. `Punct` carries the operator text via its span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'outer`.
+    Lifetime,
+    /// Character literal `'x'` (including escapes) or byte char `b'x'`.
+    CharLit,
+    /// String literal of any flavor: `"..."`, `r#"..."#`, `b"..."`, `c"..."`.
+    StrLit,
+    /// Numeric literal. `float` distinguishes `1.0` / `1e3` / `1f64` from
+    /// integers (`1`, `0xff`, `1u32`), including the `1.` trailing-dot form
+    /// but *not* `1..2` (range) or `1.max(2)` (method call).
+    NumLit {
+        /// True for floating-point literals.
+        float: bool,
+    },
+    /// `//` comment, doc (`///`, `//!`) included. Text spans to end of line.
+    LineComment,
+    /// `/* */` comment (nesting handled), doc forms included.
+    BlockComment,
+    /// Punctuation / operator. Multi-character operators that rules consume
+    /// as a unit (`==`, `!=`, `::`, `..`, `..=`, `->`, `=>`, `&&`, `||`,
+    /// shifts, compound assignments) are single tokens.
+    Punct,
+}
+
+/// One token: kind plus byte span and 1-based start line in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+/// A lexed source file: the text plus its token stream.
+pub struct Lexed<'a> {
+    /// The source text the spans index into.
+    pub src: &'a str,
+    /// Tokens in source order. Comments are included.
+    pub tokens: Vec<Token>,
+}
+
+impl Lexed<'_> {
+    /// The source text of `t`.
+    #[must_use]
+    pub fn text(&self, t: &Token) -> &str {
+        &self.src[t.start..t.end]
+    }
+}
+
+/// Multi-character operators lexed as single tokens, longest first.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// True for bytes that can start an identifier. Non-ASCII bytes are treated
+/// as identifier characters — good enough for lint purposes (they can only
+/// appear in identifiers, literals, or comments, and literals/comments are
+/// consumed before this classification is consulted).
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// True for bytes that can continue an identifier.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.i,
+            line,
+        });
+    }
+
+    /// Advances past `n` bytes, counting newlines.
+    fn bump_counting_lines(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.peek(0) == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokenKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 2; // consume `/*`
+        let mut depth = 1u32;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.i += 2;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.bump_counting_lines(1);
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// Consumes a `"..."` body, `self.i` on the opening quote. Handles
+    /// escapes (`\"`, `\\`, and by skipping the byte after any `\`, every
+    /// other escape form as well) and multi-line strings.
+    fn quoted_string(&mut self) {
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\\' => {
+                    self.i += 1; // the backslash
+                    self.bump_counting_lines(1); // whatever it escapes
+                }
+                _ => self.bump_counting_lines(1),
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at `self.i` on the `r` (after any
+    /// `b`/`c` prefix was consumed by the caller): `r"..."`, `r#"..."#`, ...
+    fn raw_string_body(&mut self) {
+        self.i += 1; // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.i += 1;
+        }
+        debug_assert_eq!(self.peek(0), b'"');
+        self.i += 1;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.i += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump_counting_lines(1);
+        }
+    }
+
+    /// `self.i` is on a `'`. Distinguishes lifetimes from char literals.
+    fn quote(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 1;
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume to the closing quote.
+            self.i += 1; // backslash
+            self.i += 1; // escaped byte (enough even for \u{..}: loop below)
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.bump_counting_lines(1);
+            }
+            self.i += 1; // closing quote
+            self.push(TokenKind::CharLit, start, line);
+        } else if is_ident_start(self.peek(0)) || self.peek(0).is_ascii_digit() {
+            // Either a lifetime (`'a`, `'static`) or a char literal of an
+            // identifier-class character (`'a'`, `'√'`): consume the run,
+            // then decide by whether a closing quote follows.
+            while is_ident_continue(self.peek(0)) {
+                self.i += 1;
+            }
+            if self.peek(0) == b'\'' {
+                self.i += 1;
+                self.push(TokenKind::CharLit, start, line);
+            } else {
+                self.push(TokenKind::Lifetime, start, line);
+            }
+        } else {
+            // Char literal of a non-identifier character: `'+'`, `' '`.
+            self.bump_counting_lines(1);
+            if self.peek(0) == b'\'' {
+                self.i += 1;
+            }
+            self.push(TokenKind::CharLit, start, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.i += 2;
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.i += 1;
+            }
+            self.push(TokenKind::NumLit { float: false }, start, line);
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.i += 1;
+        }
+        if self.peek(0) == b'.' {
+            let after = self.peek(1);
+            if after.is_ascii_digit() {
+                // `1.5` — fraction digits.
+                self.i += 1;
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.i += 1;
+                }
+                float = true;
+            } else if after != b'.' && !is_ident_start(after) {
+                // `1.` trailing dot (but not `1..2` nor `1.max(2)`).
+                self.i += 1;
+                float = true;
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E') {
+            let (a, b2) = (self.peek(1), self.peek(2));
+            if a.is_ascii_digit() || (matches!(a, b'+' | b'-') && b2.is_ascii_digit()) {
+                self.i += 1;
+                if matches!(self.peek(0), b'+' | b'-') {
+                    self.i += 1;
+                }
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.i += 1;
+                }
+                float = true;
+            }
+        }
+        // Suffix: `u32`, `f64`, ... — an `f` suffix makes it a float.
+        if is_ident_start(self.peek(0)) {
+            if self.peek(0) == b'f' {
+                float = true;
+            }
+            while is_ident_continue(self.peek(0)) {
+                self.i += 1;
+            }
+        }
+        self.push(TokenKind::NumLit { float }, start, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let c = self.peek(0);
+        // String/char prefixes: r"", r#"", b"", br"", b'', c"", cr#"".
+        match c {
+            b'r' => {
+                if self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_hashes_then_quote(1)) {
+                    self.raw_string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                    return;
+                }
+                if self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+                    // Raw identifier `r#type`.
+                    self.i += 2;
+                    while is_ident_continue(self.peek(0)) {
+                        self.i += 1;
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                    return;
+                }
+            }
+            b'b' | b'c' => {
+                if self.peek(1) == b'"' {
+                    self.i += 1;
+                    self.quoted_string();
+                    self.push(TokenKind::StrLit, start, line);
+                    return;
+                }
+                if self.peek(1) == b'r'
+                    && (self.peek(2) == b'"'
+                        || (self.peek(2) == b'#' && self.raw_hashes_then_quote(2)))
+                {
+                    self.i += 1;
+                    self.raw_string_body();
+                    self.push(TokenKind::StrLit, start, line);
+                    return;
+                }
+                if c == b'b' && self.peek(1) == b'\'' {
+                    self.i += 1;
+                    self.quote();
+                    // `quote` pushed a CharLit starting at the `'`; widen it
+                    // to include the `b` prefix.
+                    if let Some(t) = self.tokens.last_mut() {
+                        t.start = start;
+                    }
+                    return;
+                }
+            }
+            _ => {}
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.i += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// True when, starting `off` bytes ahead, a run of `#`s ends at a `"`
+    /// (i.e. the `r` the caller is standing near opens a raw string).
+    fn raw_hashes_then_quote(&self, off: usize) -> bool {
+        let mut k = off;
+        while self.peek(k) == b'#' {
+            k += 1;
+        }
+        k > off && self.peek(k) == b'"'
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let rest = &self.src[self.i..];
+        for op in OPERATORS {
+            if rest.starts_with(op) {
+                self.i += op.len();
+                self.push(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        self.i += 1;
+        self.push(TokenKind::Punct, start, line);
+    }
+}
+
+/// Lexes `src` into a token stream. Total: malformed input degrades to
+/// consuming through end of file rather than erroring (every scanned file
+/// is one `rustc` already accepts).
+#[must_use]
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut cur = Cursor {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        tokens: Vec::new(),
+    };
+    while cur.i < cur.b.len() {
+        let c = cur.b[cur.i];
+        match c {
+            b'\n' => {
+                cur.line += 1;
+                cur.i += 1;
+            }
+            b' ' | b'\t' | b'\r' => cur.i += 1,
+            b'/' if cur.peek(1) == b'/' => cur.line_comment(),
+            b'/' if cur.peek(1) == b'*' => cur.block_comment(),
+            b'"' => {
+                let (start, line) = (cur.i, cur.line);
+                cur.quoted_string();
+                cur.push(TokenKind::StrLit, start, line);
+            }
+            b'\'' => cur.quote(),
+            _ if c.is_ascii_digit() => cur.number(),
+            _ if is_ident_start(c) => cur.ident_or_prefixed_literal(),
+            _ => cur.punct(),
+        }
+    }
+    Lexed {
+        src,
+        tokens: cur.tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (kind, text) pairs for every token, comments included.
+    fn toks(src: &str) -> Vec<(TokenKind, String)> {
+        let lexed = lex(src);
+        lexed
+            .tokens
+            .iter()
+            .map(|t| (t.kind, lexed.text(t).to_string()))
+            .collect()
+    }
+
+    /// Texts of the `Ident` tokens only — what the rules mostly match on.
+    fn idents(src: &str) -> Vec<String> {
+        toks(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let t = toks("/* a /* b /* c */ */ still comment */ after");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, TokenKind::BlockComment);
+        assert_eq!(t[1], (TokenKind::Ident, "after".to_string()));
+    }
+
+    #[test]
+    fn unterminated_block_comment_consumes_to_eof() {
+        let t = toks("/* never closed\nHashMap");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn raw_strings_match_hash_counts() {
+        // The `"#` inside must not close a `r##` string.
+        let t = toks(r####"r##"contains "# and // and /*"## x"####);
+        assert_eq!(t[0].0, TokenKind::StrLit);
+        assert_eq!(t[1], (TokenKind::Ident, "x".to_string()));
+        // Zero-hash raw string.
+        let t = toks(r#"r"\no escape" y"#);
+        assert_eq!(t[0].0, TokenKind::StrLit);
+        assert_eq!(t[1], (TokenKind::Ident, "y".to_string()));
+    }
+
+    #[test]
+    fn prefixed_literals_and_raw_idents() {
+        let t = toks(r##"b"bytes" c"cstr" br#"raw bytes"# r#type b'\n'"##);
+        assert_eq!(
+            t.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::StrLit,
+                TokenKind::StrLit,
+                TokenKind::StrLit,
+                TokenKind::Ident,
+                TokenKind::CharLit,
+            ]
+        );
+        assert_eq!(t[3].1, "r#type");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = toks("&'static str; 'a' ; <'a, 'b> 'outer: loop {} '\\'' '_");
+        let kinds: Vec<(TokenKind, &str)> = t.iter().map(|(k, s)| (*k, s.as_str())).collect();
+        assert!(kinds.contains(&(TokenKind::Lifetime, "'static")));
+        assert!(kinds.contains(&(TokenKind::CharLit, "'a'")));
+        assert!(kinds.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(kinds.contains(&(TokenKind::Lifetime, "'b")));
+        assert!(kinds.contains(&(TokenKind::Lifetime, "'outer")));
+        assert!(kinds.contains(&(TokenKind::CharLit, "'\\''")));
+        assert!(kinds.contains(&(TokenKind::Lifetime, "'_")));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let t = toks(r#""a\"b" next"#);
+        assert_eq!(t[0], (TokenKind::StrLit, r#""a\"b""#.to_string()));
+        assert_eq!(t[1], (TokenKind::Ident, "next".to_string()));
+    }
+
+    #[test]
+    fn no_false_idents_inside_comments_or_strings() {
+        let src = r#"
+            // HashMap in a line comment
+            /* HashSet in a block comment */
+            let s = "std::time::Instant::now()";
+            real_ident
+        "#;
+        assert_eq!(idents(src), vec!["let", "s", "real_ident"]);
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let f = |src: &str| -> Vec<bool> {
+            toks(src)
+                .into_iter()
+                .filter_map(|(k, _)| match k {
+                    TokenKind::NumLit { float } => Some(float),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(f("1.0 2. 1e3 1E-3 1f64 2.5e2"), vec![true; 6]);
+        assert_eq!(f("1 0xff 0o77 0b11 1_000 9u64"), vec![false; 6]);
+        // Range and method-call dots do not make floats.
+        assert_eq!(f("1..2"), vec![false, false]);
+        assert_eq!(f("1..=2"), vec![false, false]);
+        assert_eq!(f("1.max(2)"), vec![false, false]);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let t = toks("a == b != c :: d ..= e");
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let lexed = lex("/* one\ntwo\nthree */ x\ny");
+        let x = &lexed.tokens[1];
+        let y = &lexed.tokens[2];
+        assert_eq!((lexed.text(x), x.line), ("x", 3));
+        assert_eq!((lexed.text(y), y.line), ("y", 4));
+    }
+}

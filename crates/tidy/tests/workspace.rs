@@ -1,0 +1,18 @@
+//! The gate, as a test: the committed workspace must be tidy-clean. This is
+//! what keeps the fixtures honest (they are excluded from the walk) and what
+//! fails `cargo test` locally before CI would.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_tidy_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = vg_tidy::run_from_root(&root).expect("tidy pass runs");
+    assert!(report.files_scanned > 50, "walk found the workspace");
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "workspace has tidy findings:\n{}",
+        rendered.join("\n")
+    );
+}

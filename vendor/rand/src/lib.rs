@@ -1,6 +1,6 @@
 //! Minimal, offline stand-in for the `rand` crate.
 //!
-//! The workspace's own generators ([`vg_des::rng::StreamRng`]) implement the
+//! The workspace's own generators (`vg_des::rng::StreamRng`) implement the
 //! algorithms; this crate only supplies the trait vocabulary (`RngCore`,
 //! `SeedableRng`, `Rng`) plus uniform range sampling, matching the rand 0.9
 //! API surface actually used here. It exists because the build environment
