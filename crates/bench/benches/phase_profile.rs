@@ -28,7 +28,6 @@ fn main() {
     use vg_bench::{paper_app, paper_platform};
     use vg_core::HeuristicKind;
     use vg_des::rng::SeedPath;
-    use vg_platform::source::AvailabilitySource;
     use vg_sim::engine::phase_profile;
     use vg_sim::{PlacementBudget, SimOptions, Simulation};
 
@@ -43,27 +42,28 @@ fn main() {
         (256, PlacementBudget::Uncapped),
         (1024, PlacementBudget::Uncapped),
         (1024, PlacementBudget::BindCapacity),
+        // Platform-scale rows: where the chunked passes and the sharded
+        // selector live or die.
+        (16_384, PlacementBudget::Uncapped),
+        (16_384, PlacementBudget::BindCapacity),
     ];
     for (p, placement) in grid {
         let capped = placement == PlacementBudget::BindCapacity;
         let platform = paper_platform(p, (p / 10).max(2), 2, 11);
         let budget: u64 = if quick { 100_000 } else { 1_000_000 };
         let max_slots = (budget / p as u64).max(100);
-        let app = paper_app(2 * p, max_slots, 2, 1);
-        let sources: Vec<Box<dyn AvailabilitySource>> = platform
-            .processors
-            .iter()
-            .enumerate()
-            .map(|(q, pc)| {
-                pc.avail
-                    .build_source(SeedPath::root(2).child(q as u64).rng())
-            })
-            .collect();
-        let mut sim = Simulation::new(
+        // Same application regime as the slotloop cells: `m = 2p` for the
+        // historical small-p trajectory, a fixed volunteer-grid app at
+        // platform scale.
+        let m = if p > 1024 { 2048 } else { 2 * p };
+        let app = paper_app(m, max_slots, 2, 1);
+        // Seeded construction picks the dense Markov bank — the same
+        // source path the slotloop cells measure.
+        let mut sim: Simulation = Simulation::new_seeded(
             &platform,
             &app,
             HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
-            sources,
+            SeedPath::root(2),
             SimOptions {
                 max_slots,
                 replication: true,

@@ -1,5 +1,6 @@
-//! Per-placement cost of the three argmin selectors, head to head — the
-//! measurement behind `SelectorKind::choose`'s crossover thresholds.
+//! Per-placement cost of the argmin selectors, head to head — the
+//! measurement behind `SelectorKind::choose`'s crossover thresholds
+//! (including the `SHARD_MIN_UPS` monolithic/sharded boundary).
 //!
 //! For a grid of `(u, count)` cells (UP candidates × placements per
 //! round), an `EMCT*` scheduler pinned to each selector replays the same
@@ -72,6 +73,7 @@ fn run_cell(
             Some(SelectorKind::Linear) => "linear",
             Some(SelectorKind::LazyHeap) => "lazy_heap",
             Some(SelectorKind::LoserTree) => "loser_tree",
+            Some(SelectorKind::ShardedTree) => "sharded_tree",
         },
         ns_per_placement: seconds * 1e9 / (rounds * count) as f64,
     }
@@ -85,6 +87,11 @@ fn main() {
         (256, &[16, 64, 512]),
         (1000, &[8, 64, 2000]),
         (1024, &[8, 64, 256, 2048]),
+        // The sharded band: at and above SHARD_MIN_UPS the policy picks
+        // per-shard trees; these cells measure the crossover directly
+        // (monolithic vs sharded at identical u).
+        (16_384, &[64, 1024]),
+        (65_536, &[256]),
     ];
     let mut cells = Vec::new();
     for &(u, counts) in grid {
@@ -100,6 +107,7 @@ fn main() {
                 Some(SelectorKind::Linear),
                 Some(SelectorKind::LazyHeap),
                 Some(SelectorKind::LoserTree),
+                Some(SelectorKind::ShardedTree),
                 None,
             ] {
                 let cell = run_cell(&owned, u, count, kind, rounds, &expected);

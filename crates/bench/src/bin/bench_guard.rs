@@ -35,6 +35,13 @@
 //! `p = 1024` row, so the sub-split trajectory of the capped slot loop
 //! cannot quietly vanish from CI.
 //!
+//! Since the platform-scale work the grid further carries `p ∈ {16384,
+//! 131072}` cells (chunked dense-column passes + sharded selection, with
+//! a `peak_rss_bytes` footprint field this parser simply ignores). Those
+//! are required of the *candidate* with the same pre-existing-baseline
+//! exemption, and — being non-1024 cells — they gate at the
+//! `min_small_ratio` floor (0.95) whenever the baseline measured them.
+//!
 //! The parser is deliberately tiny and fixed to the one-object-per-line
 //! format `slotloop` emits — no serde needed for a CI gate.
 
@@ -132,6 +139,24 @@ fn run(
             return Err(format!(
                 "{candidate_path} is missing the capped cell p=1024 replication={replication}"
             ));
+        }
+        // The platform-scale grid (p ≥ 16384) is likewise required of the
+        // candidate only: dropping those cells would silently retire the
+        // chunked-pass/sharded-selector regression gate, while a
+        // merge-base baseline from before the grid existed passes them
+        // ungated.
+        for p in [16_384u64, 131_072] {
+            for capped in [false, true] {
+                if !candidate
+                    .iter()
+                    .any(|c| c.p == p && c.replication == replication && c.capped == capped)
+                {
+                    return Err(format!(
+                        "{candidate_path} is missing the platform-scale cell p={p} \
+                         replication={replication} capped={capped}"
+                    ));
+                }
+            }
         }
     }
     if let Some(path) = phase_profile_path {
@@ -239,14 +264,32 @@ mod tests {
     {"p": 1024, "replication": false, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 3000.0},
     {"p": 1024, "replication": true, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0},
     {"p": 1024, "replication": false, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 5000.0},
-    {"p": 1024, "replication": true, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 2600.0}
+    {"p": 1024, "replication": true, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 2600.0},
+    {"p": 16384, "replication": false, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 2900.0, "peak_rss_bytes": 52428800},
+    {"p": 16384, "replication": true, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1500.0, "peak_rss_bytes": 52428800},
+    {"p": 16384, "replication": false, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 4500.0, "peak_rss_bytes": 52428800},
+    {"p": 16384, "replication": true, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 2400.0, "peak_rss_bytes": 52428800},
+    {"p": 131072, "replication": false, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 700.0, "peak_rss_bytes": 209715200},
+    {"p": 131072, "replication": true, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 400.0, "peak_rss_bytes": 209715200},
+    {"p": 131072, "replication": false, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 1100.0, "peak_rss_bytes": 209715200},
+    {"p": 131072, "replication": true, "capped": true, "slots": 1, "seconds": 1.0, "slots_per_sec": 600.0, "peak_rss_bytes": 209715200}
   ]
 }"#;
 
     #[test]
     fn parses_the_slotloop_format() {
         let cells = parse_cells(SAMPLE);
-        assert_eq!(cells.len(), 5);
+        assert_eq!(cells.len(), 13);
+        // The footprint field rides along without disturbing the parse.
+        assert_eq!(
+            cells[5],
+            CellPerf {
+                p: 16384,
+                replication: false,
+                capped: false,
+                slots_per_sec: 2900.0
+            }
+        );
         assert_eq!(
             cells[2],
             CellPerf {
@@ -432,6 +475,75 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("missing the capped cell p=1024"), "{err}");
+    }
+
+    #[test]
+    fn platform_scale_cells_required_of_the_candidate_only() {
+        // A merge-base baseline predating the platform-scale grid has no
+        // p ≥ 16384 cells: that must pass (nothing to gate against). The
+        // *candidate* dropping any platform-scale cell must fail loudly —
+        // that is how the chunked-pass regression gate would silently
+        // retire itself.
+        let dir = std::env::temp_dir().join("vg_bench_guard_platform_cells");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prescale: String = SAMPLE
+            .lines()
+            .filter(|l| !l.contains("16384") && !l.contains("131072"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let base = dir.join("prescale_base.json");
+        let cand = dir.join("cand.json");
+        std::fs::write(&base, &prescale).unwrap();
+        std::fs::write(&cand, SAMPLE).unwrap();
+        assert!(run(
+            base.to_str().unwrap(),
+            cand.to_str().unwrap(),
+            0.85,
+            0.90,
+            None
+        )
+        .is_ok());
+        // Candidate missing one platform-scale cell (here the capped
+        // replication-on p = 131072 one) fails loudly.
+        let dropped: String = SAMPLE
+            .lines()
+            .filter(|l| {
+                !(l.contains("131072")
+                    && l.contains("\"replication\": true")
+                    && l.contains("\"capped\": true"))
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let partial = dir.join("partial.json");
+        std::fs::write(&partial, &dropped).unwrap();
+        let err = run(
+            base.to_str().unwrap(),
+            partial.to_str().unwrap(),
+            0.85,
+            0.90,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("platform-scale cell p=131072"), "{err}");
+        // And when the baseline *did* measure the platform-scale cells, a
+        // regression below min_small_ratio on one of them fails the gate.
+        let full_base = dir.join("full_base.json");
+        std::fs::write(&full_base, SAMPLE).unwrap();
+        let regressed = dir.join("regressed.json");
+        std::fs::write(
+            &regressed,
+            SAMPLE.replace("\"slots_per_sec\": 2900.0", "\"slots_per_sec\": 2000.0"),
+        )
+        .unwrap();
+        let err = run(
+            full_base.to_str().unwrap(),
+            regressed.to_str().unwrap(),
+            0.85,
+            0.90,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("p=16384"), "{err}");
     }
 
     #[test]

@@ -93,7 +93,7 @@
 //! directly (`GreedyScheduler::memo_pays`).
 
 use crate::ct::{completion_time, effective_t_data};
-use crate::selector::{LoserTree, Selector, SelectorKind};
+use crate::selector::{LoserTree, Selector, SelectorKind, ShardedTree};
 use crate::traits::Scheduler;
 use crate::view::SchedView;
 use vg_des::SlotSpan;
@@ -134,13 +134,13 @@ pub struct GreedyScheduler {
     name: &'static str,
     /// Scratch: UP processor indices of the current call.
     ups: Vec<usize>,
-    /// Scratch: per-candidate hot rows (parallel to `ups`): everything a
-    /// winner re-score reads — `delay + w`, `w`, the per-round kernel
-    /// copy, the round's task count `n_q` and the processor id — packed
-    /// into one dense row so the hottest loop touches a single position-
-    /// indexed line instead of three `p`-wide arrays scattered by
-    /// processor index.
-    hot: Vec<HotRow>,
+    /// Scratch: per-candidate task count `n_q` of the current round
+    /// (parallel to `ups`). The round's only dense per-candidate state —
+    /// score inputs are re-read from the view/kernels at the few positions
+    /// that are actually re-scored ([`HotRow`] is built transiently
+    /// there), so the initial fill writes 4 bytes per candidate instead
+    /// of a full row.
+    counts: Vec<u32>,
     /// Scratch: cached score of each UP processor (parallel to `ups`).
     scores: Vec<f64>,
     /// Scratch: the lazy heap selector's `(score, pos)` entries (`pos`
@@ -148,6 +148,9 @@ pub struct GreedyScheduler {
     heap: Vec<(f64, u32)>,
     /// Scratch: the loser-tree selector's tournament storage.
     tree: LoserTree,
+    /// Scratch: the sharded selector's per-shard trees + winner keys
+    /// (the `u ≥ 8192` regime; see `docs/scaling.md`).
+    sharded: ShardedTree,
     /// Test hook: pin every selection to one selector implementation,
     /// bypassing the size-threshold policy, so small hand-built views can
     /// exercise any path. `None` follows [`SelectorKind::choose`].
@@ -183,10 +186,11 @@ impl GreedyScheduler {
             contention,
             name,
             ups: Vec::new(),
-            hot: Vec::new(),
+            counts: Vec::new(),
             scores: Vec::new(),
             heap: Vec::new(),
             tree: LoserTree::default(),
+            sharded: ShardedTree::default(),
             force_selector: None,
             memo: Vec::new(),
             memo_width: 0,
@@ -329,6 +333,20 @@ impl GreedyScheduler {
         })
     }
 
+    /// Builds candidate `idx`'s transient scoring row from the view and
+    /// the per-run kernel copy. Only called from `place_into`, which
+    /// guarantees `kernels` is warmed for the view's width.
+    #[inline]
+    fn hot_row(&self, view: &SchedView<'_>, idx: usize, n_q: u32) -> HotRow {
+        let p = &view.procs[idx];
+        HotRow {
+            base: p.delay + p.w,
+            w: p.w,
+            n_q,
+            kernel: self.kernels[idx],
+        }
+    }
+
     /// [`score_hot`] plus the debug-build bit-equality check against the
     /// view-walking specification ([`Self::score_with_eff`]).
     #[inline]
@@ -344,11 +362,12 @@ impl GreedyScheduler {
     }
 }
 
-/// One candidate's dense per-round scoring row: the winner re-score —
-/// executed once per placement, the hottest load in the slot loop — reads
-/// exactly these fields, so packing them per *position* turns three
-/// processor-indexed scattered loads (snapshot, kernel, task count) into
-/// one sequential row.
+/// One candidate's **transient** scoring row: every score evaluation reads
+/// exactly these fields. Built on the stack at the few positions a round
+/// actually re-scores (winner re-scores, ceiling refreshes) — an earlier
+/// design materialized one row per candidate per round, which at platform
+/// scale wrote 56 bytes × u of dense rows every round just to re-read a
+/// handful of them.
 #[derive(Debug, Clone, Copy)]
 struct HotRow {
     /// `Delay(q) + w_q` — the n_q-independent part of Equation (1)/(2).
@@ -357,8 +376,6 @@ struct HotRow {
     w: SlotSpan,
     /// Tasks assigned to this candidate in the current round.
     n_q: u32,
-    /// The candidate's processor id (what `place_into` emits).
-    id: ProcessorId,
     /// Copy of the per-run [`ScoreKernel`] (the copy's source is
     /// `view.chains[idx].kernel()`, so evaluating against it is
     /// bit-identical to evaluating through the view).
@@ -495,12 +512,13 @@ impl Scheduler for GreedyScheduler {
             self.ups = ups;
             return;
         }
-        // Per-round bookkeeping: one dense hot row per candidate (task
-        // count, score inputs — by position), the Equation-(2) ceiling
-        // state (n_active and the incrementally maintained factors), and
-        // the cached score of each UP candidate.
-        let mut hot = std::mem::take(&mut self.hot);
-        hot.clear();
+        // Per-round bookkeeping: one task count per candidate (by
+        // position), the Equation-(2) ceiling state (n_active and the
+        // incrementally maintained factors), and the cached score of each
+        // UP candidate.
+        let mut counts = std::mem::take(&mut self.counts);
+        counts.clear();
+        counts.resize(ups.len(), 0u32);
         // One memo row per Equation-(2) ceiling factor reachable *this
         // round*: `n_active` counts enrolled UP processors, each placement
         // enrolls at most one, and an unenrolled candidate sees
@@ -535,28 +553,20 @@ impl Scheduler for GreedyScheduler {
         // Initial-row fill: every candidate is unenrolled and n_active is
         // 0, so each sees n_active_incl = 1 and the Equation-(2) factor is
         // identically 1 — one constant effective T_data for the whole row,
-        // no per-candidate ceiling arithmetic. The hot rows are packed in
-        // the same pass (their inputs are being read anyway).
+        // no per-candidate ceiling arithmetic, and no dense row
+        // materialization (the transient row lives in registers).
         // Room-constrained rounds (demand-driven placement) mark an
         // already-full candidate unselectable up front: +inf sorts after
         // every finite score in each selector, and the memo is not
         // consulted for a row that can never win.
         let room = view.room;
         for &i in &ups {
-            let p = &view.procs[i];
-            let row = HotRow {
-                base: p.delay + p.w,
-                w: p.w,
-                n_q: 0,
-                id: p.id,
-                kernel: self.kernels[i],
-            };
             scores.push(if room.is_some_and(|r| r[i] == 0) {
                 f64::INFINITY
             } else {
+                let row = self.hot_row(view, i, 0);
                 self.memo_score(&mut memo, factors, view, i, &row, (1, view.t_data))
             });
-            hot.push(row);
         }
         // Pick the selection strategy (see `SelectorKind::choose` for the
         // measured crossover policy): the dense vectorized linear rescan on
@@ -568,16 +578,22 @@ impl Scheduler for GreedyScheduler {
         let kind = self
             .force_selector
             .unwrap_or_else(|| SelectorKind::choose(ups.len(), count));
-        let mut selector = Selector::build(kind, &scores, &mut self.heap, &mut self.tree);
+        let mut selector = Selector::build(
+            kind,
+            &scores,
+            &mut self.heap,
+            &mut self.tree,
+            &mut self.sharded,
+        );
         let mut ceiling = CeilingState::new(self.contention, view.t_data, view.ncom);
         let spent =
             |room: Option<&[u8]>, i: usize, n_q: u32| room.is_some_and(|r| n_q >= u32::from(r[i]));
         for _ in 0..count {
             let best_pos = selector.select(&scores);
-            let row = &mut hot[best_pos];
-            let newly_enrolled = row.n_q == 0;
-            row.n_q += 1;
-            out.push(row.id);
+            let best = ups[best_pos];
+            let newly_enrolled = counts[best_pos] == 0;
+            counts[best_pos] += 1;
+            out.push(view.procs[best].id);
             if newly_enrolled && ceiling.enroll() {
                 // Equation (2): the new enrollee bumped a ⌈n_active/ncom⌉
                 // ceiling, inflating effective T_data — a round-batched
@@ -587,19 +603,20 @@ impl Scheduler for GreedyScheduler {
                 // mostly single-compare hits), then rebuilds the selector
                 // bottom-up so each entry is touched exactly once.
                 for (pos, &i) in ups.iter().enumerate() {
-                    let row = &hot[pos];
-                    if spent(room, i, row.n_q) {
+                    let n_q = counts[pos];
+                    if spent(room, i, n_q) {
                         // A room-exhausted candidate must stay unselectable
                         // through the dense re-price (the winner included —
                         // this pick may just have spent its last copy).
                         scores[pos] = f64::INFINITY;
                         continue;
                     }
-                    let (factor, eff) = ceiling.price(row.n_q as usize);
-                    scores[pos] = self.memo_score(&mut memo, factors, view, i, row, (factor, eff));
+                    let (factor, eff) = ceiling.price(n_q as usize);
+                    let row = self.hot_row(view, i, n_q);
+                    scores[pos] = self.memo_score(&mut memo, factors, view, i, &row, (factor, eff));
                 }
                 selector.refresh(&scores);
-            } else if spent(room, ups[best_pos], hot[best_pos].n_q) {
+            } else if spent(room, best, counts[best_pos]) {
                 // The winner spent its last bindable copy: retire it from
                 // the round instead of re-pricing it.
                 scores[best_pos] = f64::INFINITY;
@@ -609,18 +626,18 @@ impl Scheduler for GreedyScheduler {
                 // entry with a transient n_q would evict the refresh-keyed
                 // value the next slot's replay wants. The winner is
                 // enrolled by construction, so it prices at the enrolled
-                // factor — division-free, against its dense hot row.
-                let s =
-                    self.score_checked(view, ups[best_pos], &hot[best_pos], ceiling.eff_enrolled);
+                // factor — division-free, against its transient row.
+                let row = self.hot_row(view, best, counts[best_pos]);
+                let s = self.score_checked(view, best, &row, ceiling.eff_enrolled);
                 scores[best_pos] = s;
                 selector.rescore_winner(best_pos, &scores);
             }
         }
         // Return the backing storage to the persistent scratch.
-        selector.into_storage(&mut self.heap, &mut self.tree);
+        selector.into_storage(&mut self.heap, &mut self.tree, &mut self.sharded);
         self.memo = memo;
         self.ups = ups;
-        self.hot = hot;
+        self.counts = counts;
         self.scores = scores;
     }
 }
@@ -995,10 +1012,12 @@ mod tests {
                         (GreedyScheduler::new(obj, star, "heap"), "heap"),
                         (GreedyScheduler::new(obj, star, "loser"), "loser tree"),
                         (GreedyScheduler::new(obj, star, "linear"), "linear"),
+                        (GreedyScheduler::new(obj, star, "sharded"), "sharded tree"),
                     ];
                     pinned[0].0.force_selector(Some(SelectorKind::LazyHeap));
                     pinned[1].0.force_selector(Some(SelectorKind::LoserTree));
                     pinned[2].0.force_selector(Some(SelectorKind::Linear));
+                    pinned[3].0.force_selector(Some(SelectorKind::ShardedTree));
                     for (s, _) in &mut pinned {
                         s.begin_run();
                     }
@@ -1052,6 +1071,7 @@ mod tests {
                 SelectorKind::Linear,
                 SelectorKind::LazyHeap,
                 SelectorKind::LoserTree,
+                SelectorKind::ShardedTree,
             ] {
                 let mut forced = GreedyScheduler::new(obj, star, "forced");
                 forced.force_selector(Some(kind));
@@ -1110,6 +1130,8 @@ mod tests {
                 linear.force_selector(Some(SelectorKind::Linear));
                 let mut loser = GreedyScheduler::new(obj, star, "loser");
                 loser.force_selector(Some(SelectorKind::LoserTree));
+                let mut sharded = GreedyScheduler::new(obj, star, "sharded");
+                sharded.force_selector(Some(SelectorKind::ShardedTree));
                 let expected = linear.place(&owned.view(), count);
                 assert_eq!(
                     policy.place(&owned.view(), count),
@@ -1120,6 +1142,11 @@ mod tests {
                     loser.place(&owned.view(), count),
                     expected,
                     "{obj:?} star={star} count={count} (forced loser tree)"
+                );
+                assert_eq!(
+                    sharded.place(&owned.view(), count),
+                    expected,
+                    "{obj:?} star={star} count={count} (forced sharded tree)"
                 );
             }
         }

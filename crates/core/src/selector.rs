@@ -15,6 +15,7 @@
 //! | [`SelectorKind::Linear`]    | `O(u)` dense scan | free | free |
 //! | [`SelectorKind::LazyHeap`]  | `O(1)` + validate | sift `O(log₄ u)` fan-out | Floyd `O(u)` |
 //! | [`SelectorKind::LoserTree`] | `O(1)` read | one leaf-to-root path, `⌈log₂ u⌉` | bottom-up `O(u)` |
+//! | [`SelectorKind::ShardedTree`] | `O(1)` read | one shard path `⌈log₂(u/s)⌉` + `s`-key tournament | per-shard `O(u)` |
 //!
 //! The **loser tree** is the large-`p` default. A tournament tree over the
 //! candidate positions stores, at each internal node, the *loser* of that
@@ -71,6 +72,9 @@ pub enum SelectorKind {
     LazyHeap,
     /// Loser (tournament) tree with replace-top path replay.
     LoserTree,
+    /// Per-shard loser trees with a small tournament over shard winners;
+    /// the large-`u` partitioning of [`SelectorKind::LoserTree`].
+    ShardedTree,
 }
 
 /// Below this `count · u` product the dense linear rescan wins: it
@@ -83,12 +87,50 @@ pub const LINEAR_MAX_WORK: usize = 4096;
 /// build cannot amortize over so few placements.
 pub const STRUCTURED_MIN_COUNT: usize = 4;
 
+/// At and above this many UP candidates the monolithic loser tree gives
+/// way to per-shard trees: a single tournament over `u ≥ 2¹³` leaves walks
+/// `⌈log₂ u⌉ ≥ 13` scattered cache lines per replay, while the sharded
+/// replay walks one shard's shorter path plus a dense tournament over at
+/// most [`MAX_SHARDS`] contiguous winner keys. Below it the extra
+/// tournament is pure overhead. See `docs/scaling.md` for the measured
+/// crossover.
+pub const SHARD_MIN_UPS: usize = 8192;
+
+/// Target leaf count per shard: each shard's tree (4-byte nodes + 16-byte
+/// keys over ≤ 4096 leaves) stays comfortably inside L2, so one replay
+/// path touches cache-resident lines only.
+pub const SHARD_LEAVES: usize = 4096;
+
+/// Upper bound on the shard count: the winner tournament is a dense
+/// linear argmin over one `u128` key per shard, and 64 keys (two cache
+/// lines' worth per 8) keep it a handful of nanoseconds even at
+/// `p = 10⁶` leaves.
+pub const MAX_SHARDS: usize = 64;
+
+/// Number of shards the sharded tree uses for `u` candidates: enough to
+/// keep every shard at or under [`SHARD_LEAVES`] leaves, capped at
+/// [`MAX_SHARDS`].
+#[must_use]
+pub fn shard_count(u: usize) -> usize {
+    u.div_ceil(SHARD_LEAVES).clamp(1, MAX_SHARDS)
+}
+
+/// Leaves per shard for `u` candidates under the production policy (the
+/// last shard may be smaller).
+#[must_use]
+pub fn shard_size_for(u: usize) -> usize {
+    u.div_ceil(shard_count(u)).max(1)
+}
+
 impl SelectorKind {
     /// The measured crossover policy for a round placing `count` tasks over
     /// `u` UP candidates.
     ///
     /// * `count < 4` or `count · u < 4096` — **linear**: the dense scan's
     ///   vectorized `O(count · u)` beats any build cost.
+    /// * `u ≥ 8192` ([`SHARD_MIN_UPS`]) — **sharded tree**: one replay
+    ///   touches a single shard's cache-resident path plus a ≤ 64-key
+    ///   winner tournament instead of `⌈log₂ u⌉` scattered lines.
     /// * otherwise — **loser tree**. On the selector micro-benchmark
     ///   (`BENCH_selector.json`) it beats the lazy heap on every cell at
     ///   and above the linear crossover — the heap's extra cost is the
@@ -100,6 +142,8 @@ impl SelectorKind {
     pub fn choose(u: usize, count: usize) -> Self {
         if count < STRUCTURED_MIN_COUNT || count * u < LINEAR_MAX_WORK {
             Self::Linear
+        } else if u >= SHARD_MIN_UPS {
+            Self::ShardedTree
         } else {
             Self::LoserTree
         }
@@ -338,6 +382,113 @@ impl LoserTree {
             RUNNER_UP_UNKNOWN
         };
     }
+
+    /// Packed key of the current winner's leaf (sentinel on an empty
+    /// tree). Local positions: the sharded wrapper re-bases it.
+    #[inline]
+    fn winner_key(&self) -> u128 {
+        self.keys[self.nodes[0] as usize]
+    }
+}
+
+/// The sharded selector's persistent storage: the candidate row is split
+/// into contiguous shards of [`shard_size_for`]-many leaves, each
+/// owning an independent [`LoserTree`], plus one **global-position**
+/// packed key per shard winner. `select` reads a cached overall winner;
+/// a winner re-score replays one shard's `⌈log₂(u/s)⌉` path and then
+/// re-runs the dense `s`-key tournament (`s ≤` [`MAX_SHARDS`], two
+/// `u128`s per cache line), so no replay ever walks the full-platform
+/// `⌈log₂ u⌉` scattered lines; an Equation-(2) wholesale refresh
+/// re-prices each shard independently (the natural unit for a future
+/// multi-thread split with a deterministic merge).
+///
+/// ## Exactness
+///
+/// Shard winner keys are packed with **global** positions (a shard-local
+/// key plus the shard's base offset — the position field occupies the low
+/// 32 bits, so the add re-bases it without touching the score half).
+/// The tournament is therefore a linear argmin over exactly the same
+/// `(score, pos)` key order the monolithic tree uses, and its minimum is
+/// the monolithic winner, bit-identically — pinned by the differential
+/// tests below and the greedy proptest.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedTree {
+    /// Leaves per shard of the current round (last shard may be short).
+    shard_size: usize,
+    /// Real leaf count `u` of the current round.
+    len: usize,
+    /// One independent tournament per shard; storage persists across
+    /// rounds like the monolithic tree's.
+    shards: Vec<LoserTree>,
+    /// Packed `(score, global pos)` key of each shard's winner.
+    winner_keys: Vec<u128>,
+    /// Index of the shard holding the overall winner.
+    winner_shard: usize,
+}
+
+impl ShardedTree {
+    /// Rebuilds every shard over `scores`, `O(u)` total — the per-round
+    /// build and the round-batched wholesale refresh. `shard_size` is the
+    /// partition width; production callers pass [`shard_size_for`], tests
+    /// force small widths to exercise multi-shard shapes at tiny `u`.
+    pub fn rebuild(&mut self, scores: &[f64], shard_size: usize) {
+        self.shard_size = shard_size.max(1);
+        self.len = scores.len();
+        let nshards = self.len.div_ceil(self.shard_size).max(1);
+        self.shards.truncate(nshards);
+        while self.shards.len() < nshards {
+            self.shards.push(LoserTree::default());
+        }
+        self.winner_keys.clear();
+        for (s, tree) in self.shards.iter_mut().enumerate() {
+            let lo = s * self.shard_size;
+            let hi = (lo + self.shard_size).min(self.len);
+            tree.rebuild(&scores[lo..hi]);
+            // Re-base the winner's position to the global row. The empty
+            // single-shard case keeps the sentinel unshifted (lo = 0).
+            self.winner_keys.push(tree.winner_key() + lo as u128);
+        }
+        self.refresh_winner();
+    }
+
+    /// Re-runs the winner tournament: a dense strict-`<` argmin over the
+    /// per-shard keys (strict keeps the lowest shard on the impossible
+    /// tie, matching the monolithic order — keys carry unique positions).
+    fn refresh_winner(&mut self) {
+        let mut best = 0usize;
+        for s in 1..self.winner_keys.len() {
+            if self.winner_keys[s] < self.winner_keys[best] {
+                best = s;
+            }
+        }
+        self.winner_shard = best;
+    }
+
+    /// The current overall winner's global position. `O(1)`; exact under
+    /// the same re-score contract as the monolithic tree.
+    #[inline]
+    #[must_use]
+    pub fn winner(&self) -> usize {
+        self.winner_shard * self.shard_size + self.shards[self.winner_shard].winner()
+    }
+
+    /// Re-prices the winner's leaf after *its* score changed: replay the
+    /// owning shard's path (inheriting the monolithic runner-up
+    /// shortcut), refresh that shard's tournament key, and re-run the
+    /// winner tournament. Only valid for the overall winner's leaf.
+    pub fn replay_winner(&mut self, leaf: usize, scores: &[f64]) {
+        debug_assert_eq!(
+            leaf,
+            self.winner(),
+            "path replay is only sound for the current winner's leaf"
+        );
+        let s = self.winner_shard;
+        let lo = s * self.shard_size;
+        let hi = (lo + self.shard_size).min(self.len);
+        self.shards[s].replay_winner(leaf - lo, &scores[lo..hi]);
+        self.winner_keys[s] = self.shards[s].winner_key() + lo as u128;
+        self.refresh_winner();
+    }
 }
 
 /// The argmin strategy of one placement round. Every variant returns the
@@ -355,6 +506,9 @@ pub(crate) enum Selector {
     /// Loser tree over candidate positions; owns the scheduler's
     /// persistent tree storage for the round.
     Loser(LoserTree),
+    /// Per-shard loser trees + winner tournament; owns the scheduler's
+    /// persistent sharded storage for the round.
+    Sharded(ShardedTree),
 }
 
 impl Selector {
@@ -366,6 +520,7 @@ impl Selector {
         scores: &[f64],
         heap_storage: &mut Vec<(f64, u32)>,
         tree_storage: &mut LoserTree,
+        sharded_storage: &mut ShardedTree,
     ) -> Self {
         match kind {
             SelectorKind::Linear => Self::Linear,
@@ -381,6 +536,11 @@ impl Selector {
                 tree.rebuild(scores);
                 Self::Loser(tree)
             }
+            SelectorKind::ShardedTree => {
+                let mut tree = std::mem::take(sharded_storage);
+                tree.rebuild(scores, shard_size_for(scores.len()));
+                Self::Sharded(tree)
+            }
         }
     }
 
@@ -389,11 +549,13 @@ impl Selector {
         self,
         heap_storage: &mut Vec<(f64, u32)>,
         tree_storage: &mut LoserTree,
+        sharded_storage: &mut ShardedTree,
     ) {
         match self {
             Self::Linear => {}
             Self::Heap(heap) => *heap_storage = heap,
             Self::Loser(tree) => *tree_storage = tree,
+            Self::Sharded(tree) => *sharded_storage = tree,
         }
     }
 
@@ -418,6 +580,7 @@ impl Selector {
                 sift_down(heap, 0);
             },
             Self::Loser(tree) => tree.winner(),
+            Self::Sharded(tree) => tree.winner(),
             Self::Linear => {
                 let mut best_pos = 0usize;
                 let mut best_score = f64::INFINITY;
@@ -449,6 +612,7 @@ impl Selector {
                 sift_down(heap, 0);
             }
             Self::Loser(tree) => tree.replay_winner(pos, scores),
+            Self::Sharded(tree) => tree.replay_winner(pos, scores),
             Self::Linear => {}
         }
     }
@@ -468,6 +632,10 @@ impl Selector {
                 heapify(heap);
             }
             Self::Loser(tree) => tree.rebuild(scores),
+            Self::Sharded(tree) => {
+                let shard_size = tree.shard_size;
+                tree.rebuild(scores, shard_size);
+            }
             Self::Linear => {}
         }
     }
@@ -483,7 +651,14 @@ mod tests {
     fn run_round(kind: SelectorKind, scores: &mut [f64], bumps: &[f64]) -> Vec<usize> {
         let mut heap_storage = Vec::new();
         let mut tree_storage = LoserTree::default();
-        let mut sel = Selector::build(kind, scores, &mut heap_storage, &mut tree_storage);
+        let mut sharded_storage = ShardedTree::default();
+        let mut sel = Selector::build(
+            kind,
+            scores,
+            &mut heap_storage,
+            &mut tree_storage,
+            &mut sharded_storage,
+        );
         let mut picks = Vec::new();
         for &bump in bumps {
             let w = sel.select(scores);
@@ -491,21 +666,51 @@ mod tests {
             scores[w] = bump;
             sel.rescore_winner(w, scores);
         }
-        sel.into_storage(&mut heap_storage, &mut tree_storage);
+        sel.into_storage(&mut heap_storage, &mut tree_storage, &mut sharded_storage);
         picks
     }
 
-    /// All three selectors must agree with each other (and hence with the
-    /// linear reference) on every scripted round.
+    /// Drives a [`ShardedTree`] with a *forced* shard width through the
+    /// same scripted round, so multi-shard shapes are reachable at tiny
+    /// `u` (the production width only shards above [`SHARD_LEAVES`]).
+    fn run_round_sharded(shard_size: usize, scores: &mut [f64], bumps: &[f64]) -> Vec<usize> {
+        let mut tree = ShardedTree::default();
+        tree.rebuild(scores, shard_size);
+        let mut picks = Vec::new();
+        for &bump in bumps {
+            let w = tree.winner();
+            picks.push(w);
+            scores[w] = bump;
+            tree.replay_winner(w, scores);
+        }
+        picks
+    }
+
+    /// All four selectors must agree with each other (and hence with the
+    /// linear reference) on every scripted round; the sharded tree is
+    /// additionally exercised at forced widths that split even tiny rows
+    /// into several shards.
     fn assert_all_agree(scores: &[f64], bumps: &[f64]) {
         let linear = run_round(SelectorKind::Linear, &mut scores.to_vec(), bumps);
         let heap = run_round(SelectorKind::LazyHeap, &mut scores.to_vec(), bumps);
         let loser = run_round(SelectorKind::LoserTree, &mut scores.to_vec(), bumps);
+        let sharded = run_round(SelectorKind::ShardedTree, &mut scores.to_vec(), bumps);
         assert_eq!(linear, heap, "heap diverged on {scores:?} / {bumps:?}");
         assert_eq!(
             linear, loser,
             "loser tree diverged on {scores:?} / {bumps:?}"
         );
+        assert_eq!(
+            linear, sharded,
+            "sharded tree diverged on {scores:?} / {bumps:?}"
+        );
+        for shard_size in [1usize, 2, 3, 4] {
+            let forced = run_round_sharded(shard_size, &mut scores.to_vec(), bumps);
+            assert_eq!(
+                linear, forced,
+                "sharded tree (width {shard_size}) diverged on {scores:?} / {bumps:?}"
+            );
+        }
     }
 
     #[test]
@@ -686,7 +891,104 @@ mod tests {
         assert_eq!(SelectorKind::choose(1025, 4), LoserTree);
         assert_eq!(SelectorKind::choose(256, 15), Linear); // 3840
         assert_eq!(SelectorKind::choose(256, 16), LoserTree); // 4096
-                                                              // Large-p default is the loser tree.
+                                                              // Mid-band default is the loser tree.
         assert_eq!(SelectorKind::choose(1024, 2048), LoserTree);
+        // The UP-candidate count gates sharding exactly at SHARD_MIN_UPS.
+        assert_eq!(SelectorKind::choose(8191, 4), LoserTree);
+        assert_eq!(SelectorKind::choose(8192, 4), ShardedTree);
+        assert_eq!(SelectorKind::choose(131_072, 100), ShardedTree);
+        // A huge platform with a too-short round still scans linearly.
+        assert_eq!(SelectorKind::choose(131_072, 3), Linear);
+    }
+
+    #[test]
+    fn shard_count_policy() {
+        // One shard up to SHARD_LEAVES, then one per SHARD_LEAVES slice,
+        // capped at MAX_SHARDS; shard widths always cover the row.
+        assert_eq!(shard_count(1), 1);
+        assert_eq!(shard_count(SHARD_LEAVES), 1);
+        assert_eq!(shard_count(SHARD_LEAVES + 1), 2);
+        assert_eq!(shard_count(16_384), 4);
+        assert_eq!(shard_count(131_072), 32);
+        assert_eq!(shard_count(10_000_000), MAX_SHARDS);
+        for u in [1usize, 5, 4096, 4097, 16_384, 131_072, 1 << 20] {
+            let w = shard_size_for(u);
+            assert!(w * shard_count(u) >= u, "u={u}: shards must cover the row");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_at_scale() {
+        // The production regime: u = 16384 UP candidates (4 shards of
+        // 4096), a long replace-top round with pseudo-random scores and
+        // bumps, plus periodic wholesale refreshes. Winner sequences must
+        // be bit-identical to the monolithic tree's.
+        let u = 16_384usize;
+        let mut state = 0xdead_beef_1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100_003) as f64
+        };
+        let scores_init: Vec<f64> = (0..u).map(|_| next()).collect();
+
+        let mut mono_scores = scores_init.clone();
+        let mut shard_scores = scores_init;
+        let mut mono = LoserTree::default();
+        mono.rebuild(&mono_scores);
+        let mut sharded = ShardedTree::default();
+        sharded.rebuild(&shard_scores, shard_size_for(u));
+        assert_eq!(sharded.winner(), mono.winner(), "initial build diverged");
+
+        for round in 0..3000usize {
+            let bump = 200_000.0 + next();
+            let w = mono.winner();
+            assert_eq!(sharded.winner(), w, "round {round} winner diverged");
+            mono_scores[w] = bump;
+            shard_scores[w] = bump;
+            mono.replay_winner(w, &mono_scores);
+            sharded.replay_winner(w, &shard_scores);
+            if round % 701 == 700 {
+                // Wholesale re-price (Equation-(2) ceiling step analogue).
+                for (a, b) in mono_scores.iter_mut().zip(shard_scores.iter_mut()) {
+                    let fresh = next();
+                    *a = fresh;
+                    *b = fresh;
+                }
+                mono.rebuild(&mono_scores);
+                let ss = shard_size_for(u);
+                sharded.rebuild(&shard_scores, ss);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_duplicates_across_shard_boundaries() {
+        // Duplicate scores in *different shards*: the global-position
+        // re-basing of the winner keys must keep the lowest-id rule
+        // across the tournament, not just inside one shard.
+        for u in [5usize, 6, 8, 13] {
+            for shard_size in [2usize, 3, 4] {
+                for i in 0..u {
+                    for j in i + 1..u {
+                        let mut scores = vec![10.0; u];
+                        scores[i] = 1.0;
+                        scores[j] = 1.0;
+                        let mut tree = ShardedTree::default();
+                        tree.rebuild(&scores, shard_size);
+                        assert_eq!(
+                            tree.winner(),
+                            i,
+                            "u={u} width={shard_size} duplicates at ({i},{j})"
+                        );
+                        let bumps = [2.0, 3.0, 4.0];
+                        let linear = run_round(SelectorKind::Linear, &mut scores.clone(), &bumps);
+                        let forced = run_round_sharded(shard_size, &mut scores.clone(), &bumps);
+                        assert_eq!(linear, forced, "u={u} width={shard_size} ({i},{j})");
+                    }
+                }
+            }
+        }
     }
 }

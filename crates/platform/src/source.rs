@@ -7,10 +7,11 @@
 //! arguments, which is what makes common-random-number comparisons between
 //! heuristics possible.
 
-use vg_des::rng::StreamRng;
+use vg_des::rng::{SeedPath, StreamRng};
 use vg_markov::availability::{AvailabilityChain, AvailabilityStream, ProcState};
 use vg_markov::semi_markov::{SemiMarkovModel, SemiMarkovStream};
 
+use crate::config::{AvailabilityModelConfig, PlatformConfig};
 use crate::trace::Trace;
 
 /// A per-slot availability state generator for one processor.
@@ -187,6 +188,126 @@ impl SharedTraceMatrix {
     }
 }
 
+/// A **dense, monomorphic bank** of per-processor Markov availability
+/// streams: the platform-scale replacement for a `Vec<Box<dyn
+/// AvailabilitySource>>` when every processor runs the paper's 3-state
+/// chain (the common case by far).
+///
+/// The boxed form costs one virtual call plus a scattered heap load per
+/// processor per slot — at `p = 131072` the states pass becomes a pointer
+/// chase across a hundred thousand allocations. The bank keeps the chains,
+/// RNG states and current states in three contiguous columns and advances
+/// them in one linear sweep, so the per-slot pass streams memory instead.
+///
+/// **Bit-identity contract**: processor `q`'s emitted stream is exactly the
+/// stream of `markov_source(chain_q, start_q, trace_seeds.child(q).rng())`
+/// — same construction-time draws (stationary starts), same per-slot
+/// `sample_next` logic on the same per-processor RNG. The
+/// `dense_markov_bank_matches_boxed_streams` test pins this.
+#[derive(Debug, Default)]
+pub struct MarkovSourceBank {
+    /// The platform's **distinct** chains (platforms draw processors from a
+    /// handful of machine classes, so this is typically a few entries that
+    /// live in L1 across the whole sweep — per-processor clones would
+    /// stream another 72 bytes × p per slot for identical matrices).
+    chains: Vec<AvailabilityChain>,
+    /// Per-processor index into `chains`.
+    chain_idx: Vec<u32>,
+    rngs: Vec<StreamRng>,
+    states: Vec<ProcState>,
+}
+
+impl MarkovSourceBank {
+    /// Builds a bank for `platform` with the per-processor seed layout of
+    /// the engine's `run_seeded` entry points (`trace_seeds.child(q)`).
+    /// Returns `None` when any processor's availability model is not a
+    /// Markov chain (semi-Markov, replay) — callers fall back to boxed
+    /// sources.
+    #[must_use]
+    pub fn try_from_platform(platform: &PlatformConfig, trace_seeds: &SeedPath) -> Option<Self> {
+        let mut bank = Self::default();
+        bank.rebuild_from_platform(platform, trace_seeds)
+            .then_some(bank)
+    }
+
+    /// Re-seeds this bank in place for another run (arena reuse: the
+    /// columns keep their capacity). Returns `false` — leaving the bank
+    /// empty — when the platform has any non-Markov processor.
+    pub fn rebuild_from_platform(
+        &mut self,
+        platform: &PlatformConfig,
+        trace_seeds: &SeedPath,
+    ) -> bool {
+        self.chains.clear();
+        self.chain_idx.clear();
+        self.rngs.clear();
+        self.states.clear();
+        for (q, pc) in platform.processors.iter().enumerate() {
+            // Bail on the first non-Markov processor — the caller falls
+            // back to the boxed per-proc sources — leaving the bank empty,
+            // not half-seeded.
+            let AvailabilityModelConfig::Markov { chain, start } = &pc.avail else {
+                self.chains.clear();
+                self.chain_idx.clear();
+                self.rngs.clear();
+                self.states.clear();
+                return false;
+            };
+            let mut rng = trace_seeds.child(q as u64).rng();
+            // Mirror `markov_source` exactly, construction draws included.
+            let state = match start {
+                StartPolicy::Up => ProcState::Up,
+                StartPolicy::Stationary => {
+                    let pi = chain.stationary();
+                    ProcState::from_index(rng.weighted_index(&pi).unwrap_or(0))
+                }
+            };
+            // Dedup by exact matrix equality: only bit-identical chains
+            // share an entry, so `chains[chain_idx[q]]` samples exactly as
+            // `q`'s own clone would. The probe is capped — a pathological
+            // platform of all-distinct chains degrades to per-processor
+            // entries (always correct, just unshared) instead of an O(p²)
+            // rebuild.
+            let ci = match self.chains.iter().take(64).position(|c| c == chain) {
+                Some(i) => i,
+                None => {
+                    self.chains.push(chain.clone());
+                    self.chains.len() - 1
+                }
+            };
+            // Lossless: at most one chain is pushed per processor, and
+            // validation bounds processor counts to u32.
+            self.chain_idx.push(ci as u32);
+            self.rngs.push(rng);
+            self.states.push(state);
+        }
+        true
+    }
+
+    /// Number of processors in the bank.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Appends the next slot's state for every processor (in order) to
+    /// `out` and advances all streams — the dense equivalent of calling
+    /// `next_state()` on `p` boxed sources.
+    pub fn next_row_into(&mut self, out: &mut Vec<ProcState>) {
+        out.reserve(self.states.len());
+        for ((state, &ci), rng) in self
+            .states
+            .iter_mut()
+            .zip(self.chain_idx.iter())
+            .zip(self.rngs.iter_mut())
+        {
+            let cur = *state;
+            out.push(cur);
+            *state = self.chains[ci as usize].sample_next(cur, rng);
+        }
+    }
+}
+
 /// Initial-state policy for stochastic sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum StartPolicy {
@@ -332,6 +453,77 @@ mod tests {
         let via_original = matrix.with_row(9, |row| row.to_vec());
         assert_eq!(via_handle, via_original);
         assert_eq!(matrix.recorded_slots(), 10, "replays do not extend");
+    }
+
+    #[test]
+    fn dense_markov_bank_matches_boxed_streams() {
+        // The bank's per-processor streams must be bit-identical to the
+        // boxed `markov_source` streams under the engine's seed layout,
+        // for both start policies.
+        use crate::processor::ProcessorSpec;
+        let platform = PlatformConfig {
+            processors: (0..7)
+                .map(|q| {
+                    let mut rng = SeedPath::root(100 + q).rng();
+                    let chain = AvailabilityChain::sample_paper(&mut rng, 0.90, 0.99);
+                    crate::config::ProcessorConfig {
+                        spec: ProcessorSpec::new(1 + q),
+                        avail: AvailabilityModelConfig::Markov {
+                            chain,
+                            start: if q % 2 == 0 {
+                                StartPolicy::Up
+                            } else {
+                                StartPolicy::Stationary
+                            },
+                        },
+                        believed: None,
+                    }
+                })
+                .collect(),
+            ncom: 2,
+        };
+        let seeds = SeedPath::root(9);
+        let mut boxed: Vec<_> = platform
+            .processors
+            .iter()
+            .enumerate()
+            .map(|(q, pc)| pc.avail.build_source(seeds.child(q as u64).rng()))
+            .collect();
+        let mut bank =
+            MarkovSourceBank::try_from_platform(&platform, &seeds).expect("all-Markov platform");
+        assert_eq!(bank.p(), 7);
+        let mut row = Vec::new();
+        for slot in 0..300 {
+            row.clear();
+            bank.next_row_into(&mut row);
+            for (q, src) in boxed.iter_mut().enumerate() {
+                assert_eq!(row[q], src.next_state(), "slot {slot} proc {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_markov_bank_rejects_non_markov_platforms() {
+        use crate::processor::ProcessorSpec;
+        let platform = PlatformConfig {
+            processors: vec![
+                crate::config::ProcessorConfig::markov(1, test_chain(), StartPolicy::Up),
+                crate::config::ProcessorConfig {
+                    spec: ProcessorSpec::new(1),
+                    avail: AvailabilityModelConfig::Replay {
+                        trace: Trace::parse("u").unwrap(),
+                        tail: TailBehavior::HoldLast,
+                    },
+                    believed: None,
+                },
+            ],
+            ncom: 1,
+        };
+        assert!(MarkovSourceBank::try_from_platform(&platform, &SeedPath::root(1)).is_none());
+        // A rejected rebuild leaves the bank empty, not half-seeded.
+        let mut bank = MarkovSourceBank::default();
+        assert!(!bank.rebuild_from_platform(&platform, &SeedPath::root(1)));
+        assert_eq!(bank.p(), 0);
     }
 
     #[test]

@@ -99,12 +99,12 @@ use vg_core::Scheduler;
 use vg_des::{Slot, SlotSpan};
 use vg_markov::availability::{ChainStats, ProcState};
 use vg_platform::network::{BandwidthLedger, TransferKind};
-use vg_platform::source::{AvailabilitySource, SharedTraceMatrix};
+use vg_platform::source::{AvailabilitySource, MarkovSourceBank, SharedTraceMatrix};
 use vg_platform::{AppConfig, ConfigError, PlatformConfig, ProcessorId};
 
 use crate::report::{Counters, SimReport};
-use crate::store::{AosWorkers, WorkerSoA, WorkerStore};
-use crate::task::{CopyId, IterationState, OriginalState, TaskId};
+use crate::store::{AosWorkers, WorkerSoA, WorkerStore, SUMMARY_BLOCK};
+use crate::task::{CopyId, IterationState, OriginalState, TaskId, NO_REPLICA_WORKER};
 use crate::timeline::{Activity, SlotMarks, Timeline};
 use crate::worker::{ComputeState, TransferState};
 
@@ -257,6 +257,74 @@ const NON_UP_DELAY: SlotSpan = if cfg!(debug_assertions) {
     0
 };
 
+/// Largest platform on which the O(p)-per-slot debug sweeps (the full
+/// incremental-vs-full snapshot oracle, the all-worker pipeline invariant
+/// walk) stay exhaustive. Beyond it they switch to bounded deterministic
+/// samples — at p = 131072 the exhaustive versions make debug builds (and
+/// the large-p CI tests) unusable. Covers every paper-scale platform and
+/// the whole committed p ≤ 1024 bench/test grid with full strength.
+#[cfg(debug_assertions)]
+const EXHAUSTIVE_DEBUG_MAX_P: usize = 4096;
+
+/// Width of the rotating per-slot sample window used by the large-p debug
+/// sweeps (see [`EXHAUSTIVE_DEBUG_MAX_P`]).
+#[cfg(debug_assertions)]
+const DEBUG_SAMPLE_WINDOW: usize = 64;
+
+/// Whether debug sweeps must stay exhaustive for a p-worker platform:
+/// always at paper/bench scales, opt-in via `VG_FULL_DEBUG_SWEEPS=1`
+/// beyond (checked once; debug-only, so the env read can never perturb a
+/// release simulation).
+#[cfg(debug_assertions)]
+fn exhaustive_debug_checks(p: usize) -> bool {
+    static FULL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    p <= EXHAUSTIVE_DEBUG_MAX_P
+        || *FULL.get_or_init(|| std::env::var_os("VG_FULL_DEBUG_SWEEPS").is_some_and(|v| v != "0"))
+}
+
+/// Runs `$body` for every busy worker `$q` of `$workers`, in ascending
+/// order. Stores that maintain a busy bitmap ([`WorkerStore::busy_word`])
+/// are walked bit by bit — O(busy) instead of O(p), the difference between
+/// a volunteer grid's handful of active workers and its 131072-processor
+/// platform; other layouts take the block-chunked dense scan gated on the
+/// per-block busy summaries (the AoS oracle's `true`-everywhere default
+/// degrades it to the original full scan).
+///
+/// Each word is **copied** before its bits are drained, so `$body` may
+/// mutate occupancy. This is sound in the phases that use it because
+/// busyness is *monotone non-increasing* there (no phase below binds new
+/// copies): a bit cleared mid-phase belongs to a worker either already
+/// visited or re-rejected by `$body`'s own `busy`/state checks, and no bit
+/// can newly appear. The SoA⇄AoS oracle grid pins the two paths to
+/// identical behavior.
+macro_rules! for_each_busy_worker {
+    ($workers:expr, $q:ident, $body:block) => {{
+        let p = $workers.len();
+        if S::HAS_BUSY_WORDS {
+            for wi in 0..p.div_ceil(64) {
+                let mut word = $workers.busy_word(wi);
+                while word != 0 {
+                    let $q = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    $body
+                }
+            }
+        } else {
+            for b in 0..$workers.summary_blocks() {
+                if !$workers.block_may_be_busy(b) {
+                    continue;
+                }
+                let start = b * SUMMARY_BLOCK;
+                let end = (start + SUMMARY_BLOCK).min(p);
+                #[allow(clippy::needless_range_loop)] // mirrors the bit walk
+                for $q in start..end {
+                    $body
+                }
+            }
+        }
+    }};
+}
+
 /// A pending channel request during phase 4.
 #[derive(Debug, Clone, Copy)]
 enum Request {
@@ -294,8 +362,22 @@ struct SlotScratch {
     /// succeed, untouched on the uncapped path.
     pending: Vec<TaskId>,
     /// Free-worker bitmask for the replica path (phase 3): `free[q]` iff
-    /// worker `q` is UP and completely idle.
+    /// worker `q` is UP and completely idle. **Persistent across slots**
+    /// when `free_valid` holds: with a summary-tracking store only the
+    /// blocks named by [`WorkerStore::changed_blocks`] are recomputed at
+    /// each consult instead of rescanning all p workers.
     free: Vec<bool>,
+    /// Per-[`SUMMARY_BLOCK`] population counts of `free`, maintained
+    /// alongside it so the free total needs no dense re-count.
+    free_blocks: Vec<u32>,
+    /// Σ `free_blocks` — the replica path's candidate capacity.
+    free_total: usize,
+    /// Whether `free`/`free_blocks` describe the current run's platform.
+    /// Reset at run start, forcing the first consult to rebuild fully.
+    free_valid: bool,
+    /// Pinned-replica workers of the task being sibling-canceled, copied
+    /// out of the iteration record before the per-worker cancels mutate it.
+    replica_pins: Vec<u32>,
     /// Per-worker remaining bind room for a capped pool round (phase 3):
     /// `2 - occupancy` for UP workers, 0 otherwise, decremented as binds
     /// land. Passed to the scheduler as [`SchedView::room`] so an engaged
@@ -332,6 +414,10 @@ impl SlotScratch {
             placements: Vec::with_capacity(m.max(p)),
             pending: Vec::with_capacity(m),
             free: Vec::with_capacity(p),
+            free_blocks: Vec::with_capacity(p.div_ceil(SUMMARY_BLOCK)),
+            free_total: 0,
+            free_valid: false,
+            replica_pins: Vec::with_capacity(4),
             room: Vec::with_capacity(p),
             continuations: Vec::with_capacity(p),
             requests: Vec::with_capacity(2 * p),
@@ -395,6 +481,10 @@ pub struct SimArena {
     workers: WorkerSoA,
     chains: Vec<ChainStats>,
     sources: Vec<Box<dyn AvailabilitySource>>,
+    /// Warmed dense all-Markov bank (columns keep their capacity across
+    /// runs); re-seeded per run by [`Self::run_seeded`] when the platform
+    /// qualifies.
+    dense: MarkovSourceBank,
     iter: Option<IterationState>,
     iteration_completed_at: Vec<Slot>,
     bind_order: Vec<(usize, CopyId)>,
@@ -440,15 +530,20 @@ impl SimArena {
                 "SimArena does not record timelines; use Simulation::run_seeded".into(),
             ));
         }
-        // Rebuild per-run state *into* the warmed buffers.
+        // Rebuild per-run state *into* the warmed buffers. All-Markov
+        // platforms take the dense bank (bit-identical states, no
+        // per-processor boxing); the rest rebuild boxed sources.
+        let dense = self.dense.rebuild_from_platform(platform, &trace_seeds);
         self.sources.clear();
-        self.sources.extend(
-            platform
-                .processors
-                .iter()
-                .enumerate()
-                .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng())),
-        );
+        if !dense {
+            self.sources.extend(
+                platform
+                    .processors
+                    .iter()
+                    .enumerate()
+                    .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng())),
+            );
+        }
         self.chains.clear();
         self.chains.extend(
             platform
@@ -456,7 +551,12 @@ impl SimArena {
                 .iter()
                 .map(|pc| ChainStats::new(pc.believed_chain())),
         );
-        Ok(self.run_core(platform, app, scheduler, options))
+        if dense {
+            let bank = SourceBank::Dense(std::mem::take(&mut self.dense));
+            Ok(self.run_core_with(platform, app, scheduler, bank, options))
+        } else {
+            Ok(self.run_core(platform, app, scheduler, options))
+        }
     }
 
     /// Runs one simulation with **caller-shared per-scenario state**: chain
@@ -585,18 +685,19 @@ impl SimArena {
             .reset_for(platform.processors.iter().map(|pc| pc.spec));
         let iter = match self.iter.take() {
             Some(mut it) => {
-                it.reinit(0, app.tasks_per_iteration);
+                it.reinit(0, app.tasks_per_iteration, options.max_extra_replicas);
                 it
             }
-            None => IterationState::new(0, app.tasks_per_iteration),
+            None => IterationState::new(0, app.tasks_per_iteration, options.max_extra_replicas),
         };
         self.iteration_completed_at.clear();
         self.bind_order.clear();
         self.slot_marks.clear();
         self.slot_marks.resize(p, SlotMarks::default());
-        // The snapshot buffer may hold another run's platform; the first
-        // consult must rebuild it fully.
+        // The snapshot and free-mask buffers may hold another run's
+        // platform; the first consult must rebuild them fully.
         self.scratch.procs_valid = false;
+        self.scratch.free_valid = false;
 
         let mut sim = Simulation {
             app: *app,
@@ -628,8 +729,10 @@ impl SimArena {
 
         // Reclaim the warmed buffers for the next run.
         self.workers = sim.workers;
-        if let SourceBank::PerProc(v) = sim.sources {
-            self.sources = v;
+        match sim.sources {
+            SourceBank::PerProc(v) => self.sources = v,
+            SourceBank::Dense(b) => self.dense = b,
+            SourceBank::Shared { .. } => {}
         }
         self.chains = sim.chains;
         self.iter = Some(sim.iter);
@@ -659,6 +762,12 @@ pub fn platform_chain_stats(platform: &PlatformConfig) -> Vec<ChainStats> {
 enum SourceBank {
     /// One live source per processor (the stand-alone path).
     PerProc(Vec<Box<dyn AvailabilitySource>>),
+    /// A dense all-Markov bank: three contiguous columns advanced in one
+    /// linear sweep — the platform-scale path for seeded runs, bit-identical
+    /// to `PerProc` over `markov_source`s with the same seeds (pinned by
+    /// `dense_markov_bank_matches_boxed_streams` in vg-platform and the
+    /// seeded-vs-explicit-sources determinism test below).
+    Dense(MarkovSourceBank),
     /// A shared recording, consumed row-by-row: one borrow and `p`
     /// contiguous byte reads per slot instead of `p` virtual calls — the
     /// common-random-numbers fast path for campaign instances.
@@ -760,6 +869,56 @@ impl<S: WorkerStore> Simulation<S> {
                 platform.p()
             )));
         }
+        Self::new_with_bank(
+            platform,
+            app,
+            scheduler,
+            SourceBank::PerProc(sources),
+            options,
+        )
+    }
+
+    /// Seed-path constructor: builds the best available source bank for
+    /// `platform` (`trace_seeds.child(q)` per processor, the
+    /// [`Simulation::run_seeded`] seed layout) and returns the engine
+    /// without running it. All-Markov platforms — the paper's setting — get
+    /// the dense [`MarkovSourceBank`] (three contiguous columns, no
+    /// per-processor virtual calls); anything else falls back to boxed
+    /// sources. Both banks emit bit-identical state streams, so which one
+    /// is chosen is unobservable in the results.
+    pub fn new_seeded(
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        trace_seeds: vg_des::rng::SeedPath,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        match MarkovSourceBank::try_from_platform(platform, &trace_seeds) {
+            Some(bank) => {
+                Self::new_with_bank(platform, app, scheduler, SourceBank::Dense(bank), options)
+            }
+            None => {
+                let sources: Vec<Box<dyn AvailabilitySource>> = platform
+                    .processors
+                    .iter()
+                    .enumerate()
+                    .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng()))
+                    .collect(); // tidy:allow(hot_alloc): per-run source construction, before the first slot.
+                Self::new_in(platform, app, scheduler, sources, options)
+            }
+        }
+    }
+
+    /// Innermost constructor over an explicit source bank.
+    fn new_with_bank(
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        bank: SourceBank,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        platform.validate()?;
+        app.validate()?;
         let mut scheduler = scheduler;
         scheduler.begin_run();
         let mut workers = S::default();
@@ -772,13 +931,13 @@ impl<S: WorkerStore> Simulation<S> {
         Ok(Self {
             app: *app,
             workers,
-            sources: SourceBank::PerProc(sources),
+            sources: bank,
             chains,
             scheduler,
             ledger: BandwidthLedger::new(platform.ncom),
             options,
             slot: 0,
-            iter: IterationState::new(0, app.tasks_per_iteration),
+            iter: IterationState::new(0, app.tasks_per_iteration, options.max_extra_replicas),
             iterations_done: 0,
             iteration_completed_at: Vec::with_capacity(app.iterations as usize),
             counters: Counters::default(),
@@ -799,13 +958,7 @@ impl<S: WorkerStore> Simulation<S> {
         trace_seeds: vg_des::rng::SeedPath,
         options: SimOptions,
     ) -> Result<SimReport, ConfigError> {
-        let sources: Vec<Box<dyn AvailabilitySource>> = platform
-            .processors
-            .iter()
-            .enumerate()
-            .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng()))
-            .collect(); // tidy:allow(hot_alloc): per-run source construction, before the first slot.
-        Ok(Self::new_in(platform, app, scheduler, sources, options)?.run())
+        Ok(Self::new_seeded(platform, app, scheduler, trace_seeds, options)?.run())
     }
 
     /// Runs to completion (all iterations done or slot cap hit).
@@ -917,25 +1070,52 @@ impl<S: WorkerStore> Simulation<S> {
             SourceBank::PerProc(v) => {
                 state_row.extend(v.iter_mut().map(|src| src.next_state()));
             }
+            SourceBank::Dense(bank) => bank.next_row_into(state_row),
             SourceBank::Shared { trace, next_slot } => {
                 trace.with_row(*next_slot, |row| state_row.extend_from_slice(row));
                 *next_slot += 1;
             }
         }
         workers.set_states(state_row);
-        for (q, &state) in state_row.iter().enumerate() {
-            counters.state_slots[state.index()] += 1;
-            if state != ProcState::Down {
+        // State census: O(1) from the store's block summaries when it
+        // maintains them, a dense tally otherwise (the oracle layout).
+        match workers.state_census() {
+            Some(census) => {
+                for (i, n) in census.into_iter().enumerate() {
+                    counters.state_slots[i] += n as u64;
+                }
+            }
+            None => {
+                for &state in state_row.iter() {
+                    counters.state_slots[state.index()] += 1;
+                }
+            }
+        }
+        // Crash pass, chunked over the summary blocks: a block with no DOWN
+        // worker is dismissed in one compare. Blocks ascend, so crash order
+        // (and therefore copy-loss accounting order) is unchanged.
+        let p = state_row.len();
+        for b in 0..workers.summary_blocks() {
+            if !workers.block_may_have_down(b) {
                 continue;
             }
-            copies.clear();
-            workers.crash_into(q, copies);
-            for &copy in copies.iter() {
-                counters.copies_lost_to_down += 1;
-                if copy.is_original() {
-                    iter.release_original(copy.task);
-                } else {
-                    iter.drop_replica(copy.task);
+            let start = b * SUMMARY_BLOCK;
+            let end = (start + SUMMARY_BLOCK).min(p);
+            #[allow(clippy::needless_range_loop)] // block-bounded sweep
+            for q in start..end {
+                if state_row[q] != ProcState::Down {
+                    continue;
+                }
+                copies.clear();
+                workers.crash_into(q, copies);
+                for &copy in copies.iter() {
+                    counters.copies_lost_to_down += 1;
+                    if copy.is_original() {
+                        iter.release_original(copy.task);
+                    } else {
+                        iter.drop_replica(copy.task);
+                        iter.clear_replica_pin(copy.task, q);
+                    }
                 }
             }
         }
@@ -960,6 +1140,8 @@ impl<S: WorkerStore> Simulation<S> {
     /// scratch every time, and debug builds cross-check the two against
     /// each other field for field.
     fn snapshot_procs(&mut self) {
+        #[cfg(debug_assertions)]
+        let slot = self.slot;
         let Self {
             workers,
             scratch,
@@ -1003,28 +1185,46 @@ impl<S: WorkerStore> Simulation<S> {
             }));
             scratch.procs_valid = true;
         }
-        workers.clear_snapshot_dirty();
+        // Incremental-vs-full oracle (debug): every consult must equal a
+        // from-scratch rebuild, or a mutator skipped its dirty bit. Beyond
+        // EXHAUSTIVE_DEBUG_MAX_P, rebuilding all p delay estimates per
+        // consult is what made large-p debug runs unusable — so only a
+        // bounded deterministic sample is cross-checked there: every
+        // still-dirty worker (checked *before* the bits drain below; their
+        // patched values are the fresh ones, and a missed dirty bit can
+        // only hide on a clean worker) plus a slot-rotating window of
+        // DEBUG_SAMPLE_WINDOW workers that revisits every cached delay
+        // eventually. `VG_FULL_DEBUG_SWEEPS=1` restores the full sweep.
         #[cfg(debug_assertions)]
-        for q in 0..p {
-            // Incremental-vs-full oracle: every consult must equal a
-            // from-scratch rebuild, or a mutator skipped its dirty bit.
-            let state = workers.state(q);
-            let expect = ProcSnapshot {
-                id: ProcessorId(q as u32),
-                state,
-                w: workers.w(q),
-                has_program: workers.has_program(q, app.t_prog),
-                delay: if state == ProcState::Up {
-                    workers.delay_estimate(q, app.t_prog, app.t_data)
-                } else {
-                    NON_UP_DELAY
-                },
-            };
-            debug_assert_eq!(
-                scratch.procs[q], expect,
-                "incremental snapshot diverged from a full rebuild on worker {q}"
-            );
+        {
+            let exhaustive = exhaustive_debug_checks(p);
+            let base = (slot as usize).wrapping_mul(DEBUG_SAMPLE_WINDOW) % p.max(1);
+            for q in 0..p {
+                if !exhaustive
+                    && !workers.snapshot_dirty(q)
+                    && (q + p - base) % p >= DEBUG_SAMPLE_WINDOW
+                {
+                    continue;
+                }
+                let state = workers.state(q);
+                let expect = ProcSnapshot {
+                    id: ProcessorId(q as u32),
+                    state,
+                    w: workers.w(q),
+                    has_program: workers.has_program(q, app.t_prog),
+                    delay: if state == ProcState::Up {
+                        workers.delay_estimate(q, app.t_prog, app.t_data)
+                    } else {
+                        NON_UP_DELAY
+                    },
+                };
+                debug_assert_eq!(
+                    scratch.procs[q], expect,
+                    "incremental snapshot diverged from a full rebuild on worker {q}"
+                );
+            }
         }
+        workers.clear_snapshot_dirty();
     }
 
     /// Binds `copy` to worker `widx` if legal; immediately pins zero-length
@@ -1048,6 +1248,7 @@ impl<S: WorkerStore> Simulation<S> {
                 self.iter.pin_original(copy.task, widx);
             } else {
                 self.counters.replicas_started += 1;
+                self.iter.record_replica_pin(copy.task, widx);
             }
             if self.workers.computing(widx).is_none() {
                 self.workers
@@ -1297,19 +1498,7 @@ impl<S: WorkerStore> Simulation<S> {
                 )
             );
             if !self.scratch.cands.is_empty() {
-                let n_free = sub!(4, {
-                    let Self {
-                        workers, scratch, ..
-                    } = self;
-                    scratch.free.clear();
-                    let mut n = 0usize;
-                    scratch.free.extend((0..workers.len()).map(|q| {
-                        let free = workers.state(q) == ProcState::Up && workers.is_idle(q);
-                        n += usize::from(free);
-                        free
-                    }));
-                    n
-                });
+                let n_free = sub!(4, self.refresh_free_mask());
                 let k = self.scratch.cands.len().min(n_free);
                 if k > 0 {
                     if !have_snapshot {
@@ -1377,6 +1566,87 @@ impl<S: WorkerStore> Simulation<S> {
         }
     }
 
+    /// Brings the replica path's free-worker mask (`scratch.free[q]` iff
+    /// worker `q` is UP ∧ idle) up to date and returns the free total.
+    ///
+    /// This is the incremental candidate generation of the platform-scale
+    /// path: with a summary-tracking store, a valid cache is patched by
+    /// recomputing only the blocks the store marked changed since the last
+    /// consult (state redraws and occupancy flips both mark — see
+    /// [`WorkerStore::changed_blocks`]), so steady-state slots touch a
+    /// handful of blocks instead of rescanning all p workers. The oracle
+    /// layout (no tracking) and the first consult of a run rebuild densely,
+    /// skipping blocks the summaries prove free-less; debug builds
+    /// cross-check the patched mask against a dense recompute.
+    fn refresh_free_mask(&mut self) -> usize {
+        let Self {
+            workers, scratch, ..
+        } = self;
+        let p = workers.len();
+        let nblocks = workers.summary_blocks();
+        let block_free = |workers: &S, b: usize, free: &mut [bool]| -> u32 {
+            let start = b * SUMMARY_BLOCK;
+            let end = (start + SUMMARY_BLOCK).min(p);
+            let mut n = 0u32;
+            #[allow(clippy::needless_range_loop)] // block-bounded sweep
+            for q in start..end {
+                let f = workers.state(q) == ProcState::Up && workers.is_idle(q);
+                free[q] = f;
+                n += u32::from(f);
+            }
+            n
+        };
+        if S::INCREMENTAL_SNAPSHOTS && scratch.free_valid && scratch.free.len() == p {
+            if let Some(changed) = workers.changed_blocks() {
+                for &b in changed {
+                    let b = b as usize;
+                    let n = block_free(workers, b, &mut scratch.free);
+                    scratch.free_total =
+                        scratch.free_total + n as usize - scratch.free_blocks[b] as usize;
+                    scratch.free_blocks[b] = n;
+                }
+            } else {
+                // An incremental store without block tracking would read a
+                // stale mask here — the trait default must not be inherited
+                // by INCREMENTAL_SNAPSHOTS layouts.
+                debug_assert!(false, "incremental store lost its changed-block feed");
+                scratch.free_valid = false;
+            }
+        }
+        if !(S::INCREMENTAL_SNAPSHOTS && scratch.free_valid && scratch.free.len() == p) {
+            scratch.free.clear();
+            scratch.free.resize(p, false);
+            scratch.free_blocks.clear();
+            scratch.free_blocks.resize(nblocks, 0);
+            scratch.free_total = 0;
+            for b in 0..nblocks {
+                // An all-busy or no-UP block stays all-false without a scan.
+                if !workers.block_may_have_free(b) {
+                    continue;
+                }
+                let n = block_free(workers, b, &mut scratch.free);
+                scratch.free_blocks[b] = n;
+                scratch.free_total += n as usize;
+            }
+            scratch.free_valid = S::INCREMENTAL_SNAPSHOTS;
+        }
+        workers.clear_changed_blocks();
+        #[cfg(debug_assertions)]
+        {
+            let mut n = 0usize;
+            for q in 0..p {
+                let f = workers.state(q) == ProcState::Up && workers.is_idle(q);
+                debug_assert_eq!(
+                    scratch.free[q], f,
+                    "stale free mask on worker {q}: a mutation missed its block mark"
+                );
+                n += usize::from(f);
+            }
+            debug_assert_eq!(n, scratch.free_total, "free total drifted");
+        }
+        scratch.free_total
+    }
+
     fn phase_transfers(&mut self) {
         self.ledger.open_slot();
         let record = self.timeline.is_some();
@@ -1394,8 +1664,12 @@ impl<S: WorkerStore> Simulation<S> {
             // --- Collect requests ---------------------------------------
             // (a) Continuations: in-flight data transfers and partially
             //     received programs on UP workers, oldest first ([D11]).
+            //     Both kinds pin a copy (a transfer occupies its pipeline
+            //     slot; the program branch checks `busy` itself), so the
+            //     busy-restricted walk is exact — no continuation can live
+            //     on an idle worker.
             scratch.continuations.clear();
-            for widx in 0..workers.len() {
+            for_each_busy_worker!(workers, widx, {
                 if workers.state(widx) != ProcState::Up {
                     continue; // suspended transfers hold no channel
                 }
@@ -1413,7 +1687,7 @@ impl<S: WorkerStore> Simulation<S> {
                         Request::Prog { widx },
                     ));
                 }
-            }
+            });
             // `widx` makes the key unique, so the unstable sort is
             // deterministic (and allocation-free, unlike a stable sort).
             scratch
@@ -1506,6 +1780,7 @@ impl<S: WorkerStore> Simulation<S> {
                             self.iter.pin_original(copy.task, widx);
                         } else {
                             self.counters.replicas_started += 1;
+                            self.iter.record_replica_pin(copy.task, widx);
                         }
                     }
                 }
@@ -1526,11 +1801,12 @@ impl<S: WorkerStore> Simulation<S> {
                 ..
             } = self;
             scratch.completions.clear();
-            #[allow(clippy::needless_range_loop)] // slot_marks writes are rare (timeline off)
-            for widx in 0..workers.len() {
-                // The occupancy byte rejects idle workers without touching
-                // the fat computing column; a busy-but-not-computing worker
-                // falls out of tick_compute's None.
+            // Busy workers only (bit walk or chunked blocks — the scan is
+            // read-only w.r.t. occupancy, and it ascends either way, so
+            // completion order is unchanged): an idle worker cannot hold a
+            // computation, and a busy-but-not-computing worker falls out of
+            // tick_compute's None without touching the fat computing column.
+            for_each_busy_worker!(workers, widx, {
                 if !workers.busy(widx) || workers.state(widx) != ProcState::Up {
                     continue;
                 }
@@ -1544,7 +1820,7 @@ impl<S: WorkerStore> Simulation<S> {
                         scratch.completions.push((widx, copy));
                     }
                 }
-            }
+            });
         }
         for k in 0..self.scratch.completions.len() {
             let (widx, copy) = self.scratch.completions[k];
@@ -1576,6 +1852,7 @@ impl<S: WorkerStore> Simulation<S> {
             self.counters.tasks_completed += 1;
             if !copy.is_original() {
                 self.iter.drop_replica(task);
+                self.iter.clear_replica_pin(task, widx);
             }
             self.cancel_siblings(task, orig_pinned);
         }
@@ -1592,10 +1869,10 @@ impl<S: WorkerStore> Simulation<S> {
     /// * still-**bound** copies (transfer not begun) sit in `bind_order`
     ///   with their worker; entries whose transfer began are skipped — the
     ///   bound list no longer holds them — and found as pinned copies;
-    /// * pinned **replicas** carry no location record, but their exact
-    ///   count is `replicas_alive` minus the bound replicas just canceled,
-    ///   so the fallback scan stops as soon as that many are found — with
-    ///   replication off it never runs at all.
+    /// * pinned **replicas** are canceled straight off the workers recorded
+    ///   in [`IterationState`] at grant time — no platform scan exists on
+    ///   this path at all (the former early-exit fallback sweep still cost
+    ///   `O(p)` per unlucky completion at `p = 131072`).
     ///
     /// Debug builds re-scan the whole platform afterwards and assert no
     /// copy survived, pinning this accounting to the exhaustive semantics.
@@ -1618,19 +1895,31 @@ impl<S: WorkerStore> Simulation<S> {
                 workers.cancel_task_into(widx, task, &mut scratch.copies);
             }
         }
-        let found_replicas = scratch.copies.iter().filter(|c| !c.is_original()).count();
-        let mut pinned_replicas_left = replicas_total.saturating_sub(found_replicas);
-        if pinned_replicas_left > 0 {
-            for q in 0..workers.len() {
-                let before = scratch.copies.len();
-                workers.cancel_task_into(q, task, &mut scratch.copies);
-                pinned_replicas_left =
-                    pinned_replicas_left.saturating_sub(scratch.copies.len() - before);
-                if pinned_replicas_left == 0 {
-                    break;
-                }
+        // Pinned replicas: the iteration records the worker of every granted
+        // replica, so each survivor is canceled with one directed call. The
+        // record row is borrowed out of `iter` via scratch so the pins can
+        // be cleared while `workers` is mutated.
+        scratch.replica_pins.clear();
+        scratch
+            .replica_pins
+            .extend_from_slice(iter.pinned_replica_workers(task));
+        for &w in &scratch.replica_pins {
+            if w == NO_REPLICA_WORKER {
+                continue;
             }
+            let before = scratch.copies.len();
+            workers.cancel_task_into(w as usize, task, &mut scratch.copies);
+            debug_assert!(
+                scratch.copies.len() > before,
+                "recorded replica pin of {task} on worker {w} held no copy"
+            );
+            iter.clear_replica_pin(task, w as usize);
         }
+        debug_assert_eq!(
+            scratch.copies.iter().filter(|c| !c.is_original()).count(),
+            replicas_total,
+            "replica cancel accounting for {task} disagrees with replicas_alive"
+        );
         for &copy in &scratch.copies {
             counters.replicas_canceled += 1;
             if !copy.is_original() {
@@ -1650,43 +1939,98 @@ impl<S: WorkerStore> Simulation<S> {
         }
     }
 
+    /// The promotion half of phase 6 for one busy worker: finished transfer
+    /// → buffer, buffer → free compute unit.
+    #[inline]
+    fn promote_pipeline(workers: &mut S, q: usize, t_data: SlotSpan) {
+        if let Some(tr) = workers.transfer(q) {
+            if tr.done >= t_data && t_data > 0 {
+                debug_assert!(workers.buffered(q).is_none());
+                // Clear the transfer slot *before* filling the buffer: the
+                // end state is identical, but this order keeps occupancy
+                // within its documented bound of 2 at every step (the SoA
+                // asserts the bound on each increment).
+                workers.set_transfer(q, None);
+                workers.set_buffered(q, Some(tr.copy));
+            }
+        }
+        if workers.computing(q).is_none() {
+            if let Some(buf) = workers.buffered(q) {
+                workers.set_buffered(q, None);
+                workers.set_computing(q, Some(ComputeState { copy: buf, done: 0 }));
+            }
+        }
+    }
+
+    /// The bind-dissolution half of phase 7 (\[D5\]) for one busy worker:
+    /// unstarted bindings dissolve — originals silently remain in the pool;
+    /// replica placeholders evaporate.
+    #[inline]
+    fn dissolve_binds(workers: &mut S, iter: &mut IterationState, q: usize) {
+        workers.drain_bound(q, |copy| {
+            if !copy.is_original() {
+                iter.drop_replica(copy.task);
+            }
+        });
+    }
+
     /// Phase 6 (promotions) fused with the bind-dissolution half of phase 7
     /// (\[D5\]): both touch only per-worker state (plus the iteration's
     /// replica tallies, which promotions never read), so one pass suffices.
+    ///
+    /// Release builds walk only busy workers (the bit walk — promotions and
+    /// dissolutions never make an idle worker busy, so the visit set is
+    /// exact). Debug builds keep the block-chunked sweep so the per-worker
+    /// invariants still cover quiet workers: exhaustively on small
+    /// platforms, and on a rotating probe block above that (plus every busy
+    /// block), so a desynced occupancy column on a quiet worker is caught
+    /// within `nblocks` slots rather than hidden forever.
     fn phase_promotions_and_unbind(&mut self) {
         let t_data = self.app.t_data;
         #[cfg(debug_assertions)]
         let t_prog = self.app.t_prog;
+        #[cfg(debug_assertions)]
+        let slot = self.slot;
         let Self { workers, iter, .. } = self;
-        for q in 0..workers.len() {
+        #[cfg(not(debug_assertions))]
+        for_each_busy_worker!(workers, q, {
             if workers.busy(q) {
-                if let Some(tr) = workers.transfer(q) {
-                    if tr.done >= t_data && t_data > 0 {
-                        debug_assert!(workers.buffered(q).is_none());
-                        workers.set_buffered(q, Some(tr.copy));
-                        workers.set_transfer(q, None);
-                    }
-                }
-                if workers.computing(q).is_none() {
-                    if let Some(b) = workers.buffered(q) {
-                        workers.set_buffered(q, None);
-                        workers.set_computing(q, Some(ComputeState { copy: b, done: 0 }));
-                    }
-                }
+                Self::promote_pipeline(workers, q, t_data);
             }
-            // Checked for *every* worker — not inside the busy() block —
-            // so a desynced occupancy column cannot hide a worker from its
-            // own consistency check (the SoA validates occupancy here).
-            #[cfg(debug_assertions)]
-            workers.assert_invariants(q, t_prog, t_data);
             if workers.busy(q) {
-                // Unstarted bindings dissolve ([D5]): originals silently
-                // remain in the pool; replica placeholders evaporate.
-                workers.drain_bound(q, |copy| {
-                    if !copy.is_original() {
-                        iter.drop_replica(copy.task);
+                Self::dissolve_binds(workers, iter, q);
+            }
+        });
+        #[cfg(debug_assertions)]
+        {
+            let p = workers.len();
+            let nblocks = workers.summary_blocks();
+            let exhaustive = exhaustive_debug_checks(p);
+            let probe = if nblocks > 0 {
+                slot as usize % nblocks
+            } else {
+                0
+            };
+            for blk in 0..nblocks {
+                let sweep = exhaustive || blk == probe;
+                if !sweep && !workers.block_may_be_busy(blk) {
+                    continue;
+                }
+                let start = blk * SUMMARY_BLOCK;
+                let end = (start + SUMMARY_BLOCK).min(p);
+                for q in start..end {
+                    if workers.busy(q) {
+                        Self::promote_pipeline(workers, q, t_data);
                     }
-                });
+                    // Checked for *every* swept worker — not inside the
+                    // busy() block — so a desynced occupancy column cannot
+                    // hide a worker from its own consistency check (the SoA
+                    // validates occupancy here).
+                    workers.assert_invariants(q, t_prog, t_data);
+                    if workers.busy(q) {
+                        Self::dissolve_binds(workers, iter, q);
+                    }
+                }
             }
         }
     }
@@ -2167,6 +2511,62 @@ mod tests {
                 assert_eq!(a, b, "{kind} replication={replication}");
                 assert!(a.finished(), "{kind} replication={replication}: {a}");
             }
+        }
+    }
+
+    #[test]
+    fn seeded_dense_bank_matches_explicit_boxed_sources() {
+        // `run_seeded` routes all-Markov platforms through the dense
+        // `MarkovSourceBank`; its report must be byte-identical to the
+        // boxed-source path (`Simulation::new` with `build_source` per
+        // processor, same seed layout) — the bank is an implementation
+        // detail, not an observable.
+        let platform = markov_platform(48, 3);
+        let app = AppConfig {
+            tasks_per_iteration: 64,
+            iterations: 2,
+            t_prog: 5,
+            t_data: 2,
+        };
+        for replication in [false, true] {
+            let opts = SimOptions {
+                max_slots: 100_000,
+                replication,
+                max_extra_replicas: 2,
+                record_timeline: false,
+                placement_budget: PlacementBudget::Uncapped,
+            };
+            let seeded = Simulation::run_seeded(
+                &platform,
+                &app,
+                HeuristicKind::EmctStar.build(SeedPath::root(11).rng()),
+                SeedPath::root(42),
+                opts,
+            )
+            .unwrap();
+            let boxed = Simulation::new(
+                &platform,
+                &app,
+                HeuristicKind::EmctStar.build(SeedPath::root(11).rng()),
+                sources_for(&platform, 42),
+                opts,
+            )
+            .unwrap()
+            .run();
+            assert_eq!(seeded, boxed, "replication={replication}");
+            // The arena path reuses one warmed bank across runs; it must
+            // agree too.
+            let arena = SimArena::new()
+                .run_seeded(
+                    &platform,
+                    &app,
+                    HeuristicKind::EmctStar.build(SeedPath::root(11).rng()),
+                    SeedPath::root(42),
+                    opts,
+                )
+                .unwrap();
+            assert_eq!(arena.makespan, seeded.makespan, "replication={replication}");
+            assert_eq!(arena.slots_run, seeded.slots_run);
         }
     }
 

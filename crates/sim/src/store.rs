@@ -43,6 +43,14 @@ use vg_platform::ProcessorSpec;
 use crate::task::{CopyId, TaskId};
 use crate::worker::{ComputeState, TransferState, WorkerRuntime};
 
+/// Fixed width (in workers) of the dense-column **block summaries**:
+/// per-block population counts over the 1-byte `state` / `occupancy`
+/// columns that let the slot loop skip a quiet block in one compare
+/// instead of scanning its workers. 256 one-byte entries span four cache
+/// lines and vectorize cleanly when a block does need the full scan; the
+/// counts themselves fit `u16`.
+pub const SUMMARY_BLOCK: usize = 256;
+
 /// Per-worker state storage, as consumed by the engine's slot phases.
 ///
 /// Semantics of every method are those of the corresponding
@@ -229,6 +237,78 @@ pub trait WorkerStore: Default + Send {
             }
         }));
     }
+
+    /// Number of [`SUMMARY_BLOCK`]-wide blocks covering the platform.
+    fn summary_blocks(&self) -> usize {
+        self.len().div_ceil(SUMMARY_BLOCK)
+    }
+
+    /// May block `b` contain a busy (occupancy ≠ 0) worker? `false` is a
+    /// **guarantee** that every worker in the block is idle, letting the
+    /// compute / promotion passes skip it in one compare; `true` is
+    /// non-committal. The default never commits — oracle layouts keep
+    /// their original dense passes — while summary-maintaining layouts
+    /// answer from the per-block busy count.
+    fn block_may_be_busy(&self, _b: usize) -> bool {
+        true
+    }
+
+    /// Whether [`Self::busy_word`] reads a maintained bitmap (O(1)) rather
+    /// than the dense fallback below. Engine passes gate on this constant
+    /// so oracle layouts keep their original block-chunked scans and the
+    /// branch monomorphizes away.
+    const HAS_BUSY_WORDS: bool = false;
+
+    /// The 64-worker busy bitmap word `wi`: bit `q % 64` of word `q / 64`
+    /// is set iff worker `q` is busy (occupancy ≠ 0). Words past the
+    /// platform tail are zero-padded. The default recomputes the word
+    /// densely — correct for every layout, but only worth calling when
+    /// [`Self::HAS_BUSY_WORDS`] says the layout maintains the column.
+    fn busy_word(&self, wi: usize) -> u64 {
+        let mut word = 0u64;
+        let start = wi * 64;
+        let end = (start + 64).min(self.len());
+        for q in start..end {
+            word |= u64::from(self.busy(q)) << (q - start);
+        }
+        word
+    }
+
+    /// May block `b` contain a `DOWN` worker? Same contract shape as
+    /// [`Self::block_may_be_busy`]; consumed by the crash pass.
+    fn block_may_have_down(&self, _b: usize) -> bool {
+        true
+    }
+
+    /// May block `b` contain a **free** worker (`UP` ∧ idle — a replica
+    /// candidate)? Same contract shape as [`Self::block_may_be_busy`];
+    /// consumed by the free-mask rebuild.
+    fn block_may_have_free(&self, _b: usize) -> bool {
+        true
+    }
+
+    /// Per-state worker counts `[up, reclaimed, down]` for the current
+    /// slot, if the layout maintains them (`None` sends the caller down a
+    /// dense tally). Phase 1's state census consumes this — O(1) instead
+    /// of an O(p) pass.
+    fn state_census(&self) -> Option<[usize; 3]> {
+        None
+    }
+
+    /// Blocks whose `state` or `occupancy` column changed since the last
+    /// [`Self::clear_changed_blocks`] — unordered, duplicate-free — or
+    /// `None` when the layout does not track block changes (the caller
+    /// must then treat every block as changed). Marks are **sticky**
+    /// until cleared, and [`Self::reset_for`] marks every block changed.
+    /// There is exactly one consumer: the engine's incremental free-mask
+    /// cache (the replica path's candidate generation), which recomputes
+    /// precisely the changed blocks.
+    fn changed_blocks(&self) -> Option<&[u32]> {
+        None
+    }
+
+    /// Resets the changed-block tracking (the consumer caught up).
+    fn clear_changed_blocks(&mut self) {}
 
     /// `Delay(q)` — see [`WorkerRuntime::delay_estimate`].
     fn delay_estimate(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) -> SlotSpan;
@@ -477,11 +557,91 @@ pub struct WorkerSoA {
     /// Snapshot dirty bits (hot: written by pipeline mutators, drained by
     /// the incremental snapshot pass — see the [`WorkerStore`] contract).
     dirty: Vec<bool>,
+    // --- block summaries: one entry per SUMMARY_BLOCK workers -------------
+    /// Busy workers (occupancy ≠ 0) per block; maintained by
+    /// [`Self::occ_inc`] / [`Self::occ_sub`] on every 0 ↔ non-zero flip.
+    blk_busy: Vec<u16>,
+    /// Busy bitmap: bit `q % 64` of word `q / 64` is set iff worker `q` is
+    /// busy (occupancy ≠ 0). Maintained at the same two flip points as
+    /// `blk_busy`, consumed by the engine's busy-worker iteration
+    /// ([`WorkerStore::busy_word`]) so the compute / transfer-continuation /
+    /// promotion passes cost O(busy) instead of O(p) at platform scale.
+    busy_words: Vec<u64>,
+    /// `UP` workers per block (maintained by [`Self::set_states`]).
+    blk_up: Vec<u16>,
+    /// `DOWN` workers per block (maintained by [`Self::set_states`]).
+    blk_down: Vec<u16>,
+    /// Σ `blk_up` — with `blk_down`'s sum this is the O(1) state census.
+    up_total: usize,
+    /// Σ `blk_down`.
+    down_total: usize,
+    /// Membership bits for `changed_blocks` (dedup on mark).
+    blk_changed: Vec<bool>,
+    /// Blocks with a state or occupancy change since the last
+    /// [`WorkerStore::clear_changed_blocks`] — the free-mask cache's feed.
+    changed_blocks: Vec<u32>,
     // --- cold columns: touched on binds / crashes only --------------------
     /// Slot at which the current program transfer began.
     prog_began_at: Vec<Slot>,
     /// Copies bound this slot; inner allocations retained across runs.
     bound: Vec<Vec<CopyId>>,
+}
+
+impl WorkerSoA {
+    /// Marks worker `q`'s block changed (idempotent between drains).
+    #[inline]
+    fn note_block_changed(&mut self, q: usize) {
+        let b = q / SUMMARY_BLOCK;
+        if !self.blk_changed[b] {
+            self.blk_changed[b] = true;
+            self.changed_blocks.push(b as u32);
+        }
+    }
+
+    /// Increments worker `q`'s occupancy byte, maintaining the block busy
+    /// count. The documented pipeline bound — `pinned_count + bound.len()`
+    /// never exceeds 2 (`has_bind_room` gates every bind; promotions clear
+    /// a stage before filling the next) — is asserted on every increment,
+    /// so a future pipeline change that would wrap the byte, or silently
+    /// corrupt `room_into` / `bindable_count` (both assume occupancy ≤ 2),
+    /// fails loudly in debug builds.
+    #[inline]
+    fn occ_inc(&mut self, q: usize) {
+        let occ = self.occupancy[q];
+        debug_assert!(
+            occ < 2,
+            "occupancy overflow on worker {q}: {occ} + 1 breaks the pipeline bound (≤ 2)"
+        );
+        self.occupancy[q] = occ + 1;
+        if occ == 0 {
+            self.blk_busy[q / SUMMARY_BLOCK] += 1;
+            self.busy_words[q / 64] |= 1u64 << (q % 64);
+            self.note_block_changed(q);
+        }
+    }
+
+    /// Decrements worker `q`'s occupancy byte by `by`, maintaining the
+    /// block busy count. Bound-list deltas arrive as `usize` and are
+    /// narrowed here — sound only under the ≤ 2 bound, which the
+    /// underflow assertion restates.
+    #[inline]
+    fn occ_sub(&mut self, q: usize, by: usize) {
+        if by == 0 {
+            return;
+        }
+        let occ = self.occupancy[q];
+        debug_assert!(
+            usize::from(occ) >= by,
+            "occupancy underflow on worker {q}: {occ} - {by}"
+        );
+        let now = occ.wrapping_sub(by as u8);
+        self.occupancy[q] = now;
+        if now == 0 {
+            self.blk_busy[q / SUMMARY_BLOCK] -= 1;
+            self.busy_words[q / 64] &= !(1u64 << (q % 64));
+            self.note_block_changed(q);
+        }
+    }
 }
 
 /// `memset`-style column reinit: one `clear` + one `resize` fill pass over
@@ -494,6 +654,7 @@ fn refill<T: Clone>(v: &mut Vec<T>, p: usize, value: T) {
 
 impl WorkerStore for WorkerSoA {
     const INCREMENTAL_SNAPSHOTS: bool = true;
+    const HAS_BUSY_WORDS: bool = true;
 
     #[inline]
     fn len(&self) -> usize {
@@ -517,6 +678,19 @@ impl WorkerStore for WorkerSoA {
         // stale bits from a previous (possibly larger) platform must not
         // leak through an arena reuse.
         refill(&mut self.dirty, p, true);
+        // Fresh platform: everyone Reclaimed and idle — zero the summaries
+        // and mark every block changed so a free-mask consumer that missed
+        // its own invalidation still rebuilds everything it reads.
+        let nblocks = p.div_ceil(SUMMARY_BLOCK);
+        refill(&mut self.blk_busy, nblocks, 0);
+        refill(&mut self.busy_words, p.div_ceil(64), 0);
+        refill(&mut self.blk_up, nblocks, 0);
+        refill(&mut self.blk_down, nblocks, 0);
+        self.up_total = 0;
+        self.down_total = 0;
+        refill(&mut self.blk_changed, nblocks, true);
+        self.changed_blocks.clear();
+        self.changed_blocks.extend(0..nblocks as u32);
         refill(&mut self.prog_began_at, p, 0);
         // `bound` keeps each retained worker's allocation alive.
         self.bound.truncate(p);
@@ -538,19 +712,39 @@ impl WorkerStore for WorkerSoA {
         self.state[q]
     }
 
-    #[inline]
     fn set_states(&mut self, states: &[ProcState]) {
         debug_assert_eq!(states.len(), self.state.len());
         // Changed states dirty their worker (a non-UP delay sentinel, or a
         // stale delay from before a suspension, must be rewritten when the
-        // state flips); unchanged ones stay clean. Two dense passes keep
-        // the common path vectorizable.
-        for (q, (&dst, &src)) in self.state.iter().zip(states).enumerate() {
-            if dst != src {
-                self.dirty[q] = true;
+        // state flips); unchanged ones stay clean. The pass runs block by
+        // block: a block whose 256-byte window re-draws identically is
+        // dismissed by one slice compare, and only changed blocks pay the
+        // per-worker diff plus the up/down count rebuild.
+        let p = self.state.len();
+        let (mut start, mut b) = (0, 0);
+        while start < p {
+            let end = (start + SUMMARY_BLOCK).min(p);
+            if self.state[start..end] != states[start..end] {
+                let (mut up, mut down) = (0u16, 0u16);
+                for (q, &src) in states[start..end].iter().enumerate() {
+                    let q = start + q;
+                    if self.state[q] != src {
+                        self.dirty[q] = true;
+                    }
+                    up += u16::from(src == ProcState::Up);
+                    down += u16::from(src == ProcState::Down);
+                }
+                self.up_total = self.up_total + usize::from(up) - usize::from(self.blk_up[b]);
+                self.down_total =
+                    self.down_total + usize::from(down) - usize::from(self.blk_down[b]);
+                self.blk_up[b] = up;
+                self.blk_down[b] = down;
+                self.state[start..end].copy_from_slice(&states[start..end]);
+                self.note_block_changed(start);
             }
+            start = end;
+            b += 1;
         }
-        self.state.copy_from_slice(states);
     }
 
     #[inline]
@@ -583,10 +777,14 @@ impl WorkerStore for WorkerSoA {
 
     #[inline]
     fn set_transfer(&mut self, q: usize, t: Option<TransferState>) {
-        self.occupancy[q] -= u8::from(self.transfer[q].is_some());
-        self.occupancy[q] += u8::from(t.is_some());
+        let had = self.transfer[q].is_some();
         self.transfer[q] = t;
         self.dirty[q] = true;
+        match (had, t.is_some()) {
+            (false, true) => self.occ_inc(q),
+            (true, false) => self.occ_sub(q, 1),
+            _ => {}
+        }
     }
 
     #[inline]
@@ -596,10 +794,14 @@ impl WorkerStore for WorkerSoA {
 
     #[inline]
     fn set_buffered(&mut self, q: usize, b: Option<CopyId>) {
-        self.occupancy[q] -= u8::from(self.buffered[q].is_some());
-        self.occupancy[q] += u8::from(b.is_some());
+        let had = self.buffered[q].is_some();
         self.buffered[q] = b;
         self.dirty[q] = true;
+        match (had, b.is_some()) {
+            (false, true) => self.occ_inc(q),
+            (true, false) => self.occ_sub(q, 1),
+            _ => {}
+        }
     }
 
     #[inline]
@@ -609,10 +811,14 @@ impl WorkerStore for WorkerSoA {
 
     #[inline]
     fn set_computing(&mut self, q: usize, c: Option<ComputeState>) {
-        self.occupancy[q] -= u8::from(self.computing[q].is_some());
-        self.occupancy[q] += u8::from(c.is_some());
+        let had = self.computing[q].is_some();
         self.computing[q] = c;
         self.dirty[q] = true;
+        match (had, c.is_some()) {
+            (false, true) => self.occ_inc(q),
+            (true, false) => self.occ_sub(q, 1),
+            _ => {}
+        }
     }
 
     #[inline]
@@ -634,19 +840,23 @@ impl WorkerStore for WorkerSoA {
     #[inline]
     fn bound_push(&mut self, q: usize, c: CopyId) {
         self.bound[q].push(c);
-        self.occupancy[q] += 1;
+        self.occ_inc(q);
     }
 
     #[inline]
     fn bound_remove(&mut self, q: usize, c: CopyId) {
+        // The delta narrows to u8 inside occ_sub, under its underflow
+        // assertion — sound while the ≤ 2 pipeline bound holds.
         let before = self.bound[q].len();
         self.bound[q].retain(|x| *x != c);
-        self.occupancy[q] -= (before - self.bound[q].len()) as u8;
+        let removed = before - self.bound[q].len();
+        self.occ_sub(q, removed);
     }
 
     #[inline]
     fn drain_bound(&mut self, q: usize, mut f: impl FnMut(CopyId)) {
-        self.occupancy[q] -= self.bound[q].len() as u8;
+        let n = self.bound[q].len();
+        self.occ_sub(q, n);
         for c in self.bound[q].drain(..) {
             f(c);
         }
@@ -739,17 +949,17 @@ impl WorkerStore for WorkerSoA {
         self.prog_done[q] = 0;
         if let Some(c) = self.computing[q].take() {
             lost.push(c.copy);
-            self.occupancy[q] -= 1;
+            self.occ_sub(q, 1);
             changed = true;
         }
         if let Some(b) = self.buffered[q].take() {
             lost.push(b);
-            self.occupancy[q] -= 1;
+            self.occ_sub(q, 1);
             changed = true;
         }
         if let Some(t) = self.transfer[q].take() {
             lost.push(t.copy);
-            self.occupancy[q] -= 1;
+            self.occ_sub(q, 1);
             changed = true;
         }
         if changed {
@@ -763,30 +973,76 @@ impl WorkerStore for WorkerSoA {
         }
         if let Some(c) = self.computing[q].take_if(|c| c.copy.task == task) {
             removed.push(c.copy);
-            self.occupancy[q] -= 1;
+            self.occ_sub(q, 1);
             self.dirty[q] = true;
         }
         if let Some(b) = self.buffered[q].take_if(|b| b.task == task) {
             removed.push(b);
-            self.occupancy[q] -= 1;
+            self.occ_sub(q, 1);
             self.dirty[q] = true;
         }
         if let Some(t) = self.transfer[q].take_if(|t| t.copy.task == task) {
             removed.push(t.copy);
-            self.occupancy[q] -= 1;
+            self.occ_sub(q, 1);
             self.dirty[q] = true;
         }
         // Bound removals stay clean: Delay(q) excludes bound copies ([D8]).
-        let bound = &mut self.bound[q];
         let mut i = 0;
-        while i < bound.len() {
-            if bound[i].task == task {
-                removed.push(bound.remove(i));
-                self.occupancy[q] -= 1;
+        while i < self.bound[q].len() {
+            if self.bound[q][i].task == task {
+                let c = self.bound[q].remove(i);
+                removed.push(c);
+                self.occ_sub(q, 1);
             } else {
                 i += 1;
             }
         }
+    }
+
+    #[inline]
+    fn block_may_be_busy(&self, b: usize) -> bool {
+        self.blk_busy[b] != 0
+    }
+
+    #[inline]
+    fn busy_word(&self, wi: usize) -> u64 {
+        self.busy_words[wi]
+    }
+
+    #[inline]
+    fn block_may_have_down(&self, b: usize) -> bool {
+        self.blk_down[b] != 0
+    }
+
+    #[inline]
+    fn block_may_have_free(&self, b: usize) -> bool {
+        // Free needs UP ∧ idle; without the joint distribution the exact
+        // test is `∃ UP worker` ∧ `∃ idle worker` — conservative but
+        // cheap, and exact in the common all-idle / no-UP extremes.
+        let len = (self.state.len() - b * SUMMARY_BLOCK).min(SUMMARY_BLOCK);
+        self.blk_up[b] != 0 && usize::from(self.blk_busy[b]) < len
+    }
+
+    #[inline]
+    fn state_census(&self) -> Option<[usize; 3]> {
+        let p = self.state.len();
+        Some([
+            self.up_total,
+            p - self.up_total - self.down_total,
+            self.down_total,
+        ])
+    }
+
+    #[inline]
+    fn changed_blocks(&self) -> Option<&[u32]> {
+        Some(&self.changed_blocks)
+    }
+
+    fn clear_changed_blocks(&mut self) {
+        for &b in &self.changed_blocks {
+            self.blk_changed[b as usize] = false;
+        }
+        self.changed_blocks.clear();
     }
 
     #[inline]
@@ -800,6 +1056,16 @@ impl WorkerStore for WorkerSoA {
     }
 
     fn assert_invariants(&self, q: usize, t_prog: SlotSpan, t_data: SlotSpan) {
+        // Validation-time restatement of the pipeline bound: `room_into`,
+        // `bindable_count` and the bound-delta narrowing in `bound_remove`
+        // / `drain_bound` (routed through `occ_sub`) all assume occupancy
+        // never exceeds 2 — `occ_inc` asserts it at every increment, this
+        // re-checks it wherever the engine validates a worker.
+        assert!(
+            self.occupancy[q] <= 2,
+            "occupancy {} on worker {q} exceeds the pipeline bound (≤ 2)",
+            self.occupancy[q]
+        );
         // The derived occupancy byte must track the ground truth — every
         // predicate collapsed onto it (is_idle/busy/has_bind_room) is wrong
         // if a mutator skipped the bookkeeping.
@@ -1020,6 +1286,72 @@ mod tests {
         check_dirty_contract(&mut AosWorkers::default());
     }
 
+    /// Recomputes every busy word densely from `busy(q)` and asserts the
+    /// maintained bitmap agrees — the invariant the engine's bit-iteration
+    /// passes rely on.
+    fn assert_busy_words_consistent<S: WorkerStore>(store: &S, ctx: &str) {
+        for wi in 0..store.len().div_ceil(64) {
+            let mut expect = 0u64;
+            let start = wi * 64;
+            for q in start..(start + 64).min(store.len()) {
+                expect |= u64::from(store.busy(q)) << (q - start);
+            }
+            assert_eq!(store.busy_word(wi), expect, "word {wi} after {ctx}");
+        }
+    }
+
+    /// The busy bitmap tracks every occupancy 0 ↔ non-zero flip, across a
+    /// word boundary, through binds, pins, crashes, and arena-reuse resets.
+    #[test]
+    fn busy_words_track_occupancy_flips() {
+        let mut store = WorkerSoA::default();
+        // 130 workers: three words, the last one partial.
+        let sp = specs(&vec![2; 130]);
+        store.reset_for(sp.iter().copied());
+        assert_busy_words_consistent(&store, "reset");
+
+        // Bind on both sides of the word boundary, pin one copy, stack a
+        // second on worker 63 (the flip must fire once, not per copy).
+        for q in [0usize, 63, 64, 129] {
+            store.bound_push(q, copy(q as u32, 0));
+        }
+        store.bound_push(63, copy(200, 1));
+        assert_busy_words_consistent(&store, "binds");
+        assert_eq!(store.busy_word(0), (1 << 0) | (1 << 63));
+        assert_eq!(store.busy_word(1), 1 << 0);
+        assert_eq!(store.busy_word(2), 1 << 1);
+
+        store.set_computing(
+            70,
+            Some(ComputeState {
+                copy: copy(70, 0),
+                done: 0,
+            }),
+        );
+        assert_busy_words_consistent(&store, "pin");
+
+        // Partial drains: worker 63 stays busy after losing one of two
+        // copies, goes idle after losing the last.
+        store.bound_remove(63, copy(200, 1));
+        assert_busy_words_consistent(&store, "partial unbind");
+        assert!(store.busy(63));
+        store.drain_bound(63, |_| {});
+        assert_busy_words_consistent(&store, "full unbind");
+        assert!(!store.busy(63));
+
+        // Crash clears the whole pipeline in one step.
+        let mut lost = Vec::new();
+        store.crash_into(70, &mut lost);
+        assert_busy_words_consistent(&store, "crash");
+        assert!(!store.busy(70));
+
+        // Arena reuse onto a smaller platform must not leak stale bits
+        // through the shrunken word count.
+        store.reset_for(specs(&[1, 1, 1]).into_iter());
+        assert_busy_words_consistent(&store, "shrinking reset");
+        assert_eq!(store.busy_word(0), 0);
+    }
+
     /// Shared mutation script for the differential test.
     trait Probe {
         fn script(&mut self);
@@ -1057,6 +1389,122 @@ mod tests {
                 self.bound_push(2, c);
             }
         }
+    }
+
+    /// Recomputes every block summary from the raw columns and asserts the
+    /// maintained counts agree — the ground truth for the skip hints.
+    fn check_summaries(soa: &WorkerSoA) {
+        let p = soa.state.len();
+        let nblocks = p.div_ceil(SUMMARY_BLOCK);
+        assert_eq!(soa.blk_busy.len(), nblocks);
+        let (mut up_total, mut down_total) = (0, 0);
+        for b in 0..nblocks {
+            let start = b * SUMMARY_BLOCK;
+            let end = (start + SUMMARY_BLOCK).min(p);
+            let busy = (start..end).filter(|&q| soa.occupancy[q] != 0).count();
+            let up = (start..end)
+                .filter(|&q| soa.state[q] == ProcState::Up)
+                .count();
+            let down = (start..end)
+                .filter(|&q| soa.state[q] == ProcState::Down)
+                .count();
+            assert_eq!(usize::from(soa.blk_busy[b]), busy, "blk_busy[{b}]");
+            assert_eq!(usize::from(soa.blk_up[b]), up, "blk_up[{b}]");
+            assert_eq!(usize::from(soa.blk_down[b]), down, "blk_down[{b}]");
+            assert_eq!(soa.block_may_be_busy(b), busy != 0);
+            assert_eq!(soa.block_may_have_down(b), down != 0);
+            // The free hint must never claim "no free worker" falsely.
+            let free = (start..end)
+                .filter(|&q| soa.state[q] == ProcState::Up && soa.occupancy[q] == 0)
+                .count();
+            assert!(soa.block_may_have_free(b) || free == 0, "free hint lies");
+            up_total += up;
+            down_total += down;
+        }
+        assert_eq!(soa.up_total, up_total);
+        assert_eq!(soa.down_total, down_total);
+        assert_eq!(
+            soa.state_census(),
+            Some([up_total, p - up_total - down_total, down_total])
+        );
+    }
+
+    /// Block summaries track a multi-block platform through state redraws,
+    /// occupancy churn, crashes and cancels; the changed-block feed marks
+    /// exactly the touched blocks, stays sticky, and drains on clear.
+    #[test]
+    fn block_summaries_track_columns() {
+        use ProcState::{Down, Reclaimed, Up};
+        let p = 2 * SUMMARY_BLOCK + 17;
+        let mut soa = WorkerSoA::default();
+        soa.reset_for(specs(&vec![3; p]).into_iter());
+        assert_eq!(soa.summary_blocks(), 3);
+        // reset_for marks every block changed.
+        assert_eq!(soa.changed_blocks().unwrap(), &[0, 1, 2]);
+        check_summaries(&soa);
+        soa.clear_changed_blocks();
+        assert!(soa.changed_blocks().unwrap().is_empty());
+
+        // A state redraw only marks the blocks whose window changed.
+        let mut states = vec![Reclaimed; p];
+        states[SUMMARY_BLOCK] = Up;
+        states[SUMMARY_BLOCK + 3] = Down;
+        soa.set_states(&states);
+        check_summaries(&soa);
+        assert_eq!(soa.changed_blocks().unwrap(), &[1]);
+        // Re-drawing the identical row marks nothing further.
+        soa.set_states(&states);
+        assert_eq!(soa.changed_blocks().unwrap(), &[1]);
+
+        // Busy flips mark their block (0 ↔ non-zero only): a second copy
+        // on the same worker is not a flip.
+        soa.bound_push(5, copy(1, 0));
+        assert_eq!(soa.changed_blocks().unwrap(), &[1, 0]);
+        soa.clear_changed_blocks();
+        soa.set_computing(
+            5,
+            Some(ComputeState {
+                copy: copy(2, 0),
+                done: 0,
+            }),
+        );
+        assert!(
+            soa.changed_blocks().unwrap().is_empty(),
+            "1 → 2 is not a busy flip"
+        );
+        check_summaries(&soa);
+
+        // Crash in the last (partial) block: occupancy drains to zero and
+        // the block is marked.
+        soa.set_transfer(
+            2 * SUMMARY_BLOCK + 16,
+            Some(TransferState {
+                copy: copy(3, 0),
+                done: 0,
+                began_at: 0,
+            }),
+        );
+        let mut lost = Vec::new();
+        soa.crash_into(2 * SUMMARY_BLOCK + 16, &mut lost);
+        assert_eq!(lost, vec![copy(3, 0)]);
+        assert_eq!(soa.changed_blocks().unwrap(), &[2]);
+        check_summaries(&soa);
+
+        // Cancel the two copies on worker 5 one task at a time; the block
+        // marks on the final flip to idle.
+        soa.clear_changed_blocks();
+        let mut removed = Vec::new();
+        soa.cancel_task_into(5, TaskId(1), &mut removed);
+        assert!(soa.changed_blocks().unwrap().is_empty());
+        soa.cancel_task_into(5, TaskId(2), &mut removed);
+        assert_eq!(soa.changed_blocks().unwrap(), &[0]);
+        check_summaries(&soa);
+
+        // Shrink through an arena-style reset: summaries shrink with it.
+        soa.reset_for(specs(&[1, 2]).into_iter());
+        assert_eq!(soa.summary_blocks(), 1);
+        assert_eq!(soa.changed_blocks().unwrap(), &[0]);
+        check_summaries(&soa);
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub enum OriginalState {
     Done,
 }
 
+/// Empty slot sentinel in [`IterationState::pinned_replica_workers`] rows.
+pub const NO_REPLICA_WORKER: u32 = u32::MAX;
+
 /// Live state of one application iteration.
 #[derive(Debug, Clone)]
 pub struct IterationState {
@@ -85,14 +88,23 @@ pub struct IterationState {
     original: Vec<OriginalState>,
     replicas_alive: Vec<u8>,
     next_replica: Vec<u8>,
+    /// Replica-count cap per task (`max_extra_replicas` of the run) — the
+    /// row width of `replica_workers`.
+    max_extra: usize,
+    /// Flat `m × max_extra` record of where each live **pinned** replica
+    /// sits ([`NO_REPLICA_WORKER`] = empty slot). Together with
+    /// [`OriginalState::Pinned`] this gives sibling cancellation the exact
+    /// location of every pinned copy — no platform scan at completion.
+    replica_workers: Vec<u32>,
     /// Slot at which the iteration completed, once it has.
     completed_at: Option<Slot>,
 }
 
 impl IterationState {
-    /// Fresh iteration `index` with `m` pool tasks.
+    /// Fresh iteration `index` with `m` pool tasks; `max_extra` is the
+    /// run's per-task replica cap (sizes the pinned-replica record).
     #[must_use]
-    pub fn new(index: u64, m: usize) -> Self {
+    pub fn new(index: u64, m: usize, max_extra: u8) -> Self {
         assert!(m >= 1);
         Self {
             m,
@@ -102,12 +114,14 @@ impl IterationState {
             original: vec![OriginalState::Pool; m],
             replicas_alive: vec![0; m],
             next_replica: vec![0; m],
+            max_extra: usize::from(max_extra),
+            replica_workers: vec![NO_REPLICA_WORKER; m * usize::from(max_extra)],
             completed_at: None,
         }
     }
 
     /// Reinitializes in place for iteration `index`, keeping the allocated
-    /// buffers — the barrier-slot equivalent of `Self::new(index, m)`.
+    /// buffers — the barrier-slot equivalent of `Self::new(index, m, ..)`.
     pub fn reset(&mut self, index: u64) {
         self.index = index;
         self.completed.fill(false);
@@ -115,13 +129,14 @@ impl IterationState {
         self.original.fill(OriginalState::Pool);
         self.replicas_alive.fill(0);
         self.next_replica.fill(0);
+        self.replica_workers.fill(NO_REPLICA_WORKER);
         self.completed_at = None;
     }
 
     /// Reinitializes in place for a **new run** with a possibly different
     /// task count, reusing the allocated buffers — the cross-run (arena)
     /// counterpart of [`Self::reset`], which keeps `m` fixed.
-    pub fn reinit(&mut self, index: u64, m: usize) {
+    pub fn reinit(&mut self, index: u64, m: usize, max_extra: u8) {
         assert!(m >= 1);
         self.m = m;
         self.index = index;
@@ -134,6 +149,10 @@ impl IterationState {
         self.replicas_alive.resize(m, 0);
         self.next_replica.clear();
         self.next_replica.resize(m, 0);
+        self.max_extra = usize::from(max_extra);
+        self.replica_workers.clear();
+        self.replica_workers
+            .resize(m * usize::from(max_extra), NO_REPLICA_WORKER);
         self.completed_at = None;
     }
 
@@ -264,6 +283,44 @@ impl IterationState {
         self.replicas_alive[i] -= 1;
     }
 
+    /// Records that a live replica of `task` is now **pinned** on `worker`
+    /// (its data transfer began, or a zero-data bind went straight to the
+    /// compute pipeline). At most one copy of a task lives on a worker, so
+    /// `worker` identifies the replica within its row.
+    pub fn record_replica_pin(&mut self, task: TaskId, worker: usize) {
+        let row = task.idx() * self.max_extra;
+        let slots = &mut self.replica_workers[row..row + self.max_extra];
+        debug_assert!(
+            !slots.contains(&(worker as u32)),
+            "replica of {task} already recorded on worker {worker}"
+        );
+        match slots.iter_mut().find(|w| **w == NO_REPLICA_WORKER) {
+            Some(slot) => *slot = worker as u32,
+            // More pinned replicas than replicas_alive allows — mint/pin
+            // accounting is broken somewhere upstream.
+            None => debug_assert!(false, "pinned-replica row of {task} overflows max_extra"),
+        }
+    }
+
+    /// Clears the pin record of `task`'s replica on `worker` (it completed,
+    /// was canceled, or was lost to a crash).
+    pub fn clear_replica_pin(&mut self, task: TaskId, worker: usize) {
+        let row = task.idx() * self.max_extra;
+        let slots = &mut self.replica_workers[row..row + self.max_extra];
+        match slots.iter_mut().find(|w| **w == worker as u32) {
+            Some(slot) => *slot = NO_REPLICA_WORKER,
+            None => debug_assert!(false, "no pinned replica of {task} recorded on {worker}"),
+        }
+    }
+
+    /// `task`'s pinned-replica worker row ([`NO_REPLICA_WORKER`] = empty
+    /// slot; empty row when replication is off).
+    #[must_use]
+    pub fn pinned_replica_workers(&self, task: TaskId) -> &[u32] {
+        let row = task.idx() * self.max_extra;
+        &self.replica_workers[row..row + self.max_extra]
+    }
+
     /// Marks the original of `task` pinned on `worker`.
     pub fn pin_original(&mut self, task: TaskId, worker: usize) {
         debug_assert_eq!(self.original[task.idx()], OriginalState::Pool);
@@ -299,7 +356,7 @@ mod tests {
 
     #[test]
     fn fresh_iteration_pools_everything() {
-        let it = IterationState::new(3, 4);
+        let it = IterationState::new(3, 4, 2);
         assert_eq!(it.index(), 3);
         assert_eq!(it.m(), 4);
         assert_eq!(it.pool_tasks().len(), 4);
@@ -309,7 +366,7 @@ mod tests {
 
     #[test]
     fn pinning_removes_from_pool() {
-        let mut it = IterationState::new(0, 3);
+        let mut it = IterationState::new(0, 3, 2);
         it.pin_original(TaskId(1), 7);
         assert_eq!(it.pool_tasks(), vec![TaskId(0), TaskId(2)]);
         assert_eq!(
@@ -322,7 +379,7 @@ mod tests {
 
     #[test]
     fn completion_counts_once() {
-        let mut it = IterationState::new(0, 2);
+        let mut it = IterationState::new(0, 2, 2);
         assert!(it.mark_completed(TaskId(0)));
         assert!(!it.mark_completed(TaskId(0)));
         assert_eq!(it.n_completed(), 1);
@@ -334,14 +391,14 @@ mod tests {
 
     #[test]
     fn completed_tasks_leave_pool() {
-        let mut it = IterationState::new(0, 2);
+        let mut it = IterationState::new(0, 2, 2);
         it.mark_completed(TaskId(0));
         assert_eq!(it.pool_tasks(), vec![TaskId(1)]);
     }
 
     #[test]
     fn replica_minting_and_limits() {
-        let mut it = IterationState::new(0, 2);
+        let mut it = IterationState::new(0, 2, 2);
         let r1 = it.mint_replica(TaskId(0));
         assert_eq!(r1.replica, 1);
         assert!(!r1.is_original());
@@ -363,7 +420,7 @@ mod tests {
 
     #[test]
     fn replica_ids_stay_unique() {
-        let mut it = IterationState::new(0, 1);
+        let mut it = IterationState::new(0, 1, 2);
         let a = it.mint_replica(TaskId(0));
         it.drop_replica(TaskId(0));
         let b = it.mint_replica(TaskId(0));
@@ -372,9 +429,51 @@ mod tests {
 
     #[test]
     fn completed_tasks_are_not_replica_candidates() {
-        let mut it = IterationState::new(0, 2);
+        let mut it = IterationState::new(0, 2, 2);
         it.mark_completed(TaskId(0));
         assert_eq!(it.replica_candidates(2), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn pinned_replica_record_round_trips() {
+        let mut it = IterationState::new(0, 3, 2);
+        assert_eq!(
+            it.pinned_replica_workers(TaskId(1)),
+            &[NO_REPLICA_WORKER; 2]
+        );
+
+        let _ = it.mint_replica(TaskId(1));
+        it.record_replica_pin(TaskId(1), 40);
+        let _ = it.mint_replica(TaskId(1));
+        it.record_replica_pin(TaskId(1), 7);
+        assert_eq!(it.pinned_replica_workers(TaskId(1)), &[40, 7]);
+        // Rows are per-task.
+        assert_eq!(
+            it.pinned_replica_workers(TaskId(0)),
+            &[NO_REPLICA_WORKER; 2]
+        );
+
+        // Clearing one pin frees its slot for reuse.
+        it.clear_replica_pin(TaskId(1), 40);
+        assert_eq!(
+            it.pinned_replica_workers(TaskId(1)),
+            &[NO_REPLICA_WORKER, 7]
+        );
+        it.drop_replica(TaskId(1));
+        let _ = it.mint_replica(TaskId(1));
+        it.record_replica_pin(TaskId(1), 12);
+        assert_eq!(it.pinned_replica_workers(TaskId(1)), &[12, 7]);
+
+        // Barrier reset wipes the record.
+        it.reset(1);
+        assert_eq!(
+            it.pinned_replica_workers(TaskId(1)),
+            &[NO_REPLICA_WORKER; 2]
+        );
+
+        // Replication off: rows are empty, the record costs nothing.
+        it.reinit(0, 4, 0);
+        assert!(it.pinned_replica_workers(TaskId(3)).is_empty());
     }
 
     #[test]

@@ -81,6 +81,21 @@ const GRID: &[Cell] = &[
         max_slots: 260,
         seeds: &[31],
     },
+    // Platform-scale row: u ≥ SHARD_MIN_UPS forces the sharded selector
+    // and the chunked dense-column passes onto their large-p branches, so
+    // this cell pins chunked ≡ unchunked and sharded ≡ monolithic (the
+    // AoS reference inherits the conservative per-worker defaults for
+    // every block-summary query). Few slots keep the debug grid
+    // affordable; the debug oracles sample at this size (see
+    // `exhaustive_debug_checks`), so the bit-identity check here is the
+    // full-platform one.
+    Cell {
+        p: 16_384,
+        m: 2_048,
+        iterations: 1,
+        max_slots: 12,
+        seeds: &[41],
+    },
 ];
 
 #[test]
@@ -133,7 +148,7 @@ fn soa_engine_is_bit_identical_to_aos_reference_across_the_grid() {
             }
         }
     }
-    assert_eq!(runs, 17 * 2 * 2 * (3 + 2 + 1), "grid shape drifted");
+    assert_eq!(runs, 17 * 2 * 2 * (3 + 2 + 1 + 1), "grid shape drifted");
     // The grid must exercise both completed and capped runs.
     assert!(
         finished > 0,
