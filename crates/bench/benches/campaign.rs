@@ -20,6 +20,11 @@ use vg_exp::scenario::ScenarioParams;
 struct Cell {
     runner: &'static str,
     parallelism: &'static str,
+    /// Worker threads the row actually ran with (`ParallelismConfig::
+    /// threads()` at measurement time) — recorded in the artifact so a
+    /// baseline from a machine with a different core count is recognizably
+    /// incomparable (bench_guard skips thread-mismatched cells).
+    threads: usize,
     instances: usize,
     seconds: f64,
 }
@@ -52,6 +57,7 @@ fn time_runner(
     Cell {
         runner: label.0,
         parallelism: label.1,
+        threads: cfg.parallelism.threads(),
         instances: result.instances,
         seconds,
     }
@@ -76,9 +82,15 @@ fn main() {
     };
 
     let mut rows = Vec::new();
+    // The fixed(4) row deliberately oversubscribes a 1-core container:
+    // ROADMAP notes BENCH_campaign.json was measured on one core, where
+    // "auto" degenerates to a single worker. A pinned multi-worker cell
+    // keeps the thread-pool + channel machinery (claim contention, in-order
+    // consume) on the measured path regardless of the host's core count.
     for (parallelism, label) in [
         (ParallelismConfig::Sequential, "sequential"),
         (ParallelismConfig::Auto, "auto"),
+        (ParallelismConfig::fixed(4), "fixed4"),
     ] {
         let cfg = CampaignConfig {
             parallelism,
@@ -94,9 +106,10 @@ fn main() {
     }
     for c in &rows {
         println!(
-            "campaign runner={:<9} parallelism={:<10} {:>8.1} instances/sec ({} instances in {:.3}s)",
+            "campaign runner={:<9} parallelism={:<10} threads={} {:>8.1} instances/sec ({} instances in {:.3}s)",
             c.runner,
             c.parallelism,
+            c.threads,
             c.instances_per_sec(),
             c.instances,
             c.seconds,
@@ -116,9 +129,10 @@ fn main() {
     for (i, c) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"runner\": \"{}\", \"parallelism\": \"{}\", \"instances\": {}, \"seconds\": {:.6}, \"instances_per_sec\": {:.2}}}{}",
+            "    {{\"runner\": \"{}\", \"parallelism\": \"{}\", \"threads\": {}, \"instances\": {}, \"seconds\": {:.6}, \"instances_per_sec\": {:.2}}}{}",
             c.runner,
             c.parallelism,
+            c.threads,
             c.instances,
             c.seconds,
             c.instances_per_sec(),

@@ -53,6 +53,10 @@ struct CellPerf {
     p: u64,
     replication: bool,
     capped: bool,
+    /// Worker threads the cell was measured with; rows without the field
+    /// (every single-threaded artifact recorded before the campaign bench
+    /// grew its multi-worker cell) default to 1.
+    threads: u64,
     slots_per_sec: f64,
 }
 
@@ -75,6 +79,9 @@ fn parse_cells(json: &str) -> Vec<CellPerf> {
                 p: field(line, "p")?.parse().ok()?,
                 replication: field(line, "replication")? == "true",
                 capped: field(line, "capped") == Some("true"),
+                threads: field(line, "threads")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1),
                 slots_per_sec: field(line, "slots_per_sec")?.parse().ok()?,
             })
         })
@@ -179,6 +186,19 @@ fn run(
                 base.p, base.replication, base.capped
             ));
         };
+        if cand.threads != base.threads {
+            // Thread-count mismatch: the two measurements ran with
+            // different worker-pool sizes (e.g. a baseline recorded on a
+            // machine with a different core count), so their throughput
+            // ratio carries no regression signal. Skip rather than gate —
+            // but say so, a silent skip would look like coverage.
+            println!(
+                "p={:<5} replication={:<5} capped={:<5} SKIPPED: thread count differs \
+                 (baseline {} vs candidate {})",
+                base.p, base.replication, base.capped, base.threads, cand.threads,
+            );
+            continue;
+        }
         let ratio = cand.slots_per_sec / base.slots_per_sec;
         // p = 1024 is the scale the structured selectors exist for; the
         // smaller cells gate at the wider small-cell floor so selector
@@ -287,6 +307,7 @@ mod tests {
                 p: 16384,
                 replication: false,
                 capped: false,
+                threads: 1,
                 slots_per_sec: 2900.0
             }
         );
@@ -296,6 +317,7 @@ mod tests {
                 p: 1024,
                 replication: true,
                 capped: false,
+                threads: 1,
                 slots_per_sec: 1600.0
             }
         );
@@ -305,9 +327,68 @@ mod tests {
                 p: 1024,
                 replication: true,
                 capped: true,
+                threads: 1,
                 slots_per_sec: 2600.0
             }
         );
+    }
+
+    #[test]
+    fn rows_without_a_threads_field_parse_as_single_threaded() {
+        let cells = parse_cells(SAMPLE);
+        assert!(
+            cells.iter().all(|c| c.threads == 1),
+            "legacy rows must default to threads=1"
+        );
+        let threaded = r#"{"p": 1024, "replication": true, "threads": 4, "slots": 1, "seconds": 1.0, "slots_per_sec": 1600.0}"#;
+        assert_eq!(parse_cells(threaded)[0].threads, 4);
+    }
+
+    #[test]
+    fn thread_mismatched_cells_are_skipped_not_gated() {
+        // A cell measured with a different worker-pool size carries no
+        // regression signal: even a catastrophic ratio must pass — and the
+        // same artifact with matching thread counts must fail, proving the
+        // skip is the thread field's doing.
+        let dir = std::env::temp_dir().join("vg_bench_guard_threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p32 = r#"    {"p": 32, "replication": false, "capped": false, "slots": 1, "seconds": 1.0, "slots_per_sec": 1000.0},"#;
+        let base_threads = SAMPLE.replace(
+            p32,
+            r#"    {"p": 32, "replication": false, "capped": false, "threads": 4, "slots": 1, "seconds": 1.0, "slots_per_sec": 1000.0},"#,
+        );
+        let cand_regressed = SAMPLE.replace(
+            p32,
+            r#"    {"p": 32, "replication": false, "capped": false, "threads": 1, "slots": 1, "seconds": 1.0, "slots_per_sec": 10.0},"#,
+        );
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+        std::fs::write(&base, &base_threads).unwrap();
+        std::fs::write(&cand, &cand_regressed).unwrap();
+        assert!(
+            run(
+                base.to_str().unwrap(),
+                cand.to_str().unwrap(),
+                0.85,
+                0.90,
+                None
+            )
+            .is_ok(),
+            "thread-mismatched cell must be ignored"
+        );
+        // Same regression, matching thread counts (both default 1): gated
+        // and failing.
+        let base_plain = dir.join("base_plain.json");
+        std::fs::write(&base_plain, SAMPLE).unwrap();
+        let err = run(
+            base_plain.to_str().unwrap(),
+            cand.to_str().unwrap(),
+            0.85,
+            0.90,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("p=32"), "{err}");
     }
 
     #[test]

@@ -15,10 +15,10 @@
 
 use vg_bench::alloc_counter::{snapshot, CountingAllocator};
 use vg_bench::{paper_app, paper_platform};
-use vg_core::HeuristicKind;
+use vg_core::{HeuristicKind, SharePolicy};
 use vg_des::rng::SeedPath;
 use vg_platform::source::AvailabilitySource;
-use vg_sim::{PlacementBudget, SimOptions, Simulation};
+use vg_sim::{AppSpec, PlacementBudget, SimOptions, Simulation};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -50,6 +50,40 @@ fn warmed_simulation(p: usize, replication: bool, placement_budget: PlacementBud
             max_extra_replicas: 2,
             record_timeline: false,
             placement_budget,
+        },
+    )
+    .expect("valid configuration")
+}
+
+/// A 2-application co-scheduled simulation in steady state: the
+/// multi-application dispatch (share quotas, per-app pool and replica
+/// rounds, per-app barrier records) must be exactly as silent as the
+/// single-application path once warmed.
+fn warmed_two_app_simulation(p: usize) -> Simulation {
+    let platform = paper_platform(p, (p / 10).max(2), 2, 11);
+    let app = paper_app(p, 10_000, 2, 1);
+    let specs = [AppSpec::rigid(app), AppSpec::weighted(app, 3)];
+    let sources: Vec<Box<dyn AvailabilitySource>> = platform
+        .processors
+        .iter()
+        .enumerate()
+        .map(|(q, pc)| {
+            pc.avail
+                .build_source(SeedPath::root(2).child(q as u64).rng())
+        })
+        .collect();
+    Simulation::new_multi(
+        &platform,
+        &specs,
+        SharePolicy::Weighted,
+        HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
+        sources,
+        SimOptions {
+            max_slots: 1_000_000,
+            replication: true,
+            max_extra_replicas: 2,
+            record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
         },
     )
     .expect("valid configuration")
@@ -107,4 +141,32 @@ fn steady_state_slot_loop_is_allocation_free() {
             5_000,
         );
     }
+
+    // The multi-application engine: two weighted co-scheduled apps through
+    // the quota-sharing schedule phase and the per-app barrier loop. The
+    // 10_000-iteration apps keep both alive for the whole window; the
+    // per-app completion logs are preallocated for every barrier, so
+    // crossing barriers mid-window must stay silent too.
+    let mut sim = warmed_two_app_simulation(64);
+    for _ in 0..2_000 {
+        sim.step();
+        if sim.is_done() {
+            panic!("warm-up exhausted the 2-app workload; enlarge the apps");
+        }
+    }
+    let before = snapshot();
+    for _ in 0..5_000 {
+        sim.step();
+        if sim.is_done() {
+            break;
+        }
+    }
+    let delta = snapshot().delta(before);
+    assert!(
+        delta.is_quiet(),
+        "steady-state 2-app slots allocated: {} allocs, {} reallocs, {} bytes over 5000 slots",
+        delta.allocs,
+        delta.reallocs,
+        delta.bytes,
+    );
 }

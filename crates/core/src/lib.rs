@@ -11,7 +11,10 @@
 //! * [`greedy`] — `MCT`, `EMCT`, `LW`, `UD` and their contention-aware `*`
 //!   variants;
 //! * [`catalog`] — [`HeuristicKind`], the full 17-heuristic roster of
-//!   Table 2, with paper-exact names and uniform construction.
+//!   Table 2, with paper-exact names and uniform construction;
+//! * [`share`] — [`SharePolicy`], how co-scheduled applications split one
+//!   platform's bindable capacity (equal, weighted per DFRS, strict
+//!   priority).
 //!
 //! ```
 //! use vg_core::prelude::*;
@@ -46,17 +49,20 @@ pub mod ct;
 pub mod greedy;
 pub mod random;
 pub mod selector;
+pub mod share;
 pub mod traits;
 pub mod view;
 
 pub use catalog::HeuristicKind;
 pub use selector::SelectorKind;
+pub use share::{share_quotas, SharePolicy};
 pub use traits::Scheduler;
-pub use view::{OwnedSchedView, ProcSnapshot, SchedView, SchedViewBuilder};
+pub use view::{AppView, OwnedSchedView, ProcSnapshot, SchedView, SchedViewBuilder};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::catalog::HeuristicKind;
+    pub use crate::share::SharePolicy;
     pub use crate::traits::Scheduler;
-    pub use crate::view::{OwnedSchedView, ProcSnapshot, SchedView, SchedViewBuilder};
+    pub use crate::view::{AppView, OwnedSchedView, ProcSnapshot, SchedView, SchedViewBuilder};
 }

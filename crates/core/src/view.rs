@@ -48,6 +48,29 @@ pub struct ProcSnapshot {
     pub delay: SlotSpan,
 }
 
+/// Advisory per-application context of one placement round under
+/// multi-application co-scheduling (see `vg_sim`'s application runtime
+/// layer and [`crate::share::SharePolicy`]).
+///
+/// Mirrors the [`SchedView::room`] idiom: `None` is the historical
+/// single-application contract; the engine passes `Some` only on rounds
+/// that belong to a co-scheduled application, whose trajectory is already
+/// outside the single-app bit-identity regime. Schedulers MAY use it (e.g.
+/// to spread applications across disjoint workers) and MUST ignore it
+/// without observable effect when absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppView {
+    /// Index of the requesting application (0-based, in engine app order).
+    pub index: u32,
+    /// Total number of co-scheduled applications.
+    pub count: u32,
+    /// The requesting application's share weight.
+    pub weight: u32,
+    /// Placement quota granted to the application this slot (its share of
+    /// the bindable capacity).
+    pub quota: u32,
+}
+
 /// Scheduler-visible state of the whole platform at one slot.
 ///
 /// Borrows the engine's scratch snapshot buffer and its per-run chain
@@ -84,6 +107,11 @@ pub struct SchedView<'a> {
     /// requested anyway; the engine only passes `Some` on rounds whose
     /// trajectory is already allowed to diverge.
     pub room: Option<&'a [u8]>,
+    /// Which co-scheduled application this placement round serves, or
+    /// `None` for the historical single-application contract (see
+    /// [`AppView`]). Advisory, like `room`: only rounds already allowed to
+    /// diverge from the single-app trajectory carry `Some`.
+    pub app: Option<AppView>,
 }
 
 impl<'a> SchedView<'a> {
@@ -141,6 +169,8 @@ pub struct OwnedSchedView {
     pub ncom: usize,
     /// Per-processor bind room (`None` = unconstrained round).
     pub room: Option<Vec<u8>>,
+    /// Per-application round context (`None` = single-app contract).
+    pub app: Option<AppView>,
 }
 
 impl OwnedSchedView {
@@ -154,6 +184,7 @@ impl OwnedSchedView {
             t_data: self.t_data,
             ncom: self.ncom,
             room: self.room.as_deref(),
+            app: self.app,
         }
     }
 }
@@ -176,6 +207,7 @@ impl SchedViewBuilder {
                 t_data,
                 ncom,
                 room: None,
+                app: None,
             },
         }
     }
@@ -208,6 +240,13 @@ impl SchedViewBuilder {
     pub fn room(mut self, room: Vec<u8>) -> Self {
         assert_eq!(room.len(), self.view.procs.len(), "room length != p");
         self.view.room = Some(room);
+        self
+    }
+
+    /// Attaches per-application round context (co-scheduling rounds).
+    #[must_use]
+    pub fn app(mut self, app: AppView) -> Self {
+        self.view.app = Some(app);
         self
     }
 

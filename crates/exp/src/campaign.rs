@@ -364,18 +364,28 @@ pub fn run_instance_in(
     let mut makespans = Vec::with_capacity(heuristics.len());
     let mut completed = Vec::with_capacity(heuristics.len());
     for (h, kind) in heuristics.iter().enumerate() {
-        let outcome = arena
-            .run_shared_trace(
-                &scenario.platform,
-                &scenario.app,
-                kind.build(sched_path.child(h as u64).rng()),
-                chains,
-                &trace,
-                sim,
-            )
-            .expect("scenario configs validate");
-        makespans.push(outcome.makespan_or_cap());
-        completed.push(outcome.finished());
+        match arena.run_shared_trace(
+            &scenario.platform,
+            &scenario.app,
+            kind.build(sched_path.child(h as u64).rng()),
+            chains,
+            &trace,
+            sim,
+        ) {
+            Ok(outcome) => {
+                makespans.push(outcome.makespan_or_cap());
+                completed.push(outcome.finished());
+            }
+            Err(e) => {
+                // Scenario generators only emit valid configs, but an
+                // engine-rejected one must not abort a multi-hour campaign:
+                // score it as a capped run (a lower bound that can never
+                // win), exactly like a run that burned its slot cap.
+                debug_assert!(false, "scenario config rejected: {e}");
+                makespans.push(sim.max_slots);
+                completed.push(false);
+            }
+        }
     }
     InstanceOutcome {
         cell,
@@ -400,16 +410,26 @@ pub fn run_instance_fresh(
     let mut makespans = Vec::with_capacity(heuristics.len());
     let mut completed = Vec::with_capacity(heuristics.len());
     for (h, kind) in heuristics.iter().enumerate() {
-        let report = Simulation::run_seeded(
+        match Simulation::run_seeded(
             &scenario.platform,
             &scenario.app,
             kind.build(sched_path.child(h as u64).rng()),
             trace_path,
             sim,
-        )
-        .expect("scenario configs validate");
-        makespans.push(report.makespan_or_cap());
-        completed.push(report.finished());
+        ) {
+            Ok(report) => {
+                makespans.push(report.makespan_or_cap());
+                completed.push(report.finished());
+            }
+            Err(e) => {
+                // Same capped-run scoring as `run_instance_in`: the two
+                // runners must stay bit-identical on every path, rejected
+                // configurations included.
+                debug_assert!(false, "scenario config rejected: {e}");
+                makespans.push(sim.max_slots);
+                completed.push(false);
+            }
+        }
     }
     InstanceOutcome {
         cell,

@@ -11,6 +11,7 @@
 //! | Table 3 (contention-prone, ×5/×10) | `table3` | [`campaign`] + [`scenario`] |
 //! | Figure 1 (Theorem-1 gadget) | `figure1` | `vg_offline::reduction` |
 //! | robustness study (Section-8 future work) | `robustness` | [`robustness`] |
+//! | moldable + co-scheduling fidelity | `mold_cosched` | [`scenario`] + the multi-app engine |
 //!
 //! All binaries accept `--scenarios`, `--trials`, `--seed`, `--threads`,
 //! `--paper-scale`, `--quick` and `--csv` (see [`cli::USAGE`]). Scaled-down

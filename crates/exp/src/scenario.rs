@@ -13,6 +13,7 @@ use vg_des::rng::SeedPath;
 use vg_des::SlotSpan;
 use vg_markov::availability::AvailabilityChain;
 use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig, StartPolicy};
+use vg_sim::{AppSpec, MoldableParams};
 
 /// Parameters of one experiment cell.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,6 +88,56 @@ impl ScenarioParams {
             ..Self::paper(20, 5, 1)
         }
     }
+
+    /// The cell's application configuration — shared by every roster below
+    /// and by [`make_scenario`].
+    #[must_use]
+    pub fn app(&self) -> AppConfig {
+        AppConfig {
+            tasks_per_iteration: self.n_tasks,
+            iterations: self.iterations,
+            t_prog: self.t_prog(),
+            t_data: self.t_data(),
+        }
+    }
+
+    /// Rigid single-application roster: the historical campaign workload,
+    /// bit-identical to the single-application engine path.
+    #[must_use]
+    pub fn rigid_spec(&self) -> AppSpec {
+        AppSpec::rigid(self.app())
+    }
+
+    /// The moldable resizing rule of this cell: `n/p` tasks per UP worker,
+    /// so a fully-available platform re-picks exactly the configured `n`
+    /// and a half-down platform shrinks the iteration proportionally. The
+    /// pick is clamped to `[max(1, n/4), 2n]` — the application can shed at
+    /// most three quarters of an iteration or grow to twice the configured
+    /// size when the platform over-delivers.
+    #[must_use]
+    pub fn moldable_params(&self) -> MoldableParams {
+        MoldableParams {
+            tasks_per_up_num: u32::try_from(self.n_tasks).unwrap_or(u32::MAX),
+            tasks_per_up_den: u32::try_from(self.p).unwrap_or(u32::MAX).max(1),
+            min_tasks: (self.n_tasks / 4).max(1),
+            max_tasks: 2 * self.n_tasks,
+        }
+    }
+
+    /// Moldable single-application roster built from
+    /// [`Self::moldable_params`].
+    #[must_use]
+    pub fn moldable_spec(&self) -> AppSpec {
+        AppSpec::moldable(self.app(), self.moldable_params())
+    }
+
+    /// Two identical rigid applications co-scheduled on the cell's
+    /// platform — the workload of the co-scheduling fidelity study, whose
+    /// back-to-back baseline is two consecutive [`Self::rigid_spec`] runs.
+    #[must_use]
+    pub fn cosched_specs(&self) -> [AppSpec; 2] {
+        [self.rigid_spec(), self.rigid_spec()]
+    }
 }
 
 /// A fully instantiated scenario (sampled platform + application).
@@ -118,12 +169,7 @@ pub fn make_scenario(params: ScenarioParams, seed: SeedPath) -> Scenario {
             processors,
             ncom: params.ncom,
         },
-        app: AppConfig {
-            tasks_per_iteration: params.n_tasks,
-            iterations: params.iterations,
-            t_prog: params.t_prog(),
-            t_data: params.t_data(),
-        },
+        app: params.app(),
     }
 }
 
@@ -174,6 +220,33 @@ mod tests {
         }
         assert!(s.platform.validate().is_ok());
         assert!(s.app.validate().is_ok());
+    }
+
+    #[test]
+    fn moldable_rule_repicks_the_configured_size_at_full_availability() {
+        let params = ScenarioParams::paper(40, 5, 1);
+        let m = params.moldable_params();
+        // All 20 workers UP → exactly the configured n; proportional below;
+        // clamped at the floor when the platform collapses.
+        assert_eq!(m.pick_m(params.p), 40);
+        assert_eq!(m.pick_m(params.p / 2), 20);
+        assert_eq!(m.pick_m(0), 10);
+        assert_eq!(m.pick_m(3 * params.p), 80);
+        let spec = params.moldable_spec();
+        assert_eq!(spec.config, params.app());
+        assert_eq!(spec.weight, 1);
+    }
+
+    #[test]
+    fn cosched_roster_is_two_rigid_twins() {
+        let params = ScenarioParams::paper(10, 5, 2);
+        let specs = params.cosched_specs();
+        assert_eq!(specs[0], params.rigid_spec());
+        assert_eq!(specs[1], specs[0]);
+        assert_eq!(
+            specs[0].config,
+            make_scenario(params, SeedPath::root(1)).app
+        );
     }
 
     #[test]

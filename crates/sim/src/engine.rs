@@ -53,7 +53,7 @@
 //! Heuristics cooperate through [`Scheduler::place_into`], appending into
 //! the engine-owned placement buffer and keeping their own internal scratch
 //! (see `vg_core::greedy`). The iteration barrier reuses the
-//! [`IterationState`] buffers via `reset` rather than reallocating them.
+//! `IterationState` buffers via `reset` rather than reallocating them.
 //!
 //! ## Worker storage: SoA by default, AoS as oracle
 //!
@@ -94,7 +94,8 @@
 //! in `vg-bench` (`cargo test -p vg-bench --features alloc-counter
 //! --release`) pins this property as a regression test.
 
-use vg_core::view::{ProcSnapshot, SchedView};
+use vg_core::share::{share_quotas, SharePolicy};
+use vg_core::view::{AppView, ProcSnapshot, SchedView};
 use vg_core::Scheduler;
 use vg_des::{Slot, SlotSpan};
 use vg_markov::availability::{ChainStats, ProcState};
@@ -102,9 +103,13 @@ use vg_platform::network::{BandwidthLedger, TransferKind};
 use vg_platform::source::{AvailabilitySource, MarkovSourceBank, SharedTraceMatrix};
 use vg_platform::{AppConfig, ConfigError, PlatformConfig, ProcessorId};
 
-use crate::report::{Counters, SimReport};
+use crate::app::{
+    app_of, global_task, iter_for, local_task, AppRuntime, AppSpec, ReconfigPolicy, MAX_APPS,
+    MAX_APP_TASKS,
+};
+use crate::report::{AppReport, Counters, MultiReport, SimReport};
 use crate::store::{AosWorkers, WorkerSoA, WorkerStore, SUMMARY_BLOCK};
-use crate::task::{CopyId, IterationState, OriginalState, TaskId, NO_REPLICA_WORKER};
+use crate::task::{CopyId, OriginalState, TaskId, NO_REPLICA_WORKER};
 use crate::timeline::{Activity, SlotMarks, Timeline};
 use crate::worker::{ComputeState, TransferState};
 
@@ -400,6 +405,12 @@ struct SlotScratch {
     copies: Vec<CopyId>,
     /// One activity row for timeline recording (phase 7).
     activities: Vec<Activity>,
+    /// Per-application share weights of the slot (0 for finished apps);
+    /// multi-application slots only.
+    weights: Vec<u32>,
+    /// Per-application placement quotas of the slot ([`share_quotas`]
+    /// output); multi-application slots only.
+    quotas: Vec<usize>,
 }
 
 impl SlotScratch {
@@ -427,6 +438,8 @@ impl SlotScratch {
             state_row: Vec::with_capacity(p),
             copies: Vec::with_capacity(8),
             activities: Vec::with_capacity(p),
+            weights: Vec::with_capacity(4),
+            quotas: Vec::with_capacity(4),
         }
     }
 }
@@ -460,6 +473,34 @@ impl RunOutcome {
     }
 }
 
+/// Lean per-application result of a multi-application arena run — the
+/// [`RunOutcome`]-shaped slice of one application's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppOutcome {
+    /// Slots until this application's final barrier; `None` if the run
+    /// ended (all-done or slot cap) before it finished.
+    pub makespan: Option<Slot>,
+    /// Iterations the application completed before the run ended.
+    pub completed_iterations: u64,
+    /// `tasks_per_iteration` of the application's *last* iteration — under
+    /// [`crate::app::ReconfigPolicy::Moldable`] this is where the final
+    /// resize landed.
+    pub final_m: usize,
+    /// Task completions credited to this application.
+    pub tasks_completed: u64,
+}
+
+/// Result of [`SimArena::run_apps_seeded`]: the combined outcome plus one
+/// [`AppOutcome`] per application, in engine app order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiOutcome {
+    /// Whole-platform outcome (same semantics as a single-app run: finished
+    /// iff *every* application finished).
+    pub combined: RunOutcome,
+    /// Per-application outcomes.
+    pub apps: Vec<AppOutcome>,
+}
+
 /// A **warmed simulation arena**: every per-run buffer of the engine —
 /// worker runtimes (including their `bound` vectors), chain statistics,
 /// the source vector, iteration bookkeeping, the whole `SlotScratch`,
@@ -485,7 +526,9 @@ pub struct SimArena {
     /// runs); re-seeded per run by [`Self::run_seeded`] when the platform
     /// qualifies.
     dense: MarkovSourceBank,
-    iter: Option<IterationState>,
+    /// Warmed per-application runtimes (their iteration-state buffers keep
+    /// capacity across runs); re-initialized in place per run.
+    apps: Vec<AppRuntime>,
     iteration_completed_at: Vec<Slot>,
     bind_order: Vec<(usize, CopyId)>,
     scratch: SlotScratch,
@@ -524,16 +567,86 @@ impl SimArena {
         options: SimOptions,
     ) -> Result<RunOutcome, ConfigError> {
         platform.validate()?;
-        app.validate()?;
+        let specs = [AppSpec::rigid(*app)];
+        validate_app_specs(&specs)?;
         if options.record_timeline {
             return Err(ConfigError(
                 "SimArena does not record timelines; use Simulation::run_seeded".into(),
             ));
         }
-        // Rebuild per-run state *into* the warmed buffers. All-Markov
-        // platforms take the dense bank (bit-identical states, no
-        // per-processor boxing); the rest rebuild boxed sources.
-        let dense = self.dense.rebuild_from_platform(platform, &trace_seeds);
+        let dense = self.prepare_sources(platform, &trace_seeds);
+        if dense {
+            let bank = SourceBank::Dense(std::mem::take(&mut self.dense));
+            Ok(self.run_core_with(
+                platform,
+                &specs,
+                SharePolicy::default(),
+                scheduler,
+                bank,
+                options,
+            ))
+        } else {
+            Ok(self.run_core(platform, &specs, SharePolicy::default(), scheduler, options))
+        }
+    }
+
+    /// Runs several co-scheduled applications over one platform, reusing
+    /// this arena's buffers; the multi-application twin of
+    /// [`Self::run_seeded`]. Seeds, sources and the slot loop are shared by
+    /// all applications — they compete for the same volatile workers under
+    /// `share` — and a one-spec roster with [`AppSpec::rigid`] is
+    /// bit-identical to [`Self::run_seeded`].
+    ///
+    /// # Errors
+    /// Propagates validation errors (empty/oversized rosters, per-app
+    /// config problems, mismatched communication parameters) and rejects
+    /// timeline recording as in [`Self::run_seeded`].
+    pub fn run_apps_seeded(
+        &mut self,
+        platform: &PlatformConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
+        scheduler: Box<dyn Scheduler>,
+        trace_seeds: vg_des::rng::SeedPath,
+        options: SimOptions,
+    ) -> Result<MultiOutcome, ConfigError> {
+        platform.validate()?;
+        validate_app_specs(specs)?;
+        if options.record_timeline {
+            return Err(ConfigError(
+                "SimArena does not record timelines; use Simulation::run_multi_seeded".into(),
+            ));
+        }
+        let dense = self.prepare_sources(platform, &trace_seeds);
+        let combined = if dense {
+            let bank = SourceBank::Dense(std::mem::take(&mut self.dense));
+            self.run_core_with(platform, specs, share, scheduler, bank, options)
+        } else {
+            self.run_core(platform, specs, share, scheduler, options)
+        };
+        let apps = self
+            .apps
+            .iter()
+            .map(|rt| AppOutcome {
+                makespan: rt.completed_at.map(|s| s + 1),
+                completed_iterations: rt.iterations_done,
+                final_m: rt.iter.m(),
+                tasks_completed: rt.tasks_completed,
+            })
+            .collect(); // tidy:allow(hot_alloc): per-run result assembly, after the slot loop.
+        Ok(MultiOutcome { combined, apps })
+    }
+
+    /// Rebuilds per-run sources and chain statistics *into* the warmed
+    /// buffers. All-Markov platforms take the dense bank (bit-identical
+    /// states, no per-processor boxing) and return `true`; the rest rebuild
+    /// boxed sources.
+    fn prepare_sources(
+        &mut self,
+        platform: &PlatformConfig,
+        trace_seeds: &vg_des::rng::SeedPath,
+    ) -> bool {
+        let dense = self.dense.rebuild_from_platform(platform, trace_seeds);
         self.sources.clear();
         if !dense {
             self.sources.extend(
@@ -551,12 +664,7 @@ impl SimArena {
                 .iter()
                 .map(|pc| ChainStats::new(pc.believed_chain())),
         );
-        if dense {
-            let bank = SourceBank::Dense(std::mem::take(&mut self.dense));
-            Ok(self.run_core_with(platform, app, scheduler, bank, options))
-        } else {
-            Ok(self.run_core(platform, app, scheduler, options))
-        }
+        dense
     }
 
     /// Runs one simulation with **caller-shared per-scenario state**: chain
@@ -584,7 +692,8 @@ impl SimArena {
         options: SimOptions,
     ) -> Result<RunOutcome, ConfigError> {
         platform.validate()?;
-        app.validate()?;
+        let specs = [AppSpec::rigid(*app)];
+        validate_app_specs(&specs)?;
         if options.record_timeline {
             return Err(ConfigError(
                 "SimArena does not record timelines; use Simulation::run_seeded".into(),
@@ -610,7 +719,7 @@ impl SimArena {
         }
         self.chains.clear();
         self.chains.extend_from_slice(chains);
-        Ok(self.run_core(platform, app, scheduler, options))
+        Ok(self.run_core(platform, &specs, SharePolicy::default(), scheduler, options))
     }
 
     /// Runs one simulation against a [`SharedTraceMatrix`] recording, with
@@ -633,7 +742,8 @@ impl SimArena {
         options: SimOptions,
     ) -> Result<RunOutcome, ConfigError> {
         platform.validate()?;
-        app.validate()?;
+        let specs = [AppSpec::rigid(*app)];
+        validate_app_specs(&specs)?;
         if options.record_timeline {
             return Err(ConfigError(
                 "SimArena does not record timelines; use Simulation::run_seeded".into(),
@@ -654,7 +764,14 @@ impl SimArena {
             trace: trace.handle(),
             next_slot: 0,
         };
-        Ok(self.run_core_with(platform, app, scheduler, bank, options))
+        Ok(self.run_core_with(
+            platform,
+            &specs,
+            SharePolicy::default(),
+            scheduler,
+            bank,
+            options,
+        ))
     }
 
     /// Shared tail of the `run_*` entry points; expects `self.sources` and
@@ -662,19 +779,21 @@ impl SimArena {
     fn run_core(
         &mut self,
         platform: &PlatformConfig,
-        app: &AppConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
         scheduler: Box<dyn Scheduler>,
         options: SimOptions,
     ) -> RunOutcome {
         let bank = SourceBank::PerProc(std::mem::take(&mut self.sources));
-        self.run_core_with(platform, app, scheduler, bank, options)
+        self.run_core_with(platform, specs, share, scheduler, bank, options)
     }
 
     /// Innermost run loop over an explicit source bank.
     fn run_core_with(
         &mut self,
         platform: &PlatformConfig,
-        app: &AppConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
         mut scheduler: Box<dyn Scheduler>,
         bank: SourceBank,
         options: SimOptions,
@@ -683,13 +802,18 @@ impl SimArena {
         let p = platform.p();
         self.workers
             .reset_for(platform.processors.iter().map(|pc| pc.spec));
-        let iter = match self.iter.take() {
-            Some(mut it) => {
-                it.reinit(0, app.tasks_per_iteration, options.max_extra_replicas);
-                it
+        // Rebuild the per-app runtimes *into* the warmed vector: existing
+        // entries re-initialize in place (keeping their iteration-state
+        // buffers), extra entries from a previous wider run are dropped.
+        self.apps.truncate(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            if i < self.apps.len() {
+                self.apps[i].reinit(i, spec, options.max_extra_replicas);
+            } else {
+                self.apps
+                    .push(AppRuntime::new(i, spec, options.max_extra_replicas));
             }
-            None => IterationState::new(0, app.tasks_per_iteration, options.max_extra_replicas),
-        };
+        }
         self.iteration_completed_at.clear();
         self.bind_order.clear();
         self.slot_marks.clear();
@@ -700,7 +824,12 @@ impl SimArena {
         self.scratch.free_valid = false;
 
         let mut sim = Simulation {
-            app: *app,
+            app: CommParams {
+                t_prog: specs[0].config.t_prog,
+                t_data: specs[0].config.t_data,
+            },
+            apps: std::mem::take(&mut self.apps),
+            share,
             workers: std::mem::take(&mut self.workers),
             sources: bank,
             chains: std::mem::take(&mut self.chains),
@@ -708,8 +837,6 @@ impl SimArena {
             ledger: BandwidthLedger::new(platform.ncom),
             options,
             slot: 0,
-            iter,
-            iterations_done: 0,
             iteration_completed_at: std::mem::take(&mut self.iteration_completed_at),
             counters: Counters::default(),
             bind_order: std::mem::take(&mut self.bind_order),
@@ -722,9 +849,13 @@ impl SimArena {
             sim.step();
         }
         let outcome = RunOutcome {
-            makespan: (sim.iterations_done == sim.app.iterations).then_some(sim.slot),
+            makespan: sim
+                .apps
+                .iter()
+                .all(AppRuntime::finished)
+                .then_some(sim.slot),
             slots_run: sim.slot,
-            completed_iterations: sim.iterations_done,
+            completed_iterations: sim.apps.iter().map(|a| a.iterations_done()).sum(),
         };
 
         // Reclaim the warmed buffers for the next run.
@@ -735,13 +866,50 @@ impl SimArena {
             SourceBank::Shared { .. } => {}
         }
         self.chains = sim.chains;
-        self.iter = Some(sim.iter);
+        self.apps = sim.apps;
         self.iteration_completed_at = sim.iteration_completed_at;
         self.bind_order = sim.bind_order;
         self.scratch = sim.scratch;
         self.slot_marks = sim.slot_marks;
         outcome
     }
+}
+
+/// Validates a co-scheduled application roster: 1 to [`MAX_APPS`]
+/// applications, each individually valid, every `tasks_per_iteration`
+/// inside the per-app task-id namespace ([`MAX_APP_TASKS`]), and all
+/// communication parameters equal — `T_prog`/`T_data` describe the shared
+/// platform links, so co-scheduled applications cannot disagree on them.
+fn validate_app_specs(specs: &[AppSpec]) -> Result<(), ConfigError> {
+    if specs.is_empty() {
+        return Err(ConfigError("at least one application is required".into()));
+    }
+    if specs.len() > MAX_APPS {
+        // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
+        return Err(ConfigError(format!(
+            "{} applications exceed the supported maximum of {MAX_APPS}",
+            specs.len()
+        )));
+    }
+    let (t_prog, t_data) = (specs[0].config.t_prog, specs[0].config.t_data);
+    for (i, spec) in specs.iter().enumerate() {
+        spec.config.validate()?;
+        if spec.config.tasks_per_iteration > MAX_APP_TASKS {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
+            return Err(ConfigError(format!(
+                "application {i}: {} tasks per iteration exceed the per-app task-id namespace ({MAX_APP_TASKS})",
+                spec.config.tasks_per_iteration
+            )));
+        }
+        if spec.config.t_prog != t_prog || spec.config.t_data != t_data {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
+            return Err(ConfigError(format!(
+                "application {i} disagrees on communication parameters \
+                 (T_prog/T_data are platform-wide under co-scheduling)"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Chain statistics of every processor's believed chain, in processor order
@@ -777,6 +945,19 @@ enum SourceBank {
     },
 }
 
+/// The communication parameters every application of a run shares.
+///
+/// `T_prog`/`T_data` are properties of the platform's links, not of any one
+/// application, so co-scheduled applications must agree on them
+/// ([`validate_app_specs`] enforces this). Kept under the historical field
+/// name `app` inside [`Simulation`] because the phases read `app.t_prog` /
+/// `app.t_data` exactly where the old single-app config lived.
+#[derive(Debug, Clone, Copy)]
+struct CommParams {
+    t_prog: SlotSpan,
+    t_data: SlotSpan,
+}
+
 /// The simulation engine. Construct with [`Simulation::new`], consume with
 /// [`Simulation::run`] (or drive slot-by-slot with [`Simulation::step`]).
 ///
@@ -785,8 +966,19 @@ enum SourceBank {
 /// engine runs on, while [`ReferenceSimulation`] (= `Simulation<AosWorkers>`)
 /// retains the original `Vec<WorkerRuntime>` path as the bit-identity
 /// oracle — see `crates/sim/tests/soa_equivalence.rs`.
+///
+/// One engine drives a *roster* of application runtimes over the shared
+/// worker store ([`crate::app::AppRuntime`]); a one-app roster is the
+/// historical single-application engine, bit for bit. Task ids in worker
+/// columns are namespaced by application ([`crate::app`]).
 pub struct Simulation<S: WorkerStore = WorkerSoA> {
-    app: AppConfig,
+    app: CommParams,
+    /// The co-scheduled application runtimes, engine app order. Never
+    /// empty; `apps.len() == 1` selects the single-application phases.
+    apps: Vec<AppRuntime>,
+    /// How multi-application slots split bindable capacity between the
+    /// roster's pools (never consulted with a single application).
+    share: SharePolicy,
     workers: S,
     sources: SourceBank,
     /// Per-run chain statistics, built once and borrowed by every view.
@@ -796,8 +988,8 @@ pub struct Simulation<S: WorkerStore = WorkerSoA> {
     options: SimOptions,
 
     slot: Slot,
-    iter: IterationState,
-    iterations_done: u64,
+    /// Combined barrier record: every application's barrier slots, merged
+    /// in (slot, app-index) order. Per-app records live on the runtimes.
     iteration_completed_at: Vec<Slot>,
     counters: Counters,
     /// Bind order of this slot: (worker, copy), originals before replicas.
@@ -835,6 +1027,19 @@ impl Simulation {
         Self::new_in(platform, app, scheduler, sources, options)
     }
 
+    /// Builds an engine co-scheduling several applications over the default
+    /// [`WorkerSoA`] layout (see [`Simulation::new_multi_in`]).
+    pub fn new_multi(
+        platform: &PlatformConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
+        scheduler: Box<dyn Scheduler>,
+        sources: Vec<Box<dyn AvailabilitySource>>,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        Self::new_multi_in(platform, specs, share, scheduler, sources, options)
+    }
+
     /// Convenience: build sources straight from the platform config using a
     /// seed path (`path.child(q)` per processor) and run.
     pub fn run_seeded(
@@ -845,6 +1050,19 @@ impl Simulation {
         options: SimOptions,
     ) -> Result<SimReport, ConfigError> {
         Self::run_seeded_in(platform, app, scheduler, trace_seeds, options)
+    }
+
+    /// Convenience: seed, run and split per application — the
+    /// multi-application twin of [`Simulation::run_seeded`].
+    pub fn run_multi_seeded(
+        platform: &PlatformConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
+        scheduler: Box<dyn Scheduler>,
+        trace_seeds: vg_des::rng::SeedPath,
+        options: SimOptions,
+    ) -> Result<MultiReport, ConfigError> {
+        Self::run_multi_seeded_in(platform, specs, share, scheduler, trace_seeds, options)
     }
 }
 
@@ -859,8 +1077,30 @@ impl<S: WorkerStore> Simulation<S> {
         sources: Vec<Box<dyn AvailabilitySource>>,
         options: SimOptions,
     ) -> Result<Self, ConfigError> {
+        Self::new_multi_in(
+            platform,
+            &[AppSpec::rigid(*app)],
+            SharePolicy::default(),
+            scheduler,
+            sources,
+            options,
+        )
+    }
+
+    /// Builds an engine co-scheduling several applications over an explicit
+    /// worker-storage layout `S`. The applications run concurrently on the
+    /// shared platform, splitting each slot's bindable capacity under
+    /// `share`; a one-spec roster with [`AppSpec::rigid`] is bit-identical
+    /// to [`Self::new_in`] with that config.
+    pub fn new_multi_in(
+        platform: &PlatformConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
+        scheduler: Box<dyn Scheduler>,
+        sources: Vec<Box<dyn AvailabilitySource>>,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
         platform.validate()?;
-        app.validate()?;
         if sources.len() != platform.p() {
             // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
             return Err(ConfigError(format!(
@@ -871,7 +1111,8 @@ impl<S: WorkerStore> Simulation<S> {
         }
         Self::new_with_bank(
             platform,
-            app,
+            specs,
+            share,
             scheduler,
             SourceBank::PerProc(sources),
             options,
@@ -893,10 +1134,35 @@ impl<S: WorkerStore> Simulation<S> {
         trace_seeds: vg_des::rng::SeedPath,
         options: SimOptions,
     ) -> Result<Self, ConfigError> {
+        Self::new_multi_seeded(
+            platform,
+            &[AppSpec::rigid(*app)],
+            SharePolicy::default(),
+            scheduler,
+            trace_seeds,
+            options,
+        )
+    }
+
+    /// Seed-path constructor for a co-scheduled roster (see
+    /// [`Self::new_seeded`] for the bank selection rules).
+    pub fn new_multi_seeded(
+        platform: &PlatformConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
+        scheduler: Box<dyn Scheduler>,
+        trace_seeds: vg_des::rng::SeedPath,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
         match MarkovSourceBank::try_from_platform(platform, &trace_seeds) {
-            Some(bank) => {
-                Self::new_with_bank(platform, app, scheduler, SourceBank::Dense(bank), options)
-            }
+            Some(bank) => Self::new_with_bank(
+                platform,
+                specs,
+                share,
+                scheduler,
+                SourceBank::Dense(bank),
+                options,
+            ),
             None => {
                 let sources: Vec<Box<dyn AvailabilitySource>> = platform
                     .processors
@@ -904,7 +1170,7 @@ impl<S: WorkerStore> Simulation<S> {
                     .enumerate()
                     .map(|(q, pc)| pc.avail.build_source(trace_seeds.child(q as u64).rng()))
                     .collect(); // tidy:allow(hot_alloc): per-run source construction, before the first slot.
-                Self::new_in(platform, app, scheduler, sources, options)
+                Self::new_multi_in(platform, specs, share, scheduler, sources, options)
             }
         }
     }
@@ -912,13 +1178,14 @@ impl<S: WorkerStore> Simulation<S> {
     /// Innermost constructor over an explicit source bank.
     fn new_with_bank(
         platform: &PlatformConfig,
-        app: &AppConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
         scheduler: Box<dyn Scheduler>,
         bank: SourceBank,
         options: SimOptions,
     ) -> Result<Self, ConfigError> {
         platform.validate()?;
-        app.validate()?;
+        validate_app_specs(specs)?;
         let mut scheduler = scheduler;
         scheduler.begin_run();
         let mut workers = S::default();
@@ -928,8 +1195,20 @@ impl<S: WorkerStore> Simulation<S> {
             .iter()
             .map(|pc| ChainStats::new(pc.believed_chain()))
             .collect(); // tidy:allow(hot_alloc): engine construction, before the first slot.
+        let apps: Vec<AppRuntime> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| AppRuntime::new(i, spec, options.max_extra_replicas))
+            .collect(); // tidy:allow(hot_alloc): engine construction, before the first slot.
+        let total_m: usize = specs.iter().map(|s| s.config.tasks_per_iteration).sum();
+        let total_iterations: u64 = specs.iter().map(|s| s.config.iterations).sum();
         Ok(Self {
-            app: *app,
+            app: CommParams {
+                t_prog: specs[0].config.t_prog,
+                t_data: specs[0].config.t_data,
+            },
+            apps,
+            share,
             workers,
             sources: bank,
             chains,
@@ -937,13 +1216,11 @@ impl<S: WorkerStore> Simulation<S> {
             ledger: BandwidthLedger::new(platform.ncom),
             options,
             slot: 0,
-            iter: IterationState::new(0, app.tasks_per_iteration, options.max_extra_replicas),
-            iterations_done: 0,
-            iteration_completed_at: Vec::with_capacity(app.iterations as usize),
+            iteration_completed_at: Vec::with_capacity(total_iterations as usize),
             counters: Counters::default(),
             bind_order: Vec::with_capacity(platform.p()),
             cap_engagements: 0,
-            scratch: SlotScratch::with_capacity(platform.p(), app.tasks_per_iteration),
+            scratch: SlotScratch::with_capacity(platform.p(), total_m),
             timeline: options.record_timeline.then(|| Timeline::new(platform.p())),
             slot_marks: vec![SlotMarks::default(); platform.p()], // tidy:allow(hot_alloc): engine construction, before the first slot.
         })
@@ -961,6 +1238,22 @@ impl<S: WorkerStore> Simulation<S> {
         Ok(Self::new_seeded(platform, app, scheduler, trace_seeds, options)?.run())
     }
 
+    /// Seed-path convenience for a co-scheduled roster — the layout-generic
+    /// twin of [`Simulation::run_multi_seeded`].
+    pub fn run_multi_seeded_in(
+        platform: &PlatformConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
+        scheduler: Box<dyn Scheduler>,
+        trace_seeds: vg_des::rng::SeedPath,
+        options: SimOptions,
+    ) -> Result<MultiReport, ConfigError> {
+        Ok(
+            Self::new_multi_seeded(platform, specs, share, scheduler, trace_seeds, options)?
+                .run_multi(),
+        )
+    }
+
     /// Runs to completion (all iterations done or slot cap hit).
     #[must_use]
     pub fn run(mut self) -> SimReport {
@@ -970,11 +1263,22 @@ impl<S: WorkerStore> Simulation<S> {
         self.into_report()
     }
 
-    /// True when the run is over: all iterations completed or the slot cap
-    /// was hit.
+    /// Runs to completion and splits the result per application. The
+    /// combined report equals [`Self::run`]'s; the per-app reports add each
+    /// application's own barrier history and final size.
+    #[must_use]
+    pub fn run_multi(mut self) -> MultiReport {
+        while !self.is_done() {
+            self.step();
+        }
+        self.into_multi_report()
+    }
+
+    /// True when the run is over: every application finished or the slot
+    /// cap was hit.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.iterations_done >= self.app.iterations || self.slot >= self.options.max_slots
+        self.apps.iter().all(AppRuntime::finished) || self.slot >= self.options.max_slots
     }
 
     /// Slots simulated so far.
@@ -996,7 +1300,7 @@ impl<S: WorkerStore> Simulation<S> {
     /// Finishes a (possibly partial) run into its report.
     #[must_use]
     pub fn into_report(self) -> SimReport {
-        let makespan = if self.iterations_done == self.app.iterations {
+        let makespan = if self.apps.iter().all(AppRuntime::finished) {
             // The last iteration finished during slot `slot − 1`... the loop
             // increments `slot` at the end of each step, so `slot` is exactly
             // the number of slots consumed.
@@ -1006,7 +1310,7 @@ impl<S: WorkerStore> Simulation<S> {
         };
         SimReport {
             scheduler: self.scheduler.name().to_string(),
-            completed_iterations: self.iterations_done,
+            completed_iterations: self.apps.iter().map(|a| a.iterations_done()).sum(),
             makespan,
             slots_run: self.slot,
             iteration_completed_at: self.iteration_completed_at,
@@ -1014,6 +1318,43 @@ impl<S: WorkerStore> Simulation<S> {
             mean_bandwidth_utilization: self.ledger.mean_utilization(),
             timeline: self.timeline,
         }
+    }
+
+    /// Finishes a (possibly partial) run into the combined report plus one
+    /// [`AppReport`] per application, in engine app order. The combined
+    /// part is exactly what [`Self::into_report`] would have produced.
+    #[must_use]
+    pub fn into_multi_report(self) -> MultiReport {
+        let makespan = self
+            .apps
+            .iter()
+            .all(AppRuntime::finished)
+            .then_some(self.slot);
+        let combined = SimReport {
+            scheduler: self.scheduler.name().to_string(),
+            completed_iterations: self.apps.iter().map(|a| a.iterations_done()).sum(),
+            makespan,
+            slots_run: self.slot,
+            iteration_completed_at: self.iteration_completed_at,
+            counters: self.counters,
+            mean_bandwidth_utilization: self.ledger.mean_utilization(),
+            timeline: self.timeline,
+        };
+        let apps = self
+            .apps
+            .into_iter()
+            .map(|rt| AppReport {
+                completed_iterations: rt.iterations_done,
+                // Same slot-count semantics as the combined makespan: the
+                // final barrier fired during slot `s`, so the application
+                // consumed `s + 1` slots.
+                makespan: rt.completed_at.map(|s| s + 1),
+                final_m: rt.iter.m(),
+                tasks_completed: rt.tasks_completed,
+                iteration_completed_at: rt.iteration_completed_at,
+            })
+            .collect(); // tidy:allow(hot_alloc): per-run report assembly, after the slot loop.
+        MultiReport { combined, apps }
     }
 
     /// One slot through all seven phases. Public so benches and the
@@ -1059,7 +1400,7 @@ impl<S: WorkerStore> Simulation<S> {
             sources,
             scratch,
             counters,
-            iter,
+            apps,
             ..
         } = self;
         let SlotScratch {
@@ -1110,11 +1451,12 @@ impl<S: WorkerStore> Simulation<S> {
                 workers.crash_into(q, copies);
                 for &copy in copies.iter() {
                     counters.copies_lost_to_down += 1;
+                    let (it, lt) = iter_for(apps, copy.task);
                     if copy.is_original() {
-                        iter.release_original(copy.task);
+                        it.release_original(lt);
                     } else {
-                        iter.drop_replica(copy.task);
-                        iter.clear_replica_pin(copy.task, q);
+                        it.drop_replica(lt);
+                        it.clear_replica_pin(lt, q);
                     }
                 }
             }
@@ -1244,11 +1586,14 @@ impl<S: WorkerStore> Simulation<S> {
         {
             // Zero-length data: the copy is pinned instantly ([D2] corollary:
             // a transfer of zero slots completes without a channel).
-            if copy.is_original() {
-                self.iter.pin_original(copy.task, widx);
-            } else {
+            if !copy.is_original() {
                 self.counters.replicas_started += 1;
-                self.iter.record_replica_pin(copy.task, widx);
+            }
+            let (it, lt) = iter_for(&mut self.apps, copy.task);
+            if copy.is_original() {
+                it.pin_original(lt, widx);
+            } else {
+                it.record_replica_pin(lt, widx);
             }
             if self.workers.computing(widx).is_none() {
                 self.workers
@@ -1264,6 +1609,18 @@ impl<S: WorkerStore> Simulation<S> {
     }
 
     fn phase_schedule(&mut self) {
+        if self.apps.len() == 1 {
+            self.phase_schedule_single();
+        } else {
+            self.phase_schedule_multi();
+        }
+    }
+
+    /// The historical single-application schedule phase, textually intact
+    /// (modulo `apps[0]` standing in for the old `iter` field) so the
+    /// single-app bit-identity pin stays trustworthy. App 0's task ids are
+    /// its local ids (base 0), so no namespace mapping appears here.
+    fn phase_schedule_single(&mut self) {
         #[cfg(feature = "phase-profile")]
         macro_rules! sub {
             ($idx:expr, $e:expr) => {{
@@ -1291,7 +1648,7 @@ impl<S: WorkerStore> Simulation<S> {
         let mut have_snapshot = false;
 
         // Originals first (strict priority, Section 6.1).
-        self.iter.pool_tasks_into(&mut self.scratch.pool);
+        self.apps[0].iter.pool_tasks_into(&mut self.scratch.pool);
         if !self.scratch.pool.is_empty() {
             // Under `BindCapacity`, a pool that fits inside the slot's
             // bindable capacity takes the exact uncapped code path below —
@@ -1337,6 +1694,7 @@ impl<S: WorkerStore> Simulation<S> {
                         t_data: app.t_data,
                         ncom: ledger.ncom(),
                         room: None,
+                        app: None,
                     };
                     scratch.placements.clear();
                     scheduler.place_into(&view, count, &mut scratch.placements);
@@ -1431,6 +1789,7 @@ impl<S: WorkerStore> Simulation<S> {
                                 // already outside the bit-identical regime —
                                 // passes `Some`.
                                 room: Some(&scratch.room),
+                                app: None,
                             };
                             scratch.placements.clear();
                             scheduler.place_into(&view, want, &mut scratch.placements);
@@ -1489,10 +1848,10 @@ impl<S: WorkerStore> Simulation<S> {
         // count doubles as the replica path's bind capacity, so this path
         // is demand-driven under *both* placement budgets — `k` below
         // never exceeds what can actually bind.
-        if self.options.replication && !self.iter.is_complete() {
+        if self.options.replication && !self.apps[0].iter.is_complete() {
             sub!(
                 3,
-                self.iter.replica_candidates_into(
+                self.apps[0].iter.replica_candidates_into(
                     self.options.max_extra_replicas,
                     &mut self.scratch.cands,
                 )
@@ -1546,6 +1905,7 @@ impl<S: WorkerStore> Simulation<S> {
                             // the historical contract (`None`) keeps this
                             // path bit-identical under both budgets.
                             room: None,
+                            app: None,
                         };
                         scratch.placements.clear();
                         scheduler.place_into(&view, k, &mut scratch.placements);
@@ -1555,12 +1915,272 @@ impl<S: WorkerStore> Simulation<S> {
                         for j in 0..placed {
                             let task = self.scratch.cands[j];
                             let pid = self.scratch.placements[j];
-                            let copy = self.iter.mint_replica(task);
+                            let copy = self.apps[0].iter.mint_replica(task);
                             if !self.try_bind(pid.idx(), copy) {
-                                self.iter.drop_replica(task);
+                                self.apps[0].iter.drop_replica(task);
                             }
                         }
                     });
+                }
+            }
+        }
+    }
+
+    /// The multi-application schedule phase: pool placements run per
+    /// application under the [`SharePolicy`] quotas (originals keep strict
+    /// priority over replicas overall, as in Section 6.1), then replica
+    /// placements run per application over the workers still free.
+    ///
+    /// Deliberately a separate body from [`Self::phase_schedule_single`]
+    /// rather than a parameterized merge: the single-app phase is the
+    /// bit-identity-pinned historical trajectory, and keeping it textually
+    /// intact is what keeps that pin trustworthy. This path reuses the
+    /// capped-branch machinery (room column, in-place snapshot masking,
+    /// bounded top-up rounds), so no application can overrun its quota or
+    /// the platform's bind capacity, and the steady-state loop stays
+    /// allocation-free (`zero_alloc.rs` pins a two-app configuration).
+    ///
+    /// Share quotas govern **pool** (original) placements only: replicas
+    /// are demand-driven leftovers — they bind to workers that are UP and
+    /// completely idle, a resource no pool placement of any application
+    /// wanted this slot (see `docs/applications.md`).
+    fn phase_schedule_multi(&mut self) {
+        self.bind_order.clear();
+        let n_apps = self.apps.len();
+        let mut have_snapshot = false;
+
+        // --- Pool placements under share quotas --------------------------
+        // The slot's bindable capacity is what the share policy divides.
+        let capacity = self.workers.bindable_count();
+        if capacity > 0 {
+            {
+                let Self {
+                    apps,
+                    scratch,
+                    share,
+                    ..
+                } = self;
+                scratch.weights.clear();
+                scratch.weights.extend(
+                    apps.iter()
+                        .map(|rt| if rt.finished() { 0 } else { rt.weight }),
+                );
+                share_quotas(*share, capacity, &scratch.weights, &mut scratch.quotas);
+                if *share != SharePolicy::StrictPriority {
+                    // Clamp each quota to its application's actual demand
+                    // and hand the unusable remainder down in app order —
+                    // work-conserving: capacity no pool can use is never
+                    // idled by the apportionment. (Strict priority already
+                    // grants full capacity as every quota, so there is no
+                    // remainder to move.)
+                    let mut spare = 0usize;
+                    for (a, rt) in apps.iter().enumerate() {
+                        let want = rt.iter.pool_len();
+                        let granted = scratch.quotas[a].min(want);
+                        spare += scratch.quotas[a] - granted;
+                        scratch.quotas[a] = granted;
+                    }
+                    for (a, rt) in apps.iter().enumerate() {
+                        if spare == 0 {
+                            break;
+                        }
+                        let extra = (rt.iter.pool_len() - scratch.quotas[a]).min(spare);
+                        scratch.quotas[a] += extra;
+                        spare -= extra;
+                    }
+                }
+            }
+            let mut remaining = capacity;
+            for a in 0..n_apps {
+                if remaining == 0 {
+                    break;
+                }
+                let quota = self.scratch.quotas[a].min(remaining);
+                if quota == 0 {
+                    continue;
+                }
+                self.apps[a].iter.pool_tasks_into(&mut self.scratch.pool);
+                if self.scratch.pool.is_empty() {
+                    continue;
+                }
+                // Worker columns and the scheduler see *global* task ids;
+                // the iteration state stays local. Map in place.
+                let base = self.apps[a].task_base;
+                for t in self.scratch.pool.iter_mut() {
+                    *t = global_task(base, *t);
+                }
+                if !have_snapshot {
+                    self.snapshot_procs();
+                    have_snapshot = true;
+                }
+                // Fresh room column per app round (earlier applications'
+                // binds are already reflected), masking workers without
+                // room out of the view. Masking is cumulative across app
+                // rounds — sound because room is monotone non-increasing
+                // within the phase.
+                {
+                    let Self {
+                        workers, scratch, ..
+                    } = self;
+                    workers.room_into(&mut scratch.room);
+                    for (pr, &room) in scratch.procs.iter_mut().zip(scratch.room.iter()) {
+                        if room == 0 {
+                            pr.state = ProcState::Reclaimed;
+                        }
+                    }
+                }
+                let app_view = AppView {
+                    index: a as u32,
+                    count: n_apps as u32,
+                    weight: self.apps[a].weight,
+                    quota: quota as u32,
+                };
+                self.scratch.pending.clear();
+                self.scratch.pending.extend_from_slice(&self.scratch.pool);
+                // Top-up rounds, exactly as in the capped single-app branch:
+                // every continuing round binds at least one copy, so the
+                // loop is bounded by the quota.
+                let mut app_remaining = quota;
+                loop {
+                    let want = self.scratch.pending.len().min(app_remaining);
+                    if want == 0 {
+                        break;
+                    }
+                    let placed = {
+                        let Self {
+                            scratch,
+                            scheduler,
+                            chains,
+                            app,
+                            ledger,
+                            ..
+                        } = self;
+                        let view = SchedView {
+                            procs: &scratch.procs,
+                            chains,
+                            t_prog: app.t_prog,
+                            t_data: app.t_data,
+                            ncom: ledger.ncom(),
+                            room: Some(&scratch.room),
+                            app: Some(app_view),
+                        };
+                        scratch.placements.clear();
+                        scheduler.place_into(&view, want, &mut scratch.placements);
+                        scratch.placements.len().min(want)
+                    };
+                    if placed == 0 {
+                        break;
+                    }
+                    let mut bound = 0usize;
+                    let mut write = 0usize;
+                    for k in 0..self.scratch.pending.len() {
+                        let task = self.scratch.pending[k];
+                        if k < placed {
+                            let pid = self.scratch.placements[k];
+                            debug_assert!(
+                                self.workers.state(pid.idx()) == ProcState::Up,
+                                "scheduler placed a task on a non-UP processor"
+                            );
+                            if self.try_bind(pid.idx(), CopyId::original(task)) {
+                                bound += 1;
+                                debug_assert!(self.scratch.room[pid.idx()] > 0);
+                                self.scratch.room[pid.idx()] -= 1;
+                                continue;
+                            }
+                        }
+                        self.scratch.pending[write] = task;
+                        write += 1;
+                    }
+                    self.scratch.pending.truncate(write);
+                    if bound == 0 {
+                        break;
+                    }
+                    app_remaining -= bound;
+                    remaining -= bound;
+                }
+            }
+        }
+
+        // --- Replica placements, per application over free workers --------
+        if self.options.replication {
+            for a in 0..n_apps {
+                if self.apps[a].finished() || self.apps[a].iter.is_complete() {
+                    continue;
+                }
+                self.apps[a].iter.replica_candidates_into(
+                    self.options.max_extra_replicas,
+                    &mut self.scratch.cands,
+                );
+                if self.scratch.cands.is_empty() {
+                    continue;
+                }
+                let base = self.apps[a].task_base;
+                for t in self.scratch.cands.iter_mut() {
+                    *t = global_task(base, *t);
+                }
+                // The free mask absorbs earlier applications' replica binds
+                // through the store's changed-block feed, so each round sees
+                // the *currently* free workers.
+                let n_free = self.refresh_free_mask();
+                let k = self.scratch.cands.len().min(n_free);
+                if k == 0 {
+                    continue;
+                }
+                // Re-snapshot to undo the pool rounds' masking (states are
+                // rewritten from the store; cached delays stay exact), then
+                // mask down to the free workers for this app's round.
+                self.snapshot_procs();
+                {
+                    let SlotScratch { procs, free, .. } = &mut self.scratch;
+                    for (pr, &f) in procs.iter_mut().zip(free.iter()) {
+                        if !f {
+                            pr.state = ProcState::Reclaimed;
+                        }
+                    }
+                }
+                let app_view = AppView {
+                    index: a as u32,
+                    count: n_apps as u32,
+                    weight: self.apps[a].weight,
+                    quota: k as u32,
+                };
+                {
+                    let Self {
+                        scratch,
+                        scheduler,
+                        chains,
+                        app,
+                        ledger,
+                        ..
+                    } = self;
+                    let view = SchedView {
+                        procs: &scratch.procs,
+                        chains,
+                        t_prog: app.t_prog,
+                        t_data: app.t_data,
+                        ncom: ledger.ncom(),
+                        room: None,
+                        app: Some(app_view),
+                    };
+                    scratch.placements.clear();
+                    scheduler.place_into(&view, k, &mut scratch.placements);
+                }
+                let placed = self.scratch.placements.len().min(k);
+                for j in 0..placed {
+                    let task = self.scratch.cands[j];
+                    let pid = self.scratch.placements[j];
+                    let copy = {
+                        let (it, lt) = iter_for(&mut self.apps, task);
+                        let local = it.mint_replica(lt);
+                        CopyId {
+                            task,
+                            replica: local.replica,
+                        }
+                    };
+                    if !self.try_bind(pid.idx(), copy) {
+                        let (it, lt) = iter_for(&mut self.apps, task);
+                        it.drop_replica(lt);
+                    }
                 }
             }
         }
@@ -1750,11 +2370,24 @@ impl<S: WorkerStore> Simulation<S> {
                 }
                 Request::DataCont { widx } => {
                     if self.ledger.try_grant(TransferKind::Data) {
-                        let mut tr = self.workers.transfer(widx).expect(
-                            "DataCont is only enqueued for a worker with an in-flight transfer",
-                        );
-                        tr.done += 1;
-                        self.workers.set_transfer(widx, Some(tr));
+                        // DataCont is only enqueued for a worker with an
+                        // in-flight transfer; a missing one is a phase-4
+                        // bookkeeping bug. Debug builds abort; release
+                        // builds drop the grant instead of crashing a
+                        // whole campaign (the channel slot is burned either
+                        // way, matching what the transfer would have used).
+                        match self.workers.transfer(widx) {
+                            Some(mut tr) => {
+                                tr.done += 1;
+                                self.workers.set_transfer(widx, Some(tr));
+                            }
+                            None => {
+                                debug_assert!(
+                                    false,
+                                    "DataCont enqueued for worker {widx} with no in-flight transfer"
+                                );
+                            }
+                        }
                         self.counters.data_channel_slots += 1;
                         if record {
                             self.slot_marks[widx].recv_data = true;
@@ -1776,11 +2409,14 @@ impl<S: WorkerStore> Simulation<S> {
                         if record {
                             self.slot_marks[widx].recv_data = true;
                         }
-                        if copy.is_original() {
-                            self.iter.pin_original(copy.task, widx);
-                        } else {
+                        if !copy.is_original() {
                             self.counters.replicas_started += 1;
-                            self.iter.record_replica_pin(copy.task, widx);
+                        }
+                        let (it, lt) = iter_for(&mut self.apps, copy.task);
+                        if copy.is_original() {
+                            it.pin_original(lt, widx);
+                        } else {
+                            it.record_replica_pin(lt, widx);
                         }
                     }
                 }
@@ -1835,6 +2471,8 @@ impl<S: WorkerStore> Simulation<S> {
             self.workers.set_computing(widx, None);
             self.counters.copies_completed += 1;
             let task = copy.task;
+            let a = app_of(task);
+            let lt = local_task(task);
             // Capture the pinned original's worker *before* mark_completed
             // erases it; the completing copy itself is already off its
             // worker, so when the original just completed there is no
@@ -1842,17 +2480,18 @@ impl<S: WorkerStore> Simulation<S> {
             let orig_pinned = if copy.is_original() {
                 None
             } else {
-                match self.iter.original_state(task) {
+                match self.apps[a].iter.original_state(lt) {
                     OriginalState::Pinned { worker } => Some(worker),
                     _ => None,
                 }
             };
-            let first = self.iter.mark_completed(task);
+            let first = self.apps[a].iter.mark_completed(lt);
             debug_assert!(first, "siblings are canceled before they can re-complete");
             self.counters.tasks_completed += 1;
+            self.apps[a].tasks_completed += 1;
             if !copy.is_original() {
-                self.iter.drop_replica(task);
-                self.iter.clear_replica_pin(task, widx);
+                self.apps[a].iter.drop_replica(lt);
+                self.apps[a].iter.clear_replica_pin(lt, widx);
             }
             self.cancel_siblings(task, orig_pinned);
         }
@@ -1881,12 +2520,16 @@ impl<S: WorkerStore> Simulation<S> {
             workers,
             scratch,
             counters,
-            iter,
+            apps,
             bind_order,
             ..
         } = self;
+        // Route to the owning application once; worker columns and
+        // `bind_order` keep speaking global ids below.
+        let lt = local_task(task);
+        let iter = &mut apps[app_of(task)].iter;
         scratch.copies.clear();
-        let replicas_total = usize::from(iter.replicas_alive(task));
+        let replicas_total = usize::from(iter.replicas_alive(lt));
         if let Some(w) = orig_pinned {
             workers.cancel_task_into(w, task, &mut scratch.copies);
         }
@@ -1902,7 +2545,7 @@ impl<S: WorkerStore> Simulation<S> {
         scratch.replica_pins.clear();
         scratch
             .replica_pins
-            .extend_from_slice(iter.pinned_replica_workers(task));
+            .extend_from_slice(iter.pinned_replica_workers(lt));
         for &w in &scratch.replica_pins {
             if w == NO_REPLICA_WORKER {
                 continue;
@@ -1913,7 +2556,7 @@ impl<S: WorkerStore> Simulation<S> {
                 scratch.copies.len() > before,
                 "recorded replica pin of {task} on worker {w} held no copy"
             );
-            iter.clear_replica_pin(task, w as usize);
+            iter.clear_replica_pin(lt, w as usize);
         }
         debug_assert_eq!(
             scratch.copies.iter().filter(|c| !c.is_original()).count(),
@@ -1923,7 +2566,7 @@ impl<S: WorkerStore> Simulation<S> {
         for &copy in &scratch.copies {
             counters.replicas_canceled += 1;
             if !copy.is_original() {
-                iter.drop_replica(task);
+                iter.drop_replica(lt);
             }
             // Originals need no pool transition: mark_completed set Done.
         }
@@ -1966,10 +2609,11 @@ impl<S: WorkerStore> Simulation<S> {
     /// unstarted bindings dissolve — originals silently remain in the pool;
     /// replica placeholders evaporate.
     #[inline]
-    fn dissolve_binds(workers: &mut S, iter: &mut IterationState, q: usize) {
+    fn dissolve_binds(workers: &mut S, apps: &mut [AppRuntime], q: usize) {
         workers.drain_bound(q, |copy| {
             if !copy.is_original() {
-                iter.drop_replica(copy.task);
+                let (it, lt) = iter_for(apps, copy.task);
+                it.drop_replica(lt);
             }
         });
     }
@@ -1991,14 +2635,14 @@ impl<S: WorkerStore> Simulation<S> {
         let t_prog = self.app.t_prog;
         #[cfg(debug_assertions)]
         let slot = self.slot;
-        let Self { workers, iter, .. } = self;
+        let Self { workers, apps, .. } = self;
         #[cfg(not(debug_assertions))]
         for_each_busy_worker!(workers, q, {
             if workers.busy(q) {
                 Self::promote_pipeline(workers, q, t_data);
             }
             if workers.busy(q) {
-                Self::dissolve_binds(workers, iter, q);
+                Self::dissolve_binds(workers, apps, q);
             }
         });
         #[cfg(debug_assertions)]
@@ -2028,7 +2672,7 @@ impl<S: WorkerStore> Simulation<S> {
                     // validates occupancy here).
                     workers.assert_invariants(q, t_prog, t_data);
                     if workers.busy(q) {
-                        Self::dissolve_binds(workers, iter, q);
+                        Self::dissolve_binds(workers, apps, q);
                     }
                 }
             }
@@ -2058,24 +2702,81 @@ impl<S: WorkerStore> Simulation<S> {
             }
         }
 
-        if self.iter.is_complete() {
-            self.iter.set_completed_at(self.slot);
-            self.iteration_completed_at.push(self.slot);
-            self.iterations_done += 1;
-            if let Some(tl) = &mut self.timeline {
-                tl.push_barrier(self.slot);
+        // Iteration barriers, per application. With a single app this is
+        // the historical barrier verbatim: the finished-guard never fires
+        // (the run loop stops before another slot executes), the debug
+        // sweep is the same global pinned-count check, and `Fixed`
+        // reconfiguration is exactly the old `iter.reset(iterations_done)`.
+        let mut up_cache: Option<usize> = None;
+        let mut barrier_marked = false;
+        for a in 0..self.apps.len() {
+            if self.apps[a].finished() || !self.apps[a].iter.is_complete() {
+                continue;
+            }
+            let slot = self.slot;
+            self.apps[a].iter.set_completed_at(slot);
+            self.apps[a].iteration_completed_at.push(slot);
+            self.iteration_completed_at.push(slot);
+            self.apps[a].iterations_done += 1;
+            if !barrier_marked {
+                if let Some(tl) = &mut self.timeline {
+                    tl.push_barrier(slot);
+                }
+                barrier_marked = true;
             }
             #[cfg(debug_assertions)]
-            for q in 0..self.workers.len() {
-                debug_assert_eq!(
-                    self.workers.pinned_count(q),
-                    0,
-                    "copies survived the iteration barrier"
-                );
+            if self.apps.len() == 1 {
+                for q in 0..self.workers.len() {
+                    debug_assert_eq!(
+                        self.workers.pinned_count(q),
+                        0,
+                        "copies survived the iteration barrier"
+                    );
+                }
+            } else {
+                // Other applications may legitimately hold pins, so the
+                // check narrows to this application's own copies: every
+                // task is complete, so no replica may survive.
+                for t in 0..self.apps[a].iter.m() {
+                    debug_assert_eq!(
+                        self.apps[a].iter.replicas_alive(TaskId(t as u32)),
+                        0,
+                        "replica of app {a} survived its iteration barrier"
+                    );
+                }
             }
-            if self.iterations_done < self.app.iterations {
-                self.iter.reset(self.iterations_done);
+            if self.apps[a].finished() {
+                self.apps[a].completed_at = Some(slot);
+            } else {
+                // Moldable applications re-pick their size from the *live*
+                // UP census at the barrier (ReSHAPE-style reconfiguration
+                // points); Fixed applications never consult it.
+                let up = match self.apps[a].reconfig {
+                    ReconfigPolicy::Fixed => 0,
+                    ReconfigPolicy::Moldable(_) => match up_cache {
+                        Some(u) => u,
+                        None => {
+                            let u = self.up_workers();
+                            up_cache = Some(u);
+                            u
+                        }
+                    },
+                };
+                let max_extra = self.options.max_extra_replicas;
+                self.apps[a].begin_next_iteration(up, max_extra);
             }
+        }
+    }
+
+    /// Live UP-worker count at the current slot: O(1) from the store's
+    /// block summaries when it maintains them, a dense tally otherwise.
+    /// Consulted only at barriers of [`ReconfigPolicy::Moldable`] apps.
+    fn up_workers(&self) -> usize {
+        match self.workers.state_census() {
+            Some(census) => census[ProcState::Up.index()],
+            None => (0..self.workers.len())
+                .filter(|&q| self.workers.state(q) == ProcState::Up)
+                .count(),
         }
     }
 }

@@ -6,6 +6,10 @@
 //! bounded multi-port master.
 //!
 //! * [`task`] — tasks, copies (original + ≤ 2 replicas), iteration state;
+//! * [`app`] — the application runtime layer: per-app specs and runtimes
+//!   ([`app::AppSpec`], [`app::AppRuntime`]), barrier reconfiguration
+//!   ([`app::ReconfigPolicy`]) and the task-id namespace that lets several
+//!   applications share one worker store;
 //! * [`worker`] — the per-worker pipeline (program / data / compute with one
 //!   task of look-ahead);
 //! * [`store`] — worker storage layouts: the hot/cold [`store::WorkerSoA`]
@@ -98,6 +102,7 @@
 //! assert!(report.finished());
 //! ```
 
+pub mod app;
 pub mod engine;
 pub mod report;
 pub mod store;
@@ -105,11 +110,12 @@ pub mod task;
 pub mod timeline;
 pub mod worker;
 
+pub use app::{AppRuntime, AppSpec, MoldableParams, ReconfigPolicy};
 pub use engine::{
-    platform_chain_stats, PlacementBudget, ReferenceSimulation, RunOutcome, SimArena, SimOptions,
-    Simulation,
+    platform_chain_stats, AppOutcome, MultiOutcome, PlacementBudget, ReferenceSimulation,
+    RunOutcome, SimArena, SimOptions, Simulation,
 };
-pub use report::{Counters, SimReport};
+pub use report::{AppReport, Counters, MultiReport, SimReport};
 pub use store::{AosWorkers, WorkerSoA, WorkerStore};
 pub use task::{CopyId, TaskId};
 pub use timeline::{Activity, Timeline};

@@ -71,6 +71,47 @@ impl SimReport {
     }
 }
 
+/// Per-application slice of a co-scheduled run (see
+/// [`Simulation::run_multi`](crate::Simulation::run_multi)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReport {
+    /// Iterations this application completed before the run ended.
+    pub completed_iterations: u64,
+    /// Slots until this application's final barrier (same slot-count
+    /// semantics as [`SimReport::makespan`]); `None` if the run ended
+    /// before it finished.
+    pub makespan: Option<Slot>,
+    /// `tasks_per_iteration` of the application's last iteration — where a
+    /// moldable resize landed, or the configured size for rigid apps.
+    pub final_m: usize,
+    /// Task completions credited to this application.
+    pub tasks_completed: u64,
+    /// Completion slot of each of this application's finished iterations.
+    pub iteration_completed_at: Vec<Slot>,
+}
+
+impl AppReport {
+    /// True when every requested iteration of this application completed.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.makespan.is_some()
+    }
+}
+
+/// Result of a multi-application run: the combined (platform-wide) report
+/// plus one [`AppReport`] per application, in engine app order. For a
+/// single-application roster `combined` is field-identical to what the
+/// single-app API returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiReport {
+    /// Platform-wide report: merged barrier record, shared counters, total
+    /// completed iterations; `makespan` is set iff *every* application
+    /// finished.
+    pub combined: SimReport,
+    /// Per-application reports.
+    pub apps: Vec<AppReport>,
+}
+
 impl std::fmt::Display for SimReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.makespan {

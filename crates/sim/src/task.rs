@@ -79,7 +79,7 @@ pub enum OriginalState {
 pub const NO_REPLICA_WORKER: u32 = u32::MAX;
 
 /// Live state of one application iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationState {
     m: usize,
     index: u64,
@@ -103,9 +103,32 @@ pub struct IterationState {
 impl IterationState {
     /// Fresh iteration `index` with `m` pool tasks; `max_extra` is the
     /// run's per-task replica cap (sizes the pinned-replica record).
+    ///
+    /// One init path: `new` is [`Self::reinit`] applied to an empty shell,
+    /// so the two can never drift apart field-by-field (debug builds also
+    /// assert `reinit` against an independently constructed oracle).
     #[must_use]
     pub fn new(index: u64, m: usize, max_extra: u8) -> Self {
-        assert!(m >= 1);
+        let mut it = Self {
+            m: 0,
+            index: 0,
+            completed: Vec::new(),
+            n_completed: 0,
+            original: Vec::new(),
+            replicas_alive: Vec::new(),
+            next_replica: Vec::new(),
+            max_extra: 0,
+            replica_workers: Vec::new(),
+            completed_at: None,
+        };
+        it.reinit(index, m, max_extra);
+        it
+    }
+
+    /// Independent literal construction, kept only as the debug oracle for
+    /// the unified [`Self::new`]/[`Self::reinit`] init path.
+    #[cfg(debug_assertions)]
+    fn fresh_oracle(index: u64, m: usize, max_extra: u8) -> Self {
         Self {
             m,
             index,
@@ -154,6 +177,12 @@ impl IterationState {
         self.replica_workers
             .resize(m * usize::from(max_extra), NO_REPLICA_WORKER);
         self.completed_at = None;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            *self,
+            Self::fresh_oracle(index, m, max_extra),
+            "in-place reinit diverged from a literal fresh construction"
+        );
     }
 
     /// Iteration number (0-based).
@@ -232,6 +261,15 @@ impl IterationState {
                 out.push(TaskId(i as u32));
             }
         }
+    }
+
+    /// Number of schedulable pool tasks — the length
+    /// [`Self::pool_tasks_into`] would produce, without writing it.
+    #[must_use]
+    pub fn pool_len(&self) -> usize {
+        (0..self.m)
+            .filter(|&i| !self.completed[i] && self.original[i] == OriginalState::Pool)
+            .count()
     }
 
     /// Unfinished tasks eligible for one more replica (fewer than
@@ -474,6 +512,20 @@ mod tests {
         // Replication off: rows are empty, the record costs nothing.
         it.reinit(0, 4, 0);
         assert!(it.pinned_replica_workers(TaskId(3)).is_empty());
+    }
+
+    #[test]
+    fn reinit_is_equivalent_to_fresh_construction() {
+        let mut it = IterationState::new(0, 3, 2);
+        let _ = it.mint_replica(TaskId(1));
+        it.record_replica_pin(TaskId(1), 5);
+        it.pin_original(TaskId(0), 9);
+        it.mark_completed(TaskId(2));
+        it.reinit(7, 5, 1);
+        assert_eq!(it, IterationState::new(7, 5, 1));
+        // Shrinking and growing both land on the fresh-construction state.
+        it.reinit(2, 1, 0);
+        assert_eq!(it, IterationState::new(2, 1, 0));
     }
 
     #[test]

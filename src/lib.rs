@@ -62,12 +62,17 @@ pub use vg_sim as sim;
 
 /// One-stop imports for applications built on the library.
 pub mod prelude {
-    pub use vg_core::{HeuristicKind, OwnedSchedView, SchedView, SchedViewBuilder, Scheduler};
+    pub use vg_core::{
+        HeuristicKind, OwnedSchedView, SchedView, SchedViewBuilder, Scheduler, SharePolicy,
+    };
     pub use vg_des::prelude::*;
     pub use vg_markov::{AvailabilityChain, AvailabilityStream, ChainStats, ProcState};
     pub use vg_platform::{
         AppConfig, AvailabilityModelConfig, PlatformConfig, ProcessorConfig, ProcessorId,
         StartPolicy, TailBehavior, Trace,
     };
-    pub use vg_sim::{PlacementBudget, SimOptions, SimReport, Simulation};
+    pub use vg_sim::{
+        AppReport, AppSpec, MoldableParams, MultiReport, PlacementBudget, ReconfigPolicy,
+        SimOptions, SimReport, Simulation,
+    };
 }
