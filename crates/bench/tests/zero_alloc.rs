@@ -17,7 +17,10 @@ use vg_bench::alloc_counter::{snapshot, CountingAllocator};
 use vg_bench::{paper_app, paper_platform};
 use vg_core::{HeuristicKind, SharePolicy};
 use vg_des::rng::SeedPath;
+use vg_markov::OutageChain;
 use vg_platform::source::AvailabilitySource;
+use vg_platform::volatility::{CorrelatedModel, DiurnalSpec, ScriptedOverlay};
+use vg_platform::FaultScript;
 use vg_sim::{AppSpec, PlacementBudget, SimOptions, Simulation};
 
 #[global_allocator]
@@ -53,6 +56,50 @@ fn warmed_simulation(p: usize, replication: bool, placement_budget: PlacementBud
         },
     )
     .expect("valid configuration")
+}
+
+/// The full chaos stack in steady state: a [`CorrelatedModel`] row source
+/// (per-worker base chains × 4 group modulators × diurnal phase) feeding the
+/// engine through `SourceBank::Rows`, with a scripted overlay whose spans
+/// stay **active across the entire measured window** — every measured slot
+/// pays the row fill, the group draws, the diurnal demotion and the overlay
+/// forcing. All of it must be exactly as silent as the plain slot loop.
+fn warmed_chaos_simulation(p: usize) -> Simulation {
+    let platform = paper_platform(p, (p / 10).max(2), 2, 11);
+    let app = paper_app(2 * p, 10_000, 2, 1);
+    let mut model =
+        CorrelatedModel::uniform_groups(p, 4, OutageChain::new(0.01, 0.20).expect("probabilities"));
+    model.diurnal = Some(DiurnalSpec {
+        period: 200,
+        off_len: 60,
+        group_stagger: 50,
+    });
+    let rows = model
+        .build(&platform, &SeedPath::root(2))
+        .expect("valid model");
+    // One span covering every slot of the run plus a long kill burst inside
+    // the measured window: the overlay scan always has live spans to apply.
+    let script = FaultScript::parse("degrade 25% at 0 for 1000000\nkill 10% at 3000 for 2000")
+        .expect("valid script")
+        .compile(p)
+        .expect("compiles");
+    let mut sim = Simulation::new_rows_in(
+        &platform,
+        &app,
+        HeuristicKind::EmctStar.build(SeedPath::root(1).rng()),
+        Box::new(rows),
+        SimOptions {
+            max_slots: 1_000_000,
+            replication: true,
+            max_extra_replicas: 2,
+            record_timeline: false,
+            placement_budget: PlacementBudget::Uncapped,
+        },
+    )
+    .expect("valid configuration");
+    sim.set_overlay(ScriptedOverlay::new(script))
+        .expect("matching p");
+    sim
 }
 
 /// A 2-application co-scheduled simulation in steady state: the
@@ -165,6 +212,33 @@ fn steady_state_slot_loop_is_allocation_free() {
     assert!(
         delta.is_quiet(),
         "steady-state 2-app slots allocated: {} allocs, {} reallocs, {} bytes over 5000 slots",
+        delta.allocs,
+        delta.reallocs,
+        delta.bytes,
+    );
+
+    // The scripted-injection stack: correlated rows + diurnal demotion +
+    // an always-active overlay. The warm-up crosses the kill burst's start
+    // (slot 3000), so the measured window covers both the burst and the
+    // steady degrade span.
+    let mut sim = warmed_chaos_simulation(64);
+    for _ in 0..2_000 {
+        sim.step();
+        if sim.is_done() {
+            panic!("warm-up exhausted the chaos workload; enlarge the app");
+        }
+    }
+    let before = snapshot();
+    for _ in 0..5_000 {
+        sim.step();
+        if sim.is_done() {
+            break;
+        }
+    }
+    let delta = snapshot().delta(before);
+    assert!(
+        delta.is_quiet(),
+        "steady-state chaos slots allocated: {} allocs, {} reallocs, {} bytes over 5000 slots",
         delta.allocs,
         delta.reallocs,
         delta.bytes,

@@ -132,6 +132,7 @@ fn main() {
         iterations: args.iterations,
         diag_lo: 0.90,
         diag_hi: 0.99,
+        volatility: vg_exp::scenario::VolatilitySpec::Independent,
     };
     println!(
         "sweep: p={} n={} ncom={} wmin={} T_data={} T_prog={} iterations={}",

@@ -51,7 +51,9 @@ use vg_des::stats::OnlineStats;
 use vg_des::Slot;
 use vg_markov::availability::ChainStats;
 use vg_platform::source::{AvailabilitySource, SharedTraceMatrix};
-use vg_sim::{platform_chain_stats, SimArena, SimOptions, Simulation};
+use vg_platform::volatility::ScriptedOverlay;
+use vg_platform::CompiledScript;
+use vg_sim::{platform_chain_stats, SimArena, SimOptions, Simulation, WorkerSoA};
 
 use crate::scenario::{make_scenario, Scenario, ScenarioParams};
 
@@ -353,23 +355,65 @@ pub fn run_instance_in(
     sim: SimOptions,
 ) -> InstanceOutcome {
     let (trace_path, sched_path) = instance_seeds(master_seed, cell, scenario_idx, trial);
-    let live: Vec<Box<dyn AvailabilitySource>> = scenario
-        .platform
-        .processors
-        .iter()
-        .enumerate()
-        .map(|(q, pc)| pc.avail.build_source(trace_path.child(q as u64).rng()))
-        .collect();
-    let trace = SharedTraceMatrix::record(live);
+    let p = scenario.platform.p();
+    // The chaos layer of the cell, resolved once per instance. A malformed
+    // spec scores every heuristic as capped (the generators only emit valid
+    // specs, but a campaign must not abort mid-flight).
+    let chaos = scenario
+        .params
+        .volatility
+        .fault_script(p)
+        .and_then(|script| {
+            let model = scenario.params.volatility.correlated_model(p)?;
+            Ok((script, model))
+        });
+    let (script, model) = match chaos {
+        Ok(parts) => parts,
+        Err(e) => {
+            debug_assert!(false, "volatility spec rejected: {e}");
+            return InstanceOutcome {
+                cell,
+                makespans: vec![sim.max_slots; heuristics.len()],
+                completed: vec![false; heuristics.len()],
+            };
+        }
+    };
+    let trace = match model {
+        // Correlated rows replace the per-worker sampling; the base worker
+        // streams inside the row source use the exact per-processor seeds of
+        // the independent path, so identity models reproduce it bit for bit.
+        Some(model) => match model.build(&scenario.platform, &trace_path) {
+            Ok(rows) => SharedTraceMatrix::record_rows(Box::new(rows)),
+            Err(e) => {
+                debug_assert!(false, "volatility spec rejected: {e}");
+                return InstanceOutcome {
+                    cell,
+                    makespans: vec![sim.max_slots; heuristics.len()],
+                    completed: vec![false; heuristics.len()],
+                };
+            }
+        },
+        None => {
+            let live: Vec<Box<dyn AvailabilitySource>> = scenario
+                .platform
+                .processors
+                .iter()
+                .enumerate()
+                .map(|(q, pc)| pc.avail.build_source(trace_path.child(q as u64).rng()))
+                .collect();
+            SharedTraceMatrix::record(live)
+        }
+    };
     let mut makespans = Vec::with_capacity(heuristics.len());
     let mut completed = Vec::with_capacity(heuristics.len());
     for (h, kind) in heuristics.iter().enumerate() {
-        match arena.run_shared_trace(
+        match arena.run_shared_trace_overlay(
             &scenario.platform,
             &scenario.app,
             kind.build(sched_path.child(h as u64).rng()),
             chains,
             &trace,
+            script.as_ref(),
             sim,
         ) {
             Ok(outcome) => {
@@ -407,16 +451,39 @@ pub fn run_instance_fresh(
     sim: SimOptions,
 ) -> InstanceOutcome {
     let (trace_path, sched_path) = instance_seeds(master_seed, cell, scenario_idx, trial);
+    let p = scenario.platform.p();
+    let chaos = scenario
+        .params
+        .volatility
+        .fault_script(p)
+        .and_then(|script| {
+            let model = scenario.params.volatility.correlated_model(p)?;
+            Ok((script, model))
+        });
+    let (script, model) = match chaos {
+        Ok(parts) => parts,
+        Err(e) => {
+            debug_assert!(false, "volatility spec rejected: {e}");
+            return InstanceOutcome {
+                cell,
+                makespans: vec![sim.max_slots; heuristics.len()],
+                completed: vec![false; heuristics.len()],
+            };
+        }
+    };
     let mut makespans = Vec::with_capacity(heuristics.len());
     let mut completed = Vec::with_capacity(heuristics.len());
     for (h, kind) in heuristics.iter().enumerate() {
-        match Simulation::run_seeded(
-            &scenario.platform,
-            &scenario.app,
-            kind.build(sched_path.child(h as u64).rng()),
-            trace_path,
+        let report = run_fresh_one(
+            scenario,
+            *kind,
+            &sched_path.child(h as u64),
+            &trace_path,
+            script.as_ref(),
+            model.as_ref(),
             sim,
-        ) {
+        );
+        match report {
             Ok(report) => {
                 makespans.push(report.makespan_or_cap());
                 completed.push(report.finished());
@@ -436,6 +503,39 @@ pub fn run_instance_fresh(
         makespans,
         completed,
     }
+}
+
+/// One fresh-engine run of `run_instance_fresh`, chaos layers included —
+/// the reference twin of the arena's shared-trace-plus-overlay path.
+fn run_fresh_one(
+    scenario: &Scenario,
+    kind: HeuristicKind,
+    sched_seed: &SeedPath,
+    trace_path: &SeedPath,
+    script: Option<&CompiledScript>,
+    model: Option<&vg_platform::volatility::CorrelatedModel>,
+    sim: SimOptions,
+) -> Result<vg_sim::SimReport, vg_platform::ConfigError> {
+    let mut engine = match model {
+        Some(model) => Simulation::<WorkerSoA>::new_rows_in(
+            &scenario.platform,
+            &scenario.app,
+            kind.build(sched_seed.rng()),
+            Box::new(model.build(&scenario.platform, trace_path)?),
+            sim,
+        )?,
+        None => Simulation::<WorkerSoA>::new_seeded(
+            &scenario.platform,
+            &scenario.app,
+            kind.build(sched_seed.rng()),
+            *trace_path,
+            sim,
+        )?,
+    };
+    if let Some(script) = script {
+        engine.set_overlay(ScriptedOverlay::new(script.clone()))?;
+    }
+    Ok(engine.run())
 }
 
 /// Runs one instance, returning makespans in heuristic order (slot cap when
@@ -694,6 +794,56 @@ mod tests {
         assert_eq!(batched.instances, 8);
         assert_eq!(reference.outcomes, batched.outcomes);
         assert_eq!(reference.cell_stats, batched.cell_stats);
+    }
+
+    #[test]
+    fn chaos_families_stay_bit_identical_across_runners() {
+        // The volatility layer must preserve the batched ≡ reference
+        // contract: shared-trace-plus-overlay in the arena vs fresh engines
+        // with row sources / set_overlay, same bits either way.
+        use crate::scenario::VolatilitySpec;
+        let families = [
+            VolatilitySpec::MassKill {
+                pct: 50,
+                at: 10,
+                lasts: 40,
+            },
+            VolatilitySpec::CorrelatedBursts {
+                groups: 3,
+                p_fail: 0.02,
+                p_recover: 0.05,
+            },
+            VolatilitySpec::Diurnal {
+                groups: 2,
+                period: 40,
+                off_len: 15,
+                stagger: 20,
+            },
+        ];
+        let mut cfg = tiny_config(vec![HeuristicKind::Mct, HeuristicKind::EmctStar]);
+        cfg.keep_outcomes = true;
+        let baseline = run_campaign(&tiny_cells(), &cfg);
+        for family in families {
+            let cells: Vec<ScenarioParams> = tiny_cells()
+                .into_iter()
+                .map(|c| c.with_volatility(family))
+                .collect();
+            let reference = run_campaign_reference(&cells, &cfg);
+            let mut par_cfg = cfg.clone();
+            par_cfg.parallelism = ParallelismConfig::fixed(4);
+            let batched = run_campaign(&cells, &par_cfg);
+            assert_eq!(
+                reference.outcomes, batched.outcomes,
+                "{family:?}: batched diverged from reference"
+            );
+            assert_eq!(reference.cell_stats, batched.cell_stats);
+            // And the chaos must actually bite: at least one makespan moves
+            // relative to the independent baseline.
+            assert_ne!(
+                baseline.outcomes, batched.outcomes,
+                "{family:?}: chaos changed nothing"
+            );
+        }
     }
 
     #[test]

@@ -12,8 +12,128 @@ use serde::{Deserialize, Serialize};
 use vg_des::rng::SeedPath;
 use vg_des::SlotSpan;
 use vg_markov::availability::AvailabilityChain;
-use vg_platform::{AppConfig, PlatformConfig, ProcessorConfig, StartPolicy};
+use vg_markov::OutageChain;
+use vg_platform::volatility::{CorrelatedModel, DiurnalSpec};
+use vg_platform::{
+    AppConfig, CompiledScript, ConfigError, FaultScript, PlatformConfig, ProcessorConfig,
+    StartPolicy,
+};
 use vg_sim::{AppSpec, MoldableParams};
+
+/// Chaos family applied on top of a cell's base availability model.
+///
+/// `Independent` is the paper's setting (every worker its own chain) and the
+/// default; the other variants inject the volatility stack of
+/// `vg_platform::volatility` into the campaign runners. Because scripted
+/// overlays act *after* base sampling and correlated group draws come from
+/// their own seed streams, every family shares the cell's base availability
+/// trace under common random numbers — paired chaos-vs-baseline differences
+/// measure the chaos alone.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum VolatilitySpec {
+    /// Independent per-worker chains (the paper's model; no chaos).
+    #[default]
+    Independent,
+    /// Scripted mass kill: `pct`% of the workers forced `DOWN` at slot
+    /// `at` for `lasts` slots (the `kill pct% at T for N` DSL form).
+    MassKill {
+        /// Percentage of workers hit (0..=100).
+        pct: u32,
+        /// First affected slot.
+        at: u64,
+        /// Outage length in slots.
+        lasts: u64,
+    },
+    /// Correlated group bursts: `groups` contiguous racks, each driven by a
+    /// shared `Normal ⇄ Outage` chain forcing its members `DOWN`.
+    CorrelatedBursts {
+        /// Number of contiguous worker groups.
+        groups: usize,
+        /// Per-slot `Normal → Outage` probability.
+        p_fail: f64,
+        /// Per-slot `Outage → Normal` probability.
+        p_recover: f64,
+    },
+    /// Diurnal phase: groups cycle through a periodic off-window during
+    /// which their `UP` members are demoted to `RECLAIMED`, staggered like
+    /// timezones.
+    Diurnal {
+        /// Number of contiguous worker groups.
+        groups: usize,
+        /// Cycle length in slots.
+        period: u64,
+        /// Off-window length at the head of each cycle.
+        off_len: u64,
+        /// Per-group phase shift in slots.
+        stagger: u64,
+    },
+}
+
+impl VolatilitySpec {
+    /// The scripted-overlay half of this spec: a compiled fault script for a
+    /// `p`-worker platform, or `None` when the family injects nothing
+    /// through the script path. Errors are loud (bad percentage, zero
+    /// duration) rather than silently un-chaotic.
+    pub fn fault_script(&self, p: usize) -> Result<Option<CompiledScript>, ConfigError> {
+        match *self {
+            Self::MassKill { pct, at, lasts } => {
+                let text = format!("kill {pct}% at {at} for {lasts}");
+                let script = FaultScript::parse(&text)
+                    .map_err(|e| ConfigError(format!("mass-kill spec: {e}")))?
+                    .compile(p)
+                    .map_err(|e| ConfigError(format!("mass-kill spec: {e}")))?;
+                Ok(Some(script))
+            }
+            Self::Independent | Self::CorrelatedBursts { .. } | Self::Diurnal { .. } => Ok(None),
+        }
+    }
+
+    /// The row-source half of this spec: a correlated model for a
+    /// `p`-worker platform, or `None` when the family leaves the base
+    /// per-worker sampling untouched.
+    pub fn correlated_model(&self, p: usize) -> Result<Option<CorrelatedModel>, ConfigError> {
+        match *self {
+            Self::CorrelatedBursts {
+                groups,
+                p_fail,
+                p_recover,
+            } => {
+                let outage = OutageChain::new(p_fail, p_recover)
+                    .map_err(|e| ConfigError(format!("correlated-burst spec: {e}")))?;
+                let model = CorrelatedModel::uniform_groups(p, groups, outage);
+                model.validate(p)?;
+                Ok(Some(model))
+            }
+            Self::Diurnal {
+                groups,
+                period,
+                off_len,
+                stagger,
+            } => {
+                let mut model = CorrelatedModel::uniform_groups(p, groups, OutageChain::identity());
+                model.diurnal = Some(DiurnalSpec {
+                    period,
+                    off_len,
+                    group_stagger: stagger,
+                });
+                model.validate(p)?;
+                Ok(Some(model))
+            }
+            Self::Independent | Self::MassKill { .. } => Ok(None),
+        }
+    }
+
+    /// Short machine-readable family name for reports.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            Self::Independent => "independent",
+            Self::MassKill { .. } => "mass_kill",
+            Self::CorrelatedBursts { .. } => "correlated_bursts",
+            Self::Diurnal { .. } => "diurnal",
+        }
+    }
+}
 
 /// Parameters of one experiment cell.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,6 +155,9 @@ pub struct ScenarioParams {
     pub diag_lo: f64,
     /// Upper bound of the self-loop probability draw.
     pub diag_hi: f64,
+    /// Chaos family layered on the base availability model
+    /// ([`VolatilitySpec::Independent`] reproduces the paper exactly).
+    pub volatility: VolatilitySpec,
 }
 
 impl ScenarioParams {
@@ -50,7 +173,16 @@ impl ScenarioParams {
             iterations: 10,
             diag_lo: 0.90,
             diag_hi: 0.99,
+            volatility: VolatilitySpec::Independent,
         }
+    }
+
+    /// The same cell under a chaos family — the paired-run twin used by the
+    /// `chaos_robustness` study (identical platform and seeds; only the
+    /// volatility layer differs).
+    #[must_use]
+    pub fn with_volatility(self, volatility: VolatilitySpec) -> Self {
+        Self { volatility, ..self }
     }
 
     /// `T_data = comm_scale · wmin`.

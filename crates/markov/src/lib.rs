@@ -15,7 +15,9 @@
 //!   (Weibull, log-normal, …) and semi-Markov availability processes for the
 //!   robustness study the paper proposes as future work;
 //! * [`estimate`] — maximum-likelihood estimation of a chain from observed
-//!   traces (what a real master would do with its heartbeat log).
+//!   traces (what a real master would do with its heartbeat log);
+//! * [`modulator`] — shared group-level `Normal ⇄ Outage` chains layered on
+//!   the per-worker model to produce correlated failure bursts.
 //!
 //! ## Example: the expectation at the heart of EMCT/UD
 //!
@@ -49,6 +51,7 @@ pub mod chain;
 pub mod dist;
 pub mod estimate;
 pub mod matrix;
+pub mod modulator;
 pub mod semi_markov;
 
 pub use availability::{
@@ -56,3 +59,4 @@ pub use availability::{
 };
 pub use chain::{ChainError, MarkovChain};
 pub use matrix::{MatrixError, SquareMatrix};
+pub use modulator::{ModState, ModulatorError, OutageChain};

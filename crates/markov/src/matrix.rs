@@ -168,14 +168,13 @@ impl SquareMatrix {
 
         for col in 0..n {
             // Pivot: largest magnitude in this column at or below the diagonal.
+            // `total_cmp` orders NaNs deterministically instead of
+            // panicking (identical to `partial_cmp` on real pivots: `abs`
+            // collapses the ±0.0 distinction); the range `col..n` is never
+            // empty inside this loop, so the fallback row is unreachable.
             let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[r1 * n + col]
-                        .abs()
-                        .partial_cmp(&a[r2 * n + col].abs())
-                        .expect("NaN in matrix")
-                })
-                .expect("non-empty range");
+                .max_by(|&r1, &r2| a[r1 * n + col].abs().total_cmp(&a[r2 * n + col].abs()))
+                .unwrap_or(col);
             let pivot = a[pivot_row * n + col];
             if pivot.abs() < 1e-12 {
                 return Err(MatrixError::Singular);

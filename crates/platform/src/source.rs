@@ -11,13 +11,41 @@ use vg_des::rng::{SeedPath, StreamRng};
 use vg_markov::availability::{AvailabilityChain, AvailabilityStream, ProcState};
 use vg_markov::semi_markov::{SemiMarkovModel, SemiMarkovStream};
 
-use crate::config::{AvailabilityModelConfig, PlatformConfig};
+use crate::config::{AvailabilityModelConfig, ConfigError, PlatformConfig};
 use crate::trace::Trace;
 
 /// A per-slot availability state generator for one processor.
 pub trait AvailabilitySource {
     /// Returns the state for the next slot and advances.
     fn next_state(&mut self) -> ProcState;
+}
+
+/// A per-slot availability generator for a **whole platform at once**: one
+/// call emits the next state of every processor, in processor order.
+///
+/// Per-processor sources ([`AvailabilitySource`]) cannot express *cross-
+/// worker correlation* — a shared group modulator must decide one outage
+/// draw and apply it to every member of the group in the same slot. Row
+/// sources own the whole row, so correlated models (and the dense
+/// [`MarkovSourceBank`]) plug into the engine and the shared-trace recorder
+/// through one interface.
+pub trait RowSource {
+    /// Number of processors per row.
+    fn p(&self) -> usize;
+
+    /// Appends the next slot's state for every processor (in order) to
+    /// `out` and advances. Must append exactly [`Self::p`] states.
+    fn next_row_into(&mut self, out: &mut Vec<ProcState>);
+}
+
+impl RowSource for MarkovSourceBank {
+    fn p(&self) -> usize {
+        MarkovSourceBank::p(self)
+    }
+
+    fn next_row_into(&mut self, out: &mut Vec<ProcState>) {
+        MarkovSourceBank::next_row_into(self, out);
+    }
 }
 
 impl AvailabilitySource for AvailabilityStream {
@@ -54,11 +82,27 @@ pub struct ReplaySource {
 }
 
 impl ReplaySource {
+    /// Creates a replay source, rejecting configurations with no defined
+    /// state stream: an empty trace cannot be held or cycled.
+    pub fn try_new(trace: Trace, tail: TailBehavior) -> Result<Self, ConfigError> {
+        if trace.is_empty() && matches!(tail, TailBehavior::HoldLast | TailBehavior::Cycle) {
+            return Err(ConfigError(format!(
+                "cannot hold/cycle an empty trace (tail = {tail:?})"
+            )));
+        }
+        Ok(Self {
+            trace,
+            pos: 0,
+            tail,
+        })
+    }
+
     /// Creates a replay source.
     ///
     /// # Panics
     /// Panics if the trace is empty and `tail` is [`TailBehavior::HoldLast`]
-    /// or [`TailBehavior::Cycle`] (there is nothing to hold or cycle).
+    /// or [`TailBehavior::Cycle`] (there is nothing to hold or cycle); use
+    /// [`Self::try_new`] to handle that case as an error.
     #[must_use]
     pub fn new(trace: Trace, tail: TailBehavior) -> Self {
         if matches!(tail, TailBehavior::HoldLast | TailBehavior::Cycle) {
@@ -86,7 +130,14 @@ impl AvailabilitySource for ReplaySource {
             return s;
         }
         match self.tail {
-            TailBehavior::HoldLast => *self.trace.states().last().expect("checked non-empty"),
+            // Construction guarantees a non-empty trace for HoldLast; the
+            // fallback keeps the exhausted-trace path panic-free anyway.
+            TailBehavior::HoldLast => self
+                .trace
+                .states()
+                .last()
+                .copied()
+                .unwrap_or(ProcState::Reclaimed),
             TailBehavior::Cycle => {
                 self.pos = 1;
                 self.trace.states()[0]
@@ -119,20 +170,36 @@ pub struct SharedTraceMatrix {
 }
 
 struct TraceMatrixInner {
+    /// Number of processors (row width).
+    p: usize,
     /// Slot-major state matrix: `states[slot * p + q]`.
     states: Vec<ProcState>,
-    /// One live source per processor, consulted only beyond the horizon.
-    live: Vec<Box<dyn AvailabilitySource>>,
+    /// The live generator, consulted only beyond the horizon.
+    live: RowBackend,
+}
+
+/// What samples fresh rows beyond the recorded horizon.
+enum RowBackend {
+    /// One independent live source per processor, scanned in order.
+    PerProc(Vec<Box<dyn AvailabilitySource>>),
+    /// A whole-row generator (dense bank, correlated model).
+    Rows(Box<dyn RowSource>),
+}
+
+impl RowBackend {
+    fn append_row(&mut self, states: &mut Vec<ProcState>) {
+        match self {
+            Self::PerProc(live) => states.extend(live.iter_mut().map(|src| src.next_state())),
+            Self::Rows(rows) => rows.next_row_into(states),
+        }
+    }
 }
 
 impl std::fmt::Debug for TraceMatrixInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceMatrixInner")
-            .field("p", &self.live.len())
-            .field(
-                "recorded_slots",
-                &(self.states.len() / self.live.len().max(1)),
-            )
+            .field("p", &self.p)
+            .field("recorded_slots", &(self.states.len() / self.p.max(1)))
             .finish_non_exhaustive()
     }
 }
@@ -140,13 +207,56 @@ impl std::fmt::Debug for TraceMatrixInner {
 impl SharedTraceMatrix {
     /// Wraps one live source per processor. `sources` must be in processor
     /// order and non-empty.
+    ///
+    /// # Panics
+    /// Panics when `sources` is empty; use [`Self::try_record`] to handle
+    /// that case as an error.
     #[must_use]
     pub fn record(sources: Vec<Box<dyn AvailabilitySource>>) -> Self {
         assert!(!sources.is_empty(), "a platform has at least one processor");
+        Self::from_backend(sources.len(), RowBackend::PerProc(sources))
+    }
+
+    /// Fallible form of [`Self::record`]: an empty source roster is a loud
+    /// configuration error instead of a panic.
+    pub fn try_record(sources: Vec<Box<dyn AvailabilitySource>>) -> Result<Self, ConfigError> {
+        if sources.is_empty() {
+            return Err(ConfigError(
+                "cannot record a trace matrix over zero sources".into(),
+            ));
+        }
+        Ok(Self::record(sources))
+    }
+
+    /// Wraps a whole-row generator (dense bank, correlated model). The
+    /// recording replays exactly the rows `rows` would emit stand-alone.
+    ///
+    /// # Panics
+    /// Panics when `rows.p() == 0`; use [`Self::try_record_rows`] to handle
+    /// that case as an error.
+    #[must_use]
+    pub fn record_rows(rows: Box<dyn RowSource>) -> Self {
+        assert!(rows.p() > 0, "a platform has at least one processor");
+        Self::from_backend(rows.p(), RowBackend::Rows(rows))
+    }
+
+    /// Fallible form of [`Self::record_rows`]: an empty row source is a
+    /// loud configuration error instead of a panic.
+    pub fn try_record_rows(rows: Box<dyn RowSource>) -> Result<Self, ConfigError> {
+        if rows.p() == 0 {
+            return Err(ConfigError(
+                "cannot record a trace matrix over an empty row source".into(),
+            ));
+        }
+        Ok(Self::record_rows(rows))
+    }
+
+    fn from_backend(p: usize, live: RowBackend) -> Self {
         Self {
             inner: std::rc::Rc::new(std::cell::RefCell::new(TraceMatrixInner {
+                p,
                 states: Vec::new(),
-                live: sources,
+                live,
             })),
         }
     }
@@ -154,14 +264,14 @@ impl SharedTraceMatrix {
     /// Number of processors.
     #[must_use]
     pub fn p(&self) -> usize {
-        self.inner.borrow().live.len()
+        self.inner.borrow().p
     }
 
     /// Slots recorded so far.
     #[must_use]
     pub fn recorded_slots(&self) -> usize {
         let inner = self.inner.borrow();
-        inner.states.len() / inner.live.len()
+        inner.states.len() / inner.p
     }
 
     /// A cheap second handle to the same shared recording (the backing
@@ -179,10 +289,11 @@ impl SharedTraceMatrix {
     /// contiguous byte reads per slot, no per-processor virtual calls.
     pub fn with_row<R>(&self, slot: usize, f: impl FnOnce(&[ProcState]) -> R) -> R {
         let mut inner = self.inner.borrow_mut();
-        let p = inner.live.len();
+        let p = inner.p;
         while (slot + 1) * p > inner.states.len() {
-            let TraceMatrixInner { states, live } = &mut *inner;
-            states.extend(live.iter_mut().map(|src| src.next_state()));
+            let TraceMatrixInner { states, live, .. } = &mut *inner;
+            live.append_row(states);
+            debug_assert_eq!(states.len() % p, 0, "row source appended a partial row");
         }
         f(&inner.states[slot * p..(slot + 1) * p])
     }
@@ -378,6 +489,36 @@ mod tests {
     }
 
     #[test]
+    fn replay_try_new_rejects_empty_hold_and_cycle() {
+        // The fallible constructor turns the two undefined configurations
+        // into loud errors and accepts everything else.
+        for tail in [TailBehavior::HoldLast, TailBehavior::Cycle] {
+            let e = ReplaySource::try_new(Trace::default(), tail).unwrap_err();
+            assert!(e.0.contains("empty trace"), "unhelpful: {e}");
+        }
+        assert!(ReplaySource::try_new(Trace::default(), TailBehavior::ReclaimedForever).is_ok());
+        assert!(ReplaySource::try_new(Trace::parse("u").unwrap(), TailBehavior::Cycle).is_ok());
+    }
+
+    #[test]
+    fn replay_short_trace_tails_are_total() {
+        // A trace shorter than the run keeps emitting well-defined states
+        // under every tail policy (no truncation, no panic).
+        for (tail, expect) in [
+            (TailBehavior::HoldLast, D),
+            (TailBehavior::Cycle, U),
+            (TailBehavior::ReclaimedForever, R),
+        ] {
+            let mut s = ReplaySource::try_new(Trace::parse("ud").unwrap(), tail).unwrap();
+            let run: Vec<_> = (0..100).map(|_| s.next_state()).collect();
+            assert_eq!(run[0], U);
+            assert_eq!(run[1], D);
+            assert_eq!(run[2], expect, "{tail:?}");
+            assert_eq!(run.len(), 100);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "cannot hold/cycle")]
     fn replay_empty_trace_hold_panics() {
         let _ = ReplaySource::new(Trace::default(), TailBehavior::HoldLast);
@@ -441,6 +582,45 @@ mod tests {
             assert_eq!(matrix.recorded_slots(), horizon.max(50));
         }
         assert_eq!(matrix.recorded_slots(), 200);
+    }
+
+    #[test]
+    fn shared_trace_try_record_rejects_empty_rosters() {
+        let e = SharedTraceMatrix::try_record(Vec::new()).unwrap_err();
+        assert!(e.0.contains("zero sources"), "unhelpful: {e}");
+        let e =
+            SharedTraceMatrix::try_record_rows(Box::new(MarkovSourceBank::default())).unwrap_err();
+        assert!(e.0.contains("empty row source"), "unhelpful: {e}");
+        assert!(SharedTraceMatrix::try_record(live_sources(1, 3)).is_ok());
+    }
+
+    #[test]
+    fn shared_trace_rows_backend_matches_per_proc_backend() {
+        // Recording through a whole-row generator must replay exactly the
+        // same matrix as recording the equivalent boxed per-proc sources.
+        use crate::config::ProcessorConfig;
+        let platform = PlatformConfig {
+            processors: (0..5)
+                .map(|_| ProcessorConfig::markov(2, test_chain(), StartPolicy::Up))
+                .collect(),
+            ncom: 1,
+        };
+        let seeds = SeedPath::root(13);
+        let boxed: Vec<_> = platform
+            .processors
+            .iter()
+            .enumerate()
+            .map(|(q, pc)| pc.avail.build_source(seeds.child(q as u64).rng()))
+            .collect();
+        let bank = MarkovSourceBank::try_from_platform(&platform, &seeds).unwrap();
+        let per_proc = SharedTraceMatrix::record(boxed);
+        let rows = SharedTraceMatrix::record_rows(Box::new(bank));
+        assert_eq!(rows.p(), 5);
+        for t in 0..120 {
+            let a = per_proc.with_row(t, <[ProcState]>::to_vec);
+            let b = rows.with_row(t, <[ProcState]>::to_vec);
+            assert_eq!(a, b, "slot {t}");
+        }
     }
 
     #[test]

@@ -209,7 +209,11 @@ impl RleTrace {
         let mut offset = 0usize;
         for token in text.split_whitespace() {
             let mut chars = token.chars();
-            let code = chars.next().expect("split_whitespace yields non-empty");
+            // `split_whitespace` never yields empty tokens; skip defensively
+            // rather than carry a panic site in the parse path.
+            let Some(code) = chars.next() else {
+                continue;
+            };
             let state = ProcState::from_code(code).ok_or(TraceParseError {
                 at: offset,
                 ch: code,

@@ -15,11 +15,19 @@
 //! u86400
 //! ```
 //!
-//! Comments (`#`) and blank lines are ignored outside of run lines.
+//! An empty trace is written as a single `-` (a blank line would be
+//! indistinguishable from formatting). Comments (`#`) and blank lines are
+//! ignored outside of run lines.
+//!
+//! [`TraceSet::from_fta_text`] additionally imports Failure Trace
+//! Archive-style event logs (`node_id interval_start interval_end` per
+//! line, each interval an availability window) into the same structure, so
+//! recorded real-world volatility feeds the replay path unchanged.
 
 use crate::processor::ProcessorSpec;
 use crate::trace::{RleTrace, Trace};
 use vg_des::SlotSpan;
+use vg_markov::ProcState;
 
 /// A persisted platform recording: speeds plus availability traces.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,24 +39,41 @@ pub struct TraceSet {
     pub entries: Vec<(ProcessorSpec, Trace)>,
 }
 
-/// Parse error with line information.
+/// Parse error with exact position information.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSetParseError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token (0 when the error concerns
+    /// the whole line, e.g. a missing trailing line).
+    pub col: usize,
     /// Description.
     pub message: String,
 }
 
 impl std::fmt::Display for TraceSetParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col == 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
+        }
     }
 }
 
 impl std::error::Error for TraceSetParseError {}
 
 const HEADER: &str = "# volatile-grid traces v1";
+
+/// Marker for an empty trace on a run line.
+const EMPTY_TRACE: &str = "-";
+
+/// Tokenizes a line into `(1-based byte column, token)` pairs.
+fn tokens(line: &str) -> impl Iterator<Item = (usize, &str)> + '_ {
+    let base = line.as_ptr() as usize;
+    line.split_whitespace()
+        .map(move |tok| (tok.as_ptr() as usize - base + 1, tok))
+}
 
 impl TraceSet {
     /// Builds a trace set; `slots` defaults to the longest trace.
@@ -77,21 +102,30 @@ impl TraceSet {
         out.push_str(&format!("slots {}\n", self.slots));
         for (q, (spec, trace)) in self.entries.iter().enumerate() {
             out.push_str(&format!("proc {q} w {}\n", spec.w));
-            out.push_str(&trace.to_rle().to_compact_string());
+            if trace.is_empty() {
+                // A blank line would vanish in parsing; mark emptiness.
+                out.push_str(EMPTY_TRACE);
+            } else {
+                out.push_str(&trace.to_rle().to_compact_string());
+            }
             out.push('\n');
         }
         out
     }
 
-    /// Parses the text format.
+    /// Parses the text format. Errors carry the exact 1-based line and
+    /// column of the offending token.
     pub fn from_text(text: &str) -> Result<Self, TraceSetParseError> {
-        let err = |line: usize, message: String| TraceSetParseError { line, message };
+        let err =
+            |line: usize, col: usize, message: String| TraceSetParseError { line, col, message };
         let mut lines = text.lines().enumerate().peekable();
 
         // Header.
-        let (n, first) = lines.next().ok_or_else(|| err(1, "empty input".into()))?;
+        let (n, first) = lines
+            .next()
+            .ok_or_else(|| err(1, 0, "empty input".into()))?;
         if first.trim() != HEADER {
-            return Err(err(n + 1, format!("expected header {HEADER:?}")));
+            return Err(err(n + 1, 1, format!("expected header {HEADER:?}")));
         }
 
         let mut slots: Option<u64> = None;
@@ -101,64 +135,185 @@ impl TraceSet {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut tokens = line.split_whitespace();
-            match tokens.next() {
-                Some("slots") => {
-                    let v: u64 = tokens
+            let mut toks = tokens(raw);
+            let Some((dcol, directive)) = toks.next() else {
+                continue;
+            };
+            match directive {
+                "slots" => {
+                    let (vcol, v) = toks
                         .next()
-                        .ok_or_else(|| err(n + 1, "slots needs a value".into()))?
+                        .ok_or_else(|| err(n + 1, dcol, "slots needs a value".into()))?;
+                    let v: u64 = v
                         .parse()
-                        .map_err(|_| err(n + 1, "slots expects an integer".into()))?;
+                        .map_err(|_| err(n + 1, vcol, "slots expects an integer".into()))?;
                     slots = Some(v);
                 }
-                Some("proc") => {
-                    let idx: usize = tokens
+                "proc" => {
+                    let (icol, itok) = toks
                         .next()
-                        .ok_or_else(|| err(n + 1, "proc needs an index".into()))?
+                        .ok_or_else(|| err(n + 1, dcol, "proc needs an index".into()))?;
+                    let idx: usize = itok
                         .parse()
-                        .map_err(|_| err(n + 1, "proc index must be an integer".into()))?;
+                        .map_err(|_| err(n + 1, icol, "proc index must be an integer".into()))?;
                     if idx != entries.len() {
                         return Err(err(
                             n + 1,
+                            icol,
                             format!("proc {idx} out of order (expected {})", entries.len()),
                         ));
                     }
-                    let w: SlotSpan = match (tokens.next(), tokens.next()) {
-                        (Some("w"), Some(v)) => v
+                    let w: SlotSpan = match (toks.next(), toks.next()) {
+                        (Some((_, "w")), Some((wcol, v))) => v
                             .parse()
-                            .map_err(|_| err(n + 1, "w expects an integer".into()))?,
-                        _ => return Err(err(n + 1, "expected `w <speed>`".into())),
+                            .map_err(|_| err(n + 1, wcol, "w expects an integer".into()))?,
+                        (Some((c, _)), _) | (None, Some((c, _))) => {
+                            return Err(err(n + 1, c, "expected `w <speed>`".into()))
+                        }
+                        (None, None) => {
+                            return Err(err(n + 1, dcol, "expected `w <speed>`".into()))
+                        }
                     };
                     if w == 0 {
-                        return Err(err(n + 1, "w must be ≥ 1".into()));
+                        let wcol = tokens(raw).nth(3).map_or(dcol, |(c, _)| c);
+                        return Err(err(n + 1, wcol, "w must be ≥ 1".into()));
                     }
-                    // Next non-comment line is the RLE trace.
-                    let (rn, run_line) = loop {
+                    // Next non-comment line is the RLE trace (`-` = empty).
+                    let (rn, run_raw) = loop {
                         match lines.next() {
                             Some((rn, l)) => {
                                 let t = l.trim();
                                 if t.is_empty() || t.starts_with('#') {
                                     continue;
                                 }
-                                break (rn, t.to_string());
+                                break (rn, l);
                             }
                             None => {
-                                return Err(err(n + 1, format!("proc {idx} has no trace line")))
+                                return Err(err(n + 1, 0, format!("proc {idx} has no trace line")))
                             }
                         }
                     };
-                    let rle = RleTrace::parse(&run_line)
-                        .map_err(|e| err(rn + 1, format!("bad trace: {e}")))?;
-                    entries.push((ProcessorSpec::new(w), rle.to_dense()));
+                    let run_line = run_raw.trim();
+                    let trace = if run_line == EMPTY_TRACE {
+                        Trace::default()
+                    } else {
+                        let lead = run_raw.len() - run_raw.trim_start().len();
+                        let rle = RleTrace::parse(run_line)
+                            .map_err(|e| err(rn + 1, lead + e.at + 1, format!("bad trace: {e}")))?;
+                        rle.to_dense()
+                    };
+                    entries.push((ProcessorSpec::new(w), trace));
                 }
-                Some(other) => {
-                    return Err(err(n + 1, format!("unknown directive {other:?}")));
+                other => {
+                    return Err(err(n + 1, dcol, format!("unknown directive {other:?}")));
                 }
-                None => unreachable!("trimmed non-empty line has a token"),
             }
         }
-        let slots = slots.ok_or_else(|| err(1, "missing `slots` directive".into()))?;
+        let slots = slots.ok_or_else(|| err(1, 0, "missing `slots` directive".into()))?;
         Ok(Self { slots, entries })
+    }
+
+    /// Imports a Failure Trace Archive-style availability log.
+    ///
+    /// Each non-comment line is `node_id interval_start interval_end`: one
+    /// availability interval (slots, half-open `[start, end)`) during which
+    /// `node_id` was `UP`. Gaps between intervals are `DOWN`. Node ids are
+    /// arbitrary tokens, mapped to processor indices in first-appearance
+    /// order; a node's intervals must be chronological and non-overlapping.
+    /// Every trace spans the global horizon (the largest interval end), and
+    /// speeds default to `w = 1` (the archive records availability, not
+    /// performance).
+    pub fn from_fta_text(text: &str) -> Result<Self, TraceSetParseError> {
+        let err =
+            |line: usize, col: usize, message: String| TraceSetParseError { line, col, message };
+        let mut order: Vec<String> = Vec::new();
+        let mut intervals: Vec<Vec<(u64, u64)>> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let n = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut toks = tokens(raw);
+            let Some((idcol, id)) = toks.next() else {
+                continue;
+            };
+            let (scol, stok) = toks
+                .next()
+                .ok_or_else(|| err(n, idcol, "expected `node start end`".into()))?;
+            let start: u64 = stok.parse().map_err(|_| {
+                err(
+                    n,
+                    scol,
+                    format!("interval start expects an integer, got {stok:?}"),
+                )
+            })?;
+            let (ecol, etok) = toks
+                .next()
+                .ok_or_else(|| err(n, scol, "interval needs an end".into()))?;
+            let end: u64 = etok.parse().map_err(|_| {
+                err(
+                    n,
+                    ecol,
+                    format!("interval end expects an integer, got {etok:?}"),
+                )
+            })?;
+            if let Some((c, extra)) = toks.next() {
+                return Err(err(n, c, format!("trailing token {extra:?}")));
+            }
+            if start >= end {
+                return Err(err(n, ecol, format!("empty interval {start}..{end}")));
+            }
+            let node = match order.iter().position(|o| o == id) {
+                Some(i) => i,
+                None => {
+                    order.push(id.to_string());
+                    intervals.push(Vec::new());
+                    order.len() - 1
+                }
+            };
+            if let Some(&(_, prev_end)) = intervals[node].last() {
+                if start < prev_end {
+                    return Err(err(
+                        n,
+                        scol,
+                        format!(
+                            "node {id:?}: interval {start}..{end} overlaps or precedes \
+                             the previous interval ending at {prev_end}"
+                        ),
+                    ));
+                }
+            }
+            intervals[node].push((start, end));
+        }
+        let horizon = intervals
+            .iter()
+            .flatten()
+            .map(|&(_, e)| e)
+            .max()
+            .unwrap_or(0);
+        let entries = intervals
+            .into_iter()
+            .map(|ivs| {
+                let mut runs: Vec<(ProcState, u64)> = Vec::new();
+                let mut cursor = 0u64;
+                for (start, end) in ivs {
+                    if start > cursor {
+                        runs.push((ProcState::Down, start - cursor));
+                    }
+                    runs.push((ProcState::Up, end - start));
+                    cursor = end;
+                }
+                if cursor < horizon {
+                    runs.push((ProcState::Down, horizon - cursor));
+                }
+                (ProcessorSpec::new(1), RleTrace::new(runs).to_dense())
+            })
+            .collect();
+        Ok(Self {
+            slots: horizon,
+            entries,
+        })
     }
 }
 
@@ -188,6 +343,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_traces_roundtrip() {
+        // Regression: an empty trace used to serialize as a blank line,
+        // which the parser skipped — `proc 0 has no trace line` (or worse,
+        // it consumed the next proc's run line). The `-` marker pins it.
+        let ts = TraceSet::new(vec![
+            (ProcessorSpec::new(3), Trace::default()),
+            (ProcessorSpec::new(4), t("ur")),
+            (ProcessorSpec::new(5), Trace::default()),
+        ]);
+        let text = ts.to_text();
+        assert!(
+            text.contains("\n-\n"),
+            "empty traces need a marker:\n{text}"
+        );
+        let back = TraceSet::from_text(&text).unwrap();
+        assert_eq!(back, ts);
+        assert_eq!(back.slots, 2);
+    }
+
+    #[test]
     fn format_is_human_readable() {
         let text = sample().to_text();
         assert!(text.starts_with(HEADER));
@@ -209,6 +384,7 @@ mod tests {
     fn missing_header_rejected() {
         let e = TraceSet::from_text("slots 4\n").unwrap_err();
         assert!(e.message.contains("header"), "{e}");
+        assert_eq!((e.line, e.col), (1, 1));
     }
 
     #[test]
@@ -221,18 +397,21 @@ mod tests {
     fn out_of_order_proc_rejected() {
         let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nproc 1 w 1\nu4\n")).unwrap_err();
         assert!(e.message.contains("out of order"), "{e}");
+        assert_eq!((e.line, e.col), (3, 6), "{e}");
     }
 
     #[test]
     fn bad_speed_rejected() {
         let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nproc 0 w 0\nu4\n")).unwrap_err();
         assert!(e.message.contains('w'), "{e}");
+        assert_eq!((e.line, e.col), (3, 10), "{e}");
     }
 
     #[test]
     fn missing_trace_line_rejected() {
         let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nproc 0 w 1\n")).unwrap_err();
         assert!(e.message.contains("no trace"), "{e}");
+        assert_eq!((e.line, e.col), (3, 0), "{e}");
     }
 
     #[test]
@@ -240,6 +419,25 @@ mod tests {
         let e = TraceSet::from_text(&format!("{HEADER}\nslots 4\nbogus\n")).unwrap_err();
         assert!(e.message.contains("unknown directive"), "{e}");
         assert_eq!(e.line, 3);
+        assert_eq!(e.col, 1);
+    }
+
+    #[test]
+    fn malformed_lines_pin_exact_columns() {
+        // (body after header, line, col, message fragment)
+        let cases = [
+            ("slots x", 2, 7, "integer"),
+            ("slots", 2, 1, "needs a value"),
+            ("slots 4\nproc zero w 1\nu4", 3, 6, "must be an integer"),
+            ("slots 4\nproc 0 q 1\nu4", 3, 8, "expected `w <speed>`"),
+            ("slots 4\nproc 0 w x\nu4", 3, 10, "integer"),
+            ("slots 4\nproc 0 w 1\n  u3 z9", 4, 6, "bad trace"),
+        ];
+        for (body, line, col, frag) in cases {
+            let e = TraceSet::from_text(&format!("{HEADER}\n{body}\n")).unwrap_err();
+            assert_eq!((e.line, e.col), (line, col), "{body:?}: {e}");
+            assert!(e.message.contains(frag), "{body:?}: {e}");
+        }
     }
 
     #[test]
@@ -253,11 +451,62 @@ mod tests {
         assert_eq!(empty.slots, 0);
     }
 
+    #[test]
+    fn fta_import_builds_gap_filled_traces() {
+        let ts = TraceSet::from_fta_text(
+            "# node start end\n\
+             alpha 0 3\n\
+             beta 2 5\n\
+             alpha 4 6\n\
+             # trailing comment\n",
+        )
+        .unwrap();
+        assert_eq!(ts.slots, 6);
+        assert_eq!(ts.p(), 2);
+        // alpha: up [0,3), down [3,4), up [4,6).
+        assert_eq!(ts.entries[0].1, t("uuuduu"));
+        // beta: down [0,2), up [2,5), down [5,6).
+        assert_eq!(ts.entries[1].1, t("dduuud"));
+        assert!(ts.entries.iter().all(|(spec, _)| spec.w == 1));
+    }
+
+    #[test]
+    fn fta_import_roundtrips_through_the_text_format() {
+        let ts = TraceSet::from_fta_text("n1 0 4\nn2 1 2\n").unwrap();
+        let back = TraceSet::from_text(&ts.to_text()).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn fta_import_rejects_malformed_lines_with_positions() {
+        let cases = [
+            ("alpha 5", 1, 7, "needs an end"),
+            ("alpha", 1, 1, "expected `node start end`"),
+            ("alpha x 5", 1, 7, "integer"),
+            ("alpha 0 y", 1, 9, "integer"),
+            ("alpha 5 5", 1, 9, "empty interval"),
+            ("alpha 0 5\nalpha 3 8", 2, 7, "overlaps"),
+            ("alpha 0 5 extra", 1, 11, "trailing"),
+        ];
+        for (text, line, col, frag) in cases {
+            let e = TraceSet::from_fta_text(text).unwrap_err();
+            assert_eq!((e.line, e.col), (line, col), "{text:?}: {e}");
+            assert!(e.message.contains(frag), "{text:?}: {e}");
+        }
+        // Touching intervals are chronological, not overlapping.
+        assert!(TraceSet::from_fta_text("a 0 5\na 5 9\n").is_ok());
+        // An empty log is an empty (zero-horizon) set, not an error.
+        let empty = TraceSet::from_fta_text("# nothing\n").unwrap();
+        assert_eq!((empty.slots, empty.p()), (0, 0));
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(
-            specs in proptest::collection::vec((1u64..50, proptest::collection::vec(0usize..3, 1..100)), 0..6)
+            specs in proptest::collection::vec((1u64..50, proptest::collection::vec(0usize..3, 0..100)), 0..6)
         ) {
+            // Trace lengths start at 0: the empty-trace `-` marker is part
+            // of the round-trip contract.
             let entries: Vec<(ProcessorSpec, Trace)> = specs
                 .iter()
                 .map(|(w, codes)| {

@@ -99,8 +99,10 @@ use vg_core::view::{AppView, ProcSnapshot, SchedView};
 use vg_core::Scheduler;
 use vg_des::{Slot, SlotSpan};
 use vg_markov::availability::{ChainStats, ProcState};
+use vg_platform::fault::CompiledScript;
 use vg_platform::network::{BandwidthLedger, TransferKind};
-use vg_platform::source::{AvailabilitySource, MarkovSourceBank, SharedTraceMatrix};
+use vg_platform::source::{AvailabilitySource, MarkovSourceBank, RowSource, SharedTraceMatrix};
+use vg_platform::volatility::ScriptedOverlay;
 use vg_platform::{AppConfig, ConfigError, PlatformConfig, ProcessorId};
 
 use crate::app::{
@@ -583,6 +585,7 @@ impl SimArena {
                 SharePolicy::default(),
                 scheduler,
                 bank,
+                None,
                 options,
             ))
         } else {
@@ -620,7 +623,7 @@ impl SimArena {
         let dense = self.prepare_sources(platform, &trace_seeds);
         let combined = if dense {
             let bank = SourceBank::Dense(std::mem::take(&mut self.dense));
-            self.run_core_with(platform, specs, share, scheduler, bank, options)
+            self.run_core_with(platform, specs, share, scheduler, bank, None, options)
         } else {
             self.run_core(platform, specs, share, scheduler, options)
         };
@@ -741,6 +744,30 @@ impl SimArena {
         trace: &SharedTraceMatrix,
         options: SimOptions,
     ) -> Result<RunOutcome, ConfigError> {
+        self.run_shared_trace_overlay(platform, app, scheduler, chains, trace, None, options)
+    }
+
+    /// [`Self::run_shared_trace`] with a scripted fault overlay: the script
+    /// forces states onto each replayed row *after* it is read, leaving the
+    /// recording itself untouched — every heuristic of an instance still
+    /// replays byte-identical base availability (common random numbers),
+    /// with the same scripted faults layered on top. `None` (and a
+    /// passthrough script) is bit-identical to [`Self::run_shared_trace`].
+    ///
+    /// # Errors
+    /// As [`Self::run_shared_trace`], plus a script compiled for a
+    /// different platform size.
+    #[allow(clippy::too_many_arguments)] // mirrors run_shared_trace + the overlay
+    pub fn run_shared_trace_overlay(
+        &mut self,
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        chains: &[ChainStats],
+        trace: &SharedTraceMatrix,
+        script: Option<&CompiledScript>,
+        options: SimOptions,
+    ) -> Result<RunOutcome, ConfigError> {
         platform.validate()?;
         let specs = [AppSpec::rigid(*app)];
         validate_app_specs(&specs)?;
@@ -758,18 +785,31 @@ impl SimArena {
                 platform.p()
             )));
         }
+        if let Some(s) = script {
+            if s.p() != platform.p() {
+                // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
+                return Err(ConfigError(format!(
+                    "fault script compiled for {} workers on a {}-processor platform",
+                    s.p(),
+                    platform.p()
+                )));
+            }
+        }
         self.chains.clear();
         self.chains.extend_from_slice(chains);
         let bank = SourceBank::Shared {
             trace: trace.handle(),
             next_slot: 0,
         };
+        // tidy:allow(hot_alloc): per-run overlay construction, before the first slot.
+        let overlay = script.map(|s| ScriptedOverlay::new(s.clone()));
         Ok(self.run_core_with(
             platform,
             &specs,
             SharePolicy::default(),
             scheduler,
             bank,
+            overlay,
             options,
         ))
     }
@@ -785,10 +825,12 @@ impl SimArena {
         options: SimOptions,
     ) -> RunOutcome {
         let bank = SourceBank::PerProc(std::mem::take(&mut self.sources));
-        self.run_core_with(platform, specs, share, scheduler, bank, options)
+        self.run_core_with(platform, specs, share, scheduler, bank, None, options)
     }
 
-    /// Innermost run loop over an explicit source bank.
+    /// Innermost run loop over an explicit source bank (and optional
+    /// scripted overlay).
+    #[allow(clippy::too_many_arguments)] // private tail shared by every entry point
     fn run_core_with(
         &mut self,
         platform: &PlatformConfig,
@@ -796,6 +838,7 @@ impl SimArena {
         share: SharePolicy,
         mut scheduler: Box<dyn Scheduler>,
         bank: SourceBank,
+        overlay: Option<ScriptedOverlay>,
         options: SimOptions,
     ) -> RunOutcome {
         scheduler.begin_run();
@@ -841,6 +884,7 @@ impl SimArena {
             counters: Counters::default(),
             bind_order: std::mem::take(&mut self.bind_order),
             cap_engagements: 0,
+            overlay,
             scratch: std::mem::take(&mut self.scratch),
             timeline: None,
             slot_marks: std::mem::take(&mut self.slot_marks),
@@ -863,7 +907,7 @@ impl SimArena {
         match sim.sources {
             SourceBank::PerProc(v) => self.sources = v,
             SourceBank::Dense(b) => self.dense = b,
-            SourceBank::Shared { .. } => {}
+            SourceBank::Shared { .. } | SourceBank::Rows(_) => {}
         }
         self.chains = sim.chains;
         self.apps = sim.apps;
@@ -943,6 +987,10 @@ enum SourceBank {
         trace: SharedTraceMatrix,
         next_slot: usize,
     },
+    /// A live whole-row generator (correlated volatility models): one call
+    /// emits every processor's state for the slot, so cross-worker
+    /// correlation stays expressible without per-processor sources.
+    Rows(Box<dyn RowSource>),
 }
 
 /// The communication parameters every application of a run shares.
@@ -1000,6 +1048,12 @@ pub struct Simulation<S: WorkerStore = WorkerSoA> {
     /// part of [`SimReport`]/[`Counters`]: a capped run that never engages
     /// must stay byte-identical to its uncapped twin, counter for counter.
     cap_engagements: u64,
+    /// Scripted fault injector, applied to every sampled state row *after*
+    /// the source bank fills it ([`Simulation::set_overlay`]). `None` — and
+    /// a passthrough overlay — leave rows untouched, so the overlaid run is
+    /// byte-identical to the base (the chaos_equivalence grid pins this);
+    /// actual changes land in [`Counters::injected_faults`].
+    overlay: Option<ScriptedOverlay>,
     scratch: SlotScratch,
     timeline: Option<Timeline>,
     slot_marks: Vec<SlotMarks>,
@@ -1119,6 +1173,72 @@ impl<S: WorkerStore> Simulation<S> {
         )
     }
 
+    /// Builds an engine over a whole-row generator (e.g.
+    /// [`vg_platform::volatility::CorrelatedSource`]): the bank draws one
+    /// full state row per slot, which is how cross-worker correlation enters
+    /// the engine without touching per-worker seed streams.
+    pub fn new_rows_in(
+        platform: &PlatformConfig,
+        app: &AppConfig,
+        scheduler: Box<dyn Scheduler>,
+        rows: Box<dyn RowSource>,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        Self::new_multi_rows_in(
+            platform,
+            &[AppSpec::rigid(*app)],
+            SharePolicy::default(),
+            scheduler,
+            rows,
+            options,
+        )
+    }
+
+    /// Co-scheduling twin of [`Self::new_rows_in`].
+    pub fn new_multi_rows_in(
+        platform: &PlatformConfig,
+        specs: &[AppSpec],
+        share: SharePolicy,
+        scheduler: Box<dyn Scheduler>,
+        rows: Box<dyn RowSource>,
+        options: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        platform.validate()?;
+        if rows.p() != platform.p() {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
+            return Err(ConfigError(format!(
+                "row source spans {} workers on a {}-processor platform",
+                rows.p(),
+                platform.p()
+            )));
+        }
+        Self::new_with_bank(
+            platform,
+            specs,
+            share,
+            scheduler,
+            SourceBank::Rows(rows),
+            options,
+        )
+    }
+
+    /// Installs a scripted fault overlay on a freshly built engine. The
+    /// script must have been compiled for this platform's processor count.
+    /// A passthrough script (no events) leaves every row byte-identical to
+    /// the un-overlaid run.
+    pub fn set_overlay(&mut self, overlay: ScriptedOverlay) -> Result<(), ConfigError> {
+        let p = self.chains.len();
+        if overlay.p() != p {
+            // tidy:allow(hot_alloc): config-validation error path, taken before any slot runs.
+            return Err(ConfigError(format!(
+                "fault script compiled for {} workers on a {p}-processor platform",
+                overlay.p()
+            )));
+        }
+        self.overlay = Some(overlay);
+        Ok(())
+    }
+
     /// Seed-path constructor: builds the best available source bank for
     /// `platform` (`trace_seeds.child(q)` per processor, the
     /// [`Simulation::run_seeded`] seed layout) and returns the engine
@@ -1220,6 +1340,7 @@ impl<S: WorkerStore> Simulation<S> {
             counters: Counters::default(),
             bind_order: Vec::with_capacity(platform.p()),
             cap_engagements: 0,
+            overlay: None,
             scratch: SlotScratch::with_capacity(platform.p(), total_m),
             timeline: options.record_timeline.then(|| Timeline::new(platform.p())),
             slot_marks: vec![SlotMarks::default(); platform.p()], // tidy:allow(hot_alloc): engine construction, before the first slot.
@@ -1401,6 +1522,8 @@ impl<S: WorkerStore> Simulation<S> {
             scratch,
             counters,
             apps,
+            slot,
+            overlay,
             ..
         } = self;
         let SlotScratch {
@@ -1416,6 +1539,23 @@ impl<S: WorkerStore> Simulation<S> {
                 trace.with_row(*next_slot, |row| state_row.extend_from_slice(row));
                 *next_slot += 1;
             }
+            SourceBank::Rows(rows) => rows.next_row_into(state_row),
+        }
+        // Scripted chaos hook: force states *after* sampling so the base RNG
+        // schedule is untouched; only actual flips count as injections. Kept
+        // out of line so un-scripted runs pay one never-taken branch here.
+        #[cold]
+        #[inline(never)]
+        fn apply_overlay(
+            ov: &mut ScriptedOverlay,
+            counters: &mut Counters,
+            slot: Slot,
+            row: &mut [ProcState],
+        ) {
+            counters.injected_faults += ov.apply_row(slot, row);
+        }
+        if let Some(ov) = overlay {
+            apply_overlay(ov, counters, *slot, state_row);
         }
         workers.set_states(state_row);
         // State census: O(1) from the store's block summaries when it

@@ -29,6 +29,10 @@ pub struct Counters {
     pub data_channel_slots: u64,
     /// Worker-slots observed in each state (`u`, `r`, `d`).
     pub state_slots: [u64; 3],
+    /// State flips forced by a scripted chaos overlay (0 when no overlay is
+    /// installed, and for passthrough scripts — so un-scripted runs stay
+    /// counter-identical to their base).
+    pub injected_faults: u64,
 }
 
 /// Result of a simulation run.

@@ -66,10 +66,13 @@ pub mod prelude {
         HeuristicKind, OwnedSchedView, SchedView, SchedViewBuilder, Scheduler, SharePolicy,
     };
     pub use vg_des::prelude::*;
-    pub use vg_markov::{AvailabilityChain, AvailabilityStream, ChainStats, ProcState};
+    pub use vg_markov::{
+        AvailabilityChain, AvailabilityStream, ChainStats, OutageChain, ProcState,
+    };
+    pub use vg_platform::volatility::{CorrelatedModel, DiurnalSpec, ScriptedOverlay};
     pub use vg_platform::{
-        AppConfig, AvailabilityModelConfig, PlatformConfig, ProcessorConfig, ProcessorId,
-        StartPolicy, TailBehavior, Trace,
+        AppConfig, AvailabilityModelConfig, CompiledScript, FaultScript, PlatformConfig,
+        ProcessorConfig, ProcessorId, StartPolicy, TailBehavior, Trace,
     };
     pub use vg_sim::{
         AppReport, AppSpec, MoldableParams, MultiReport, PlacementBudget, ReconfigPolicy,
